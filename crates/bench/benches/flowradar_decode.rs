@@ -1,0 +1,41 @@
+//! FlowRadar decode cost below and above the decode cliff — the
+//! post-processing the paper's §II critique targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowradar::FlowRadar;
+use hashflow_monitor::FlowMonitor;
+use hashflow_types::{FlowKey, Packet};
+use std::time::Duration;
+
+fn loaded_radar(cells: usize, flows: usize) -> FlowRadar {
+    let mut fr = FlowRadar::new(cells, 0xdead).expect("valid");
+    for i in 0..flows as u64 {
+        fr.process_packet(&Packet::new(FlowKey::from_index(i), 0, 64));
+    }
+    fr
+}
+
+fn decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowradar_decode");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    // Load factors straddling the peeling threshold (~1.2 flows/cell for
+    // k = 3): 0.5 decodes fully, 2.0 collapses.
+    for (label, flows) in [("underloaded_0.5", 8_192), ("critical_1.1", 18_022), ("overloaded_2.0", 32_768)] {
+        let fr = loaded_radar(16_384, flows);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fr, |b, fr| {
+            b.iter(|| {
+                // Clone defeats the decode cache so every iteration pays
+                // the full peel.
+                let fresh = fr.clone();
+                fresh.decode().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decode);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Per-flow size-query latency for each algorithm after ingesting a
+//! realistic trace — the offline half of the §IV-A applications (queries
+//! are free for the table-based designs, expensive for FlowRadar, whose
+//! first query pays the decode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashflow_bench::{bench_monitors, bench_trace};
+use hashflow_trace::TraceProfile;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn query_latency(c: &mut Criterion) {
+    let trace = bench_trace(TraceProfile::Caida, 20_000);
+    let queries: Vec<_> = trace.ground_truth().iter().map(|r| r.key()).collect();
+
+    let mut group = c.benchmark_group("size_query");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(queries.len() as u64));
+
+    for (name, mut monitor) in bench_monitors() {
+        monitor.process_trace(trace.packets());
+        // Warm FlowRadar's decode cache so the bench measures steady-state
+        // queries; the decode itself is benched separately.
+        let _ = monitor.estimate_size(&queries[0]);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, queries| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for q in queries {
+                    acc += u64::from(monitor.estimate_size(black_box(q)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_latency);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Main-table probe cost: multi-hash vs pipelined organizations at several
+//! loads — the runtime side of the Fig. 2/Fig. 5 design ablation (the
+//! paper's "trading off a little efficiency for utilization", §II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashflow_core::scheme::MainTable;
+use hashflow_core::TableScheme;
+use hashflow_types::FlowKey;
+use std::time::Duration;
+
+const CELLS: usize = 65_536;
+
+fn probe_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("main_table_probe");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
+
+    let schemes = [
+        ("multihash_d3", TableScheme::MultiHash { depth: 3 }),
+        (
+            "pipelined_d3_a07",
+            TableScheme::Pipelined {
+                depth: 3,
+                alpha: 0.7,
+            },
+        ),
+        ("multihash_d1", TableScheme::MultiHash { depth: 1 }),
+        (
+            "pipelined_d4_a07",
+            TableScheme::Pipelined {
+                depth: 4,
+                alpha: 0.7,
+            },
+        ),
+    ];
+
+    for load_pct in [100usize, 200] {
+        let m = CELLS * load_pct / 100;
+        let keys: Vec<FlowKey> = (0..m as u64).map(FlowKey::from_index).collect();
+        group.throughput(Throughput::Elements(m as u64));
+        for (label, scheme) in schemes {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("load_{load_pct}pct")),
+                &keys,
+                |b, keys| {
+                    b.iter(|| {
+                        let mut table = MainTable::new(scheme, CELLS, 3).expect("valid");
+                        for k in keys {
+                            table.probe(k);
+                        }
+                        table.occupied()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, probe_throughput);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Per-packet update throughput of the four algorithms on each trace
+//! profile — the native-hardware counterpart of Fig. 11(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashflow_bench::{bench_monitors, bench_trace};
+use hashflow_trace::ALL_PROFILES;
+use std::time::Duration;
+
+fn update_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for profile in ALL_PROFILES {
+        let trace = bench_trace(profile, 20_000);
+        group.throughput(Throughput::Elements(trace.packets().len() as u64));
+        for (name, mut monitor) in bench_monitors() {
+            group.bench_with_input(
+                BenchmarkId::new(name, profile.name()),
+                trace.packets(),
+                |b, packets| {
+                    b.iter(|| {
+                        monitor.reset();
+                        monitor.process_trace(packets);
+                        monitor.cost().packets
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, update_throughput);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared helpers for the criterion benchmark harness.
+//!
+//! The benches regenerate the performance exhibits of the paper on native
+//! hardware:
+//!
+//! * `update_throughput` — per-packet update rate of the four algorithms on
+//!   each trace profile (the native counterpart of Fig. 11(a); the modeled
+//!   bmv2 numbers come from `cargo run -p experiments --bin fig11_throughput`);
+//! * `hashing` — the three hash-function implementations on 13-byte keys;
+//! * `flowradar_decode` — decode cost below and above the decode cliff;
+//! * `table_schemes` — multi-hash vs pipelined main-table probes
+//!   (the design ablation of Fig. 2/5);
+//! * `query_latency` — per-flow size queries for each algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use elastic_sketch::ElasticSketch;
+use flowradar::FlowRadar;
+use hashflow_core::HashFlow;
+use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
+use hashpipe::HashPipe;
+
+/// Benchmark memory budget: 256 KiB keeps construction cheap while
+/// preserving realistic table sizes (~15K records).
+pub fn bench_budget() -> MemoryBudget {
+    MemoryBudget::from_kib(256).expect("positive budget")
+}
+
+/// A benchmark trace: `flows` flows of the given profile, fixed seed.
+pub fn bench_trace(profile: TraceProfile, flows: usize) -> Trace {
+    TraceGenerator::new(profile, 0xbe7c).generate(flows)
+}
+
+/// The four comparison algorithms at the benchmark budget.
+pub fn bench_monitors() -> Vec<(&'static str, Box<dyn FlowMonitor>)> {
+    let budget = bench_budget();
+    vec![
+        (
+            "HashFlow",
+            Box::new(HashFlow::with_memory(budget).expect("fits")) as Box<dyn FlowMonitor>,
+        ),
+        (
+            "HashPipe",
+            Box::new(HashPipe::with_memory(budget).expect("fits")),
+        ),
+        (
+            "ElasticSketch",
+            Box::new(ElasticSketch::with_memory(budget).expect("fits")),
+        ),
+        (
+            "FlowRadar",
+            Box::new(FlowRadar::with_memory(budget).expect("fits")),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_construct() {
+        assert_eq!(bench_monitors().len(), 4);
+        assert_eq!(bench_trace(TraceProfile::Isp2, 100).flow_count(), 100);
+    }
+}

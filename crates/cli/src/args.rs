@@ -1,0 +1,436 @@
+//! Hand-rolled argument parsing (no external parser dependency).
+
+use hashflow_trace::TraceProfile;
+use std::error::Error;
+use std::fmt;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage: hashflow <command> [options]
+
+commands:
+  analyze <capture.pcap>    analyze an Ethernet/IPv4 pcap capture
+      --memory-kib <N>      memory budget in KiB        [default: 256]
+      --algorithm <name>    hashflow|hashpipe|elastic|flowradar|netflow
+                                                        [default: hashflow]
+      --threshold <T>       heavy-hitter threshold      [default: 100]
+      --top <K>             flows to list               [default: 10]
+  generate                  write a synthetic trace as pcap
+      --profile <name>      caida|campus|isp1|isp2      [default: caida]
+      --flows <N>           number of flows             [default: 10000]
+      --seed <S>            RNG seed                    [default: 1]
+      --out <file>          output path                 (required)
+  compare                   equal-memory algorithm shootout
+      --profile <name>      caida|campus|isp1|isp2      [default: caida]
+      --flows <N>           number of flows             [default: 60000]
+      --memory-kib <N>      per-algorithm budget in KiB [default: 256]
+      --seed <S>            RNG seed                    [default: 1]
+  model                     evaluate the utilization model
+      --load <m/n>          traffic load                [default: 1.0]
+      --depth <d>           hash functions              [default: 3]
+      --alpha <a>           pipeline weight (omit for multi-hash)
+  export <capture.pcap>     collect records and write NetFlow v5 datagrams
+      --memory-kib <N>      memory budget in KiB        [default: 256]
+      --out <file>          output path                 (required)
+";
+
+/// Argument parsing failure with a message for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(String);
+
+impl ArgError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ArgError(msg.into())
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.0)
+    }
+}
+
+impl Error for ArgError {}
+
+/// The selected algorithm for `analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmName {
+    /// The paper's algorithm.
+    HashFlow,
+    /// HashPipe baseline.
+    HashPipe,
+    /// ElasticSketch baseline.
+    Elastic,
+    /// FlowRadar baseline.
+    FlowRadar,
+    /// Sampled NetFlow reference.
+    NetFlow,
+}
+
+impl AlgorithmName {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        match s.to_ascii_lowercase().as_str() {
+            "hashflow" => Ok(AlgorithmName::HashFlow),
+            "hashpipe" => Ok(AlgorithmName::HashPipe),
+            "elastic" | "elasticsketch" => Ok(AlgorithmName::Elastic),
+            "flowradar" => Ok(AlgorithmName::FlowRadar),
+            "netflow" | "sampled" => Ok(AlgorithmName::NetFlow),
+            other => Err(ArgError::new(format!("unknown algorithm '{other}'"))),
+        }
+    }
+}
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand and its parameters.
+    pub command: Command,
+}
+
+/// Subcommands of the CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Analyze a pcap capture.
+    Analyze {
+        /// Path to the capture.
+        path: String,
+        /// Memory budget in KiB.
+        memory_kib: usize,
+        /// Which algorithm to run.
+        algorithm: AlgorithmName,
+        /// Heavy-hitter threshold in packets.
+        threshold: u32,
+        /// How many top flows to list.
+        top: usize,
+    },
+    /// Generate a synthetic pcap.
+    Generate {
+        /// Trace profile.
+        profile: TraceProfile,
+        /// Number of flows.
+        flows: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output file.
+        out: String,
+    },
+    /// Equal-memory comparison of all algorithms.
+    Compare {
+        /// Trace profile.
+        profile: TraceProfile,
+        /// Number of flows.
+        flows: usize,
+        /// Budget per algorithm in KiB.
+        memory_kib: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Collect flow records from a capture and export them as NetFlow v5.
+    Export {
+        /// Path to the capture.
+        path: String,
+        /// Memory budget in KiB.
+        memory_kib: usize,
+        /// Output file receiving concatenated v5 datagrams.
+        out: String,
+    },
+    /// Print utilization-model predictions.
+    Model {
+        /// Traffic load m/n.
+        load: f64,
+        /// Number of hash functions.
+        depth: usize,
+        /// Pipeline weight; `None` selects the multi-hash model.
+        alpha: Option<f64>,
+    },
+    /// Show usage.
+    Help,
+}
+
+fn parse_profile(s: &str) -> Result<TraceProfile, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "caida" => Ok(TraceProfile::Caida),
+        "campus" => Ok(TraceProfile::Campus),
+        "isp1" => Ok(TraceProfile::Isp1),
+        "isp2" => Ok(TraceProfile::Isp2),
+        other => Err(ArgError::new(format!("unknown profile '{other}'"))),
+    }
+}
+
+struct Options<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    positional: Vec<&'a str>,
+}
+
+fn split_options(args: &[String]) -> Result<Options<'_>, ArgError> {
+    let mut pairs = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ArgError::new(format!("option --{name} needs a value")))?;
+            pairs.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok(Options { pairs, positional })
+}
+
+impl Options<'_> {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::new(format!("invalid value '{v}' for --{name}"))),
+        }
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for (name, _) in &self.pairs {
+            if !allowed.contains(name) {
+                return Err(ArgError::new(format!("unknown option --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on unknown commands, unknown options, or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Ok(ParsedArgs {
+            command: Command::Help,
+        });
+    };
+    let rest = &args[1..];
+    let command = match cmd.as_str() {
+        "help" | "--help" | "-h" => Command::Help,
+        "analyze" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["memory-kib", "algorithm", "threshold", "top"])?;
+            let path = opts
+                .positional
+                .first()
+                .ok_or_else(|| ArgError::new("analyze needs a capture path"))?
+                .to_string();
+            Command::Analyze {
+                path,
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                algorithm: match opts.get("algorithm") {
+                    Some(v) => AlgorithmName::parse(v)?,
+                    None => AlgorithmName::HashFlow,
+                },
+                threshold: opts.parse_or("threshold", 100)?,
+                top: opts.parse_or("top", 10)?,
+            }
+        }
+        "generate" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["profile", "flows", "seed", "out"])?;
+            Command::Generate {
+                profile: parse_profile(opts.get("profile").unwrap_or("caida"))?,
+                flows: opts.parse_or("flows", 10_000)?,
+                seed: opts.parse_or("seed", 1)?,
+                out: opts
+                    .get("out")
+                    .ok_or_else(|| ArgError::new("generate needs --out <file>"))?
+                    .to_string(),
+            }
+        }
+        "compare" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["profile", "flows", "memory-kib", "seed"])?;
+            Command::Compare {
+                profile: parse_profile(opts.get("profile").unwrap_or("caida"))?,
+                flows: opts.parse_or("flows", 60_000)?,
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                seed: opts.parse_or("seed", 1)?,
+            }
+        }
+        "model" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["load", "depth", "alpha"])?;
+            Command::Model {
+                load: opts.parse_or("load", 1.0)?,
+                depth: opts.parse_or("depth", 3)?,
+                alpha: match opts.get("alpha") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        ArgError::new(format!("invalid value '{v}' for --alpha"))
+                    })?),
+                },
+            }
+        }
+        "export" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["memory-kib", "out"])?;
+            Command::Export {
+                path: opts
+                    .positional
+                    .first()
+                    .ok_or_else(|| ArgError::new("export needs a capture path"))?
+                    .to_string(),
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                out: opts
+                    .get("out")
+                    .ok_or_else(|| ArgError::new("export needs --out <file>"))?
+                    .to_string(),
+            }
+        }
+        other => return Err(ArgError::new(format!("unknown command '{other}'"))),
+    };
+    Ok(ParsedArgs { command })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn analyze_defaults_and_overrides() {
+        let p = parse(&argv("analyze cap.pcap")).unwrap();
+        match p.command {
+            Command::Analyze {
+                path,
+                memory_kib,
+                algorithm,
+                threshold,
+                top,
+            } => {
+                assert_eq!(path, "cap.pcap");
+                assert_eq!(memory_kib, 256);
+                assert_eq!(algorithm, AlgorithmName::HashFlow);
+                assert_eq!(threshold, 100);
+                assert_eq!(top, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        let p = parse(&argv(
+            "analyze cap.pcap --memory-kib 64 --algorithm elastic --threshold 7 --top 3",
+        ))
+        .unwrap();
+        match p.command {
+            Command::Analyze {
+                memory_kib,
+                algorithm,
+                threshold,
+                top,
+                ..
+            } => {
+                assert_eq!(memory_kib, 64);
+                assert_eq!(algorithm, AlgorithmName::Elastic);
+                assert_eq!(threshold, 7);
+                assert_eq!(top, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(parse(&argv("generate --profile campus")).is_err());
+        let p = parse(&argv("generate --profile campus --flows 500 --out x.pcap")).unwrap();
+        match p.command {
+            Command::Generate {
+                profile,
+                flows,
+                out,
+                ..
+            } => {
+                assert_eq!(profile, TraceProfile::Campus);
+                assert_eq!(flows, 500);
+                assert_eq!(out, "x.pcap");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        assert!(parse(&argv("compare --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("model --load abc")).is_err());
+        assert!(parse(&argv("analyze cap.pcap --algorithm quantum")).is_err());
+    }
+
+    #[test]
+    fn model_alpha_optional() {
+        let p = parse(&argv("model --load 2.0 --depth 4")).unwrap();
+        match p.command {
+            Command::Model { load, depth, alpha } => {
+                assert_eq!(load, 2.0);
+                assert_eq!(depth, 4);
+                assert_eq!(alpha, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let p = parse(&argv("model --alpha 0.7")).unwrap();
+        match p.command {
+            Command::Model { alpha, .. } => assert_eq!(alpha, Some(0.7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let p = parse(&argv("compare --flows 10 --flows 20")).unwrap();
+        match p.command {
+            Command::Compare { flows, .. } => assert_eq!(flows, 20),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv("compare --flows")).is_err());
+    }
+
+    #[test]
+    fn export_requires_path_and_out() {
+        assert!(parse(&argv("export")).is_err());
+        assert!(parse(&argv("export cap.pcap")).is_err());
+        let p = parse(&argv("export cap.pcap --out flows.nf5 --memory-kib 32")).unwrap();
+        match p.command {
+            Command::Export {
+                path,
+                memory_kib,
+                out,
+            } => {
+                assert_eq!(path, "cap.pcap");
+                assert_eq!(memory_kib, 32);
+                assert_eq!(out, "flows.nf5");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

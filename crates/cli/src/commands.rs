@@ -1,0 +1,325 @@
+//! Command execution: each subcommand renders its report into a `String`
+//! so the logic is unit-testable without capturing stdout.
+
+use crate::args::{AlgorithmName, Command, ParsedArgs, USAGE};
+use elastic_sketch::ElasticSketch;
+use flowradar::FlowRadar;
+use hashflow_core::{model, HashFlow};
+use hashflow_metrics::{evaluate, GroundTruth};
+use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_trace::{read_pcap, write_pcap, TraceGenerator};
+use netflow_export::{ExportMeta, Exporter};
+use hashpipe::HashPipe;
+use sampled_netflow::SampledNetFlow;
+use simswitch::SoftwareSwitch;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
+
+fn build(algorithm: AlgorithmName, budget: MemoryBudget) -> Result<Box<dyn FlowMonitor>, Box<dyn Error>> {
+    Ok(match algorithm {
+        AlgorithmName::HashFlow => Box::new(HashFlow::with_memory(budget)?),
+        AlgorithmName::HashPipe => Box::new(HashPipe::with_memory(budget)?),
+        AlgorithmName::Elastic => Box::new(ElasticSketch::with_memory(budget)?),
+        AlgorithmName::FlowRadar => Box::new(FlowRadar::with_memory(budget)?),
+        AlgorithmName::NetFlow => Box::new(SampledNetFlow::with_memory(budget, 1)?),
+    })
+}
+
+/// Executes a parsed command and returns its rendered report.
+///
+/// # Errors
+///
+/// Propagates I/O and configuration errors with context.
+pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    match &parsed.command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Analyze {
+            path,
+            memory_kib,
+            algorithm,
+            threshold,
+            top,
+        } => analyze(path, *memory_kib, *algorithm, *threshold, *top),
+        Command::Generate {
+            profile,
+            flows,
+            seed,
+            out,
+        } => {
+            let trace = TraceGenerator::new(*profile, *seed).generate(*flows);
+            let file = File::create(out)?;
+            write_pcap(file, trace.packets())?;
+            Ok(format!(
+                "wrote {} packets of {} flows ({} profile) to {out}\n",
+                trace.packets().len(),
+                trace.flow_count(),
+                profile.name()
+            ))
+        }
+        Command::Compare {
+            profile,
+            flows,
+            memory_kib,
+            seed,
+        } => compare(*profile, *flows, *memory_kib, *seed),
+        Command::Export {
+            path,
+            memory_kib,
+            out,
+        } => export(path, *memory_kib, out),
+        Command::Model { load, depth, alpha } => {
+            let mut out = String::new();
+            match alpha {
+                Some(a) => {
+                    let u = model::pipelined_utilization(*load, *depth, *a);
+                    let _ = writeln!(
+                        out,
+                        "pipelined tables: d = {depth}, alpha = {a}, load m/n = {load}"
+                    );
+                    let _ = writeln!(out, "predicted utilization: {:.4}", u);
+                    let _ = writeln!(
+                        out,
+                        "improvement over multi-hash: {:+.4}",
+                        model::pipelined_improvement(*load, *depth, *a)
+                    );
+                }
+                None => {
+                    let u = model::multi_hash_utilization(*load, *depth);
+                    let _ = writeln!(out, "multi-hash table: d = {depth}, load m/n = {load}");
+                    let _ = writeln!(out, "predicted utilization: {:.4}", u);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn export(path: &str, memory_kib: usize, out: &str) -> Result<String, Box<dyn Error>> {
+    let packets = read_pcap(BufReader::new(File::open(path)?))?;
+    let budget = MemoryBudget::from_kib(memory_kib)?;
+    let mut monitor = HashFlow::with_memory(budget)?;
+    monitor.process_trace(&packets);
+    let records = monitor.flow_records();
+
+    let mut exporter = Exporter::new(ExportMeta::default());
+    let datagrams = exporter.export(&records);
+    let mut bytes = 0usize;
+    let mut file = File::create(out)?;
+    for d in &datagrams {
+        use std::io::Write as _;
+        file.write_all(d)?;
+        bytes += d.len();
+    }
+    Ok(format!(
+        "exported {} flow records in {} netflow v5 datagrams ({bytes} bytes) to {out}\n",
+        records.len(),
+        datagrams.len()
+    ))
+}
+
+fn analyze(
+    path: &str,
+    memory_kib: usize,
+    algorithm: AlgorithmName,
+    threshold: u32,
+    top: usize,
+) -> Result<String, Box<dyn Error>> {
+    let packets = read_pcap(BufReader::new(File::open(path)?))?;
+    let budget = MemoryBudget::from_kib(memory_kib)?;
+    let mut monitor = build(algorithm, budget)?;
+    monitor.process_trace(&packets);
+    let truth = GroundTruth::from_packets(&packets);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "capture: {path}");
+    let _ = writeln!(
+        out,
+        "packets: {}   distinct flows: {}",
+        packets.len(),
+        truth.flow_count()
+    );
+    let _ = writeln!(
+        out,
+        "algorithm: {} ({} budget)\n",
+        monitor.name(),
+        budget
+    );
+    let records = monitor.flow_records();
+    let _ = writeln!(out, "records reported:    {}", records.len());
+    let _ = writeln!(
+        out,
+        "cardinality estimate: {:.0}",
+        monitor.estimate_cardinality()
+    );
+    let hh = monitor.heavy_hitters(threshold);
+    let _ = writeln!(
+        out,
+        "heavy hitters (>= {threshold} pkts): {} reported, {} true\n",
+        hh.len(),
+        truth.heavy_hitter_count(threshold)
+    );
+    let _ = writeln!(out, "top {top} flows:");
+    for rec in hh.iter().take(top) {
+        let true_size = truth
+            .size_of(&rec.key())
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "?".to_owned());
+        let _ = writeln!(out, "  {:>8} pkts (true {true_size:>6})  {}", rec.count(), rec.key());
+    }
+    let _ = writeln!(out, "\nper-packet cost: {}", monitor.cost());
+    Ok(out)
+}
+
+fn compare(
+    profile: hashflow_trace::TraceProfile,
+    flows: usize,
+    memory_kib: usize,
+    seed: u64,
+) -> Result<String, Box<dyn Error>> {
+    let budget = MemoryBudget::from_kib(memory_kib)?;
+    let trace = TraceGenerator::new(profile, seed).generate(flows);
+    let switch = SoftwareSwitch::default();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile {} | {} flows | {} packets | {} per algorithm\n",
+        profile.name(),
+        flows,
+        trace.packets().len(),
+        budget
+    );
+    let _ = writeln!(
+        out,
+        "{:>14}  {:>7}  {:>9}  {:>8}  {:>11}  {:>10}",
+        "algorithm", "fsc", "size_are", "card_re", "kpps(model)", "hashes/pkt"
+    );
+    for algorithm in [
+        AlgorithmName::HashFlow,
+        AlgorithmName::HashPipe,
+        AlgorithmName::Elastic,
+        AlgorithmName::FlowRadar,
+        AlgorithmName::NetFlow,
+    ] {
+        let mut monitor = build(algorithm, budget)?;
+        let report = evaluate(monitor.as_mut(), &trace, &[]);
+        let _ = writeln!(
+            out,
+            "{:>14}  {:>7.4}  {:>9.4}  {:>8.4}  {:>11.2}  {:>10.2}",
+            report.algorithm,
+            report.fsc,
+            report.size_are,
+            report.cardinality_re,
+            switch.model().kpps(&report.cost),
+            report.cost.avg_hashes_per_packet(),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &str) -> Result<String, Box<dyn Error>> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&parse(&args).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line("help").unwrap();
+        assert!(out.contains("usage: hashflow"));
+    }
+
+    #[test]
+    fn model_command_multihash_and_pipelined() {
+        let out = run_line("model --load 1.0 --depth 3").unwrap();
+        assert!(out.contains("multi-hash"));
+        assert!(out.contains("0.80"), "expected ~0.80 in: {out}");
+        let out = run_line("model --load 1.0 --depth 3 --alpha 0.7").unwrap();
+        assert!(out.contains("pipelined"));
+        assert!(out.contains("improvement"));
+    }
+
+    #[test]
+    fn generate_then_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("t.pcap");
+        let out = run_line(&format!(
+            "generate --profile isp2 --flows 500 --seed 3 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        assert!(out.contains("500 flows"));
+
+        let out = run_line(&format!(
+            "analyze {} --memory-kib 64 --threshold 5 --top 3",
+            pcap.display()
+        ))
+        .unwrap();
+        assert!(out.contains("distinct flows: 500"));
+        assert!(out.contains("HashFlow"));
+    }
+
+    #[test]
+    fn analyze_each_algorithm() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("algos.pcap");
+        run_line(&format!(
+            "generate --profile caida --flows 300 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        for alg in ["hashflow", "hashpipe", "elastic", "flowradar", "netflow"] {
+            let out = run_line(&format!(
+                "analyze {} --algorithm {alg} --memory-kib 64",
+                pcap.display()
+            ))
+            .unwrap();
+            assert!(out.contains("records reported"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn compare_renders_all_rows() {
+        let out = run_line("compare --profile isp2 --flows 2000 --memory-kib 64").unwrap();
+        for name in ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar", "SampledNetFlow"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn export_writes_datagrams() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("exp.pcap");
+        let nf5 = dir.join("exp.nf5");
+        run_line(&format!(
+            "generate --profile isp2 --flows 200 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        let out = run_line(&format!(
+            "export {} --memory-kib 64 --out {}",
+            pcap.display(),
+            nf5.display()
+        ))
+        .unwrap();
+        assert!(out.contains("netflow v5"));
+        let bytes = std::fs::read(&nf5).unwrap();
+        // First datagram header: version 5 big-endian.
+        assert_eq!(u16::from_be_bytes([bytes[0], bytes[1]]), 5);
+        assert!(bytes.len() > netflow_export::HEADER_LEN);
+    }
+
+    #[test]
+    fn analyze_missing_file_errors() {
+        assert!(run_line("analyze /definitely/not/here.pcap").is_err());
+    }
+}

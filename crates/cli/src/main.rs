@@ -1,0 +1,12 @@
+//! Binary entry point for the `hashflow` CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hashflow_cli::main_with_args(&args) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Adaptive sizing between measurement epochs — a concrete take on the
+//! paper's stated future work ("study how to make it adaptive to traffic
+//! variation", §V).
+//!
+//! The idea: HashFlow's health in an epoch is visible in two cheap
+//! signals — main-table utilization and the ancillary replacement rate
+//! (how often summaries were evicted by colliding newcomers). An
+//! overloaded instance shows near-full utilization *and* heavy ancillary
+//! churn; an oversized one shows low utilization. [`AdaptiveController`]
+//! turns those signals into a resize recommendation, and
+//! [`AdaptiveHashFlow`] applies it at epoch boundaries (tables are rebuilt
+//! empty, which is exactly what a NetFlow-style epoch reset does anyway).
+
+use crate::{HashFlow, HashFlowConfig};
+use hashflow_monitor::FlowMonitor;
+use hashflow_types::ConfigError;
+
+/// A resize decision for the next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resize {
+    /// Grow both tables by the growth factor.
+    Grow,
+    /// Keep the current geometry.
+    Keep,
+    /// Shrink both tables by the growth factor.
+    Shrink,
+}
+
+/// Epoch-boundary controller: maps observed load to a [`Resize`].
+///
+/// Tunables follow the §III-B model: utilization above
+/// `grow_utilization` means the main table is saturated (the model says
+/// m/n is well past 2), and utilization below `shrink_utilization` means
+/// memory is wasted.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_core::adaptive::{AdaptiveController, Resize};
+///
+/// let ctl = AdaptiveController::default();
+/// assert_eq!(ctl.recommend(0.995, 3.0), Resize::Grow);
+/// assert_eq!(ctl.recommend(0.40, 0.0), Resize::Shrink);
+/// assert_eq!(ctl.recommend(0.85, 0.2), Resize::Keep);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveController {
+    /// Utilization above which the table is considered saturated.
+    pub grow_utilization: f64,
+    /// Ancillary replacements per ancillary cell above which churn alone
+    /// triggers growth.
+    pub grow_replacement_rate: f64,
+    /// Utilization below which the table is considered oversized.
+    pub shrink_utilization: f64,
+    /// Multiplicative step applied on grow/shrink.
+    pub growth_factor: f64,
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController {
+            grow_utilization: 0.98,
+            grow_replacement_rate: 1.0,
+            shrink_utilization: 0.5,
+            growth_factor: 2.0,
+        }
+    }
+}
+
+impl AdaptiveController {
+    /// Recommends a resize given the epoch's main-table utilization and
+    /// the ancillary replacement rate (replacements / ancillary cells).
+    pub fn recommend(&self, utilization: f64, replacement_rate: f64) -> Resize {
+        if utilization >= self.grow_utilization || replacement_rate >= self.grow_replacement_rate
+        {
+            Resize::Grow
+        } else if utilization <= self.shrink_utilization {
+            Resize::Shrink
+        } else {
+            Resize::Keep
+        }
+    }
+
+    /// Applies a decision to a configuration, producing the next epoch's
+    /// geometry (both tables scale together, preserving the §IV-A
+    /// equal-cell invariant; a floor of 64 cells keeps the instance
+    /// viable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the resized geometry cannot be built
+    /// (never happens for factors near 2 and the 64-cell floor).
+    pub fn apply(
+        &self,
+        config: &HashFlowConfig,
+        decision: Resize,
+    ) -> Result<HashFlowConfig, ConfigError> {
+        let factor = match decision {
+            Resize::Grow => self.growth_factor,
+            Resize::Keep => return Ok(*config),
+            Resize::Shrink => 1.0 / self.growth_factor,
+        };
+        let cells = ((config.main_cells() as f64 * factor).round() as usize).max(64);
+        HashFlowConfig::builder()
+            .main_cells(cells)
+            .ancillary_cells(cells)
+            .scheme(config.scheme())
+            .digest_bits(config.digest_bits())
+            .ancillary_counter_bits(config.ancillary_counter_bits())
+            .seed(config.seed())
+            .promotion_enabled(config.promotion_enabled())
+            .build()
+    }
+}
+
+/// HashFlow with automatic between-epoch resizing.
+///
+/// Call [`AdaptiveHashFlow::end_epoch`] at each epoch boundary: it drains
+/// the epoch's records, consults the controller, and rebuilds the tables
+/// at the recommended size.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_core::adaptive::AdaptiveHashFlow;
+/// use hashflow_core::HashFlowConfig;
+/// use hashflow_monitor::FlowMonitor;
+/// use hashflow_types::{FlowKey, Packet};
+///
+/// let config = HashFlowConfig::builder().main_cells(128).build()?;
+/// let mut adaptive = AdaptiveHashFlow::new(config)?;
+/// // Overload: 10x as many flows as cells.
+/// for i in 0..1280u64 {
+///     adaptive.monitor_mut().process_packet(&Packet::new(FlowKey::from_index(i), 0, 64));
+/// }
+/// let report = adaptive.end_epoch()?;
+/// assert!(report.next_main_cells > 128, "controller must grow the table");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveHashFlow {
+    monitor: HashFlow,
+    controller: AdaptiveController,
+    epochs: u64,
+}
+
+/// What one adaptive epoch produced.
+#[derive(Debug, Clone)]
+pub struct AdaptiveEpochReport {
+    /// Epoch number, starting at 0.
+    pub epoch: u64,
+    /// Records drained at the boundary.
+    pub records: Vec<hashflow_types::FlowRecord>,
+    /// Utilization observed when the epoch ended.
+    pub utilization: f64,
+    /// Ancillary replacement rate observed.
+    pub replacement_rate: f64,
+    /// The controller's decision.
+    pub decision: Resize,
+    /// Main-table cells for the next epoch.
+    pub next_main_cells: usize,
+}
+
+impl AdaptiveHashFlow {
+    /// Creates an adaptive instance with the default controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the initial configuration is invalid.
+    pub fn new(config: HashFlowConfig) -> Result<Self, ConfigError> {
+        Self::with_controller(config, AdaptiveController::default())
+    }
+
+    /// Creates an adaptive instance with a custom controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the initial configuration is invalid.
+    pub fn with_controller(
+        config: HashFlowConfig,
+        controller: AdaptiveController,
+    ) -> Result<Self, ConfigError> {
+        Ok(AdaptiveHashFlow {
+            monitor: HashFlow::new(config)?,
+            controller,
+            epochs: 0,
+        })
+    }
+
+    /// The live monitor for the current epoch.
+    pub fn monitor(&self) -> &HashFlow {
+        &self.monitor
+    }
+
+    /// Mutable access to feed packets.
+    pub fn monitor_mut(&mut self) -> &mut HashFlow {
+        &mut self.monitor
+    }
+
+    /// The controller in use.
+    pub const fn controller(&self) -> &AdaptiveController {
+        &self.controller
+    }
+
+    /// Epochs completed so far.
+    pub const fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Ends the epoch: drain records, decide, rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the resized configuration cannot be
+    /// realized.
+    pub fn end_epoch(&mut self) -> Result<AdaptiveEpochReport, ConfigError> {
+        let utilization = self.monitor.main_table_utilization();
+        let replacement_rate = self.monitor.ancillary_replacements() as f64
+            / self.monitor.config().ancillary_cells() as f64;
+        let decision = self.controller.recommend(utilization, replacement_rate);
+        let next_config = self.controller.apply(self.monitor.config(), decision)?;
+        let records = self.monitor.flow_records();
+        let report = AdaptiveEpochReport {
+            epoch: self.epochs,
+            records,
+            utilization,
+            replacement_rate,
+            decision,
+            next_main_cells: next_config.main_cells(),
+        };
+        self.monitor = HashFlow::new(next_config)?;
+        self.epochs += 1;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_types::{FlowKey, Packet};
+
+    fn pkt(flow: u64) -> Packet {
+        Packet::new(FlowKey::from_index(flow), 0, 64)
+    }
+
+    fn config(cells: usize) -> HashFlowConfig {
+        HashFlowConfig::builder().main_cells(cells).build().unwrap()
+    }
+
+    #[test]
+    fn controller_thresholds() {
+        let ctl = AdaptiveController::default();
+        assert_eq!(ctl.recommend(0.99, 0.0), Resize::Grow);
+        assert_eq!(ctl.recommend(0.7, 2.0), Resize::Grow);
+        assert_eq!(ctl.recommend(0.3, 0.0), Resize::Shrink);
+        assert_eq!(ctl.recommend(0.8, 0.1), Resize::Keep);
+    }
+
+    #[test]
+    fn apply_scales_both_tables() {
+        let ctl = AdaptiveController::default();
+        let base = config(1000);
+        let grown = ctl.apply(&base, Resize::Grow).unwrap();
+        assert_eq!(grown.main_cells(), 2000);
+        assert_eq!(grown.ancillary_cells(), 2000);
+        let shrunk = ctl.apply(&base, Resize::Shrink).unwrap();
+        assert_eq!(shrunk.main_cells(), 500);
+        assert_eq!(ctl.apply(&base, Resize::Keep).unwrap(), base);
+    }
+
+    #[test]
+    fn shrink_has_floor() {
+        let ctl = AdaptiveController::default();
+        let tiny = config(70);
+        let shrunk = ctl.apply(&tiny, Resize::Shrink).unwrap();
+        assert_eq!(shrunk.main_cells(), 64);
+    }
+
+    #[test]
+    fn overload_grows_until_stable() {
+        let mut adaptive = AdaptiveHashFlow::new(config(128)).unwrap();
+        let mut sizes = vec![adaptive.monitor().config().main_cells()];
+        // Each epoch carries 4000 distinct flows; the controller should
+        // grow the table across epochs until utilization drops below the
+        // grow threshold.
+        for epoch in 0..6u64 {
+            for i in 0..4000u64 {
+                adaptive.monitor_mut().process_packet(&pkt(epoch * 10_000 + i));
+            }
+            let report = adaptive.end_epoch().unwrap();
+            sizes.push(report.next_main_cells);
+        }
+        assert!(
+            sizes.last().unwrap() > &2_000,
+            "table should have grown: {sizes:?}"
+        );
+        assert!(sizes.windows(2).all(|w| w[1] >= w[0]), "monotone growth {sizes:?}");
+        assert_eq!(adaptive.epochs(), 6);
+    }
+
+    #[test]
+    fn underload_shrinks() {
+        let mut adaptive = AdaptiveHashFlow::new(config(4096)).unwrap();
+        for i in 0..100u64 {
+            adaptive.monitor_mut().process_packet(&pkt(i));
+        }
+        let report = adaptive.end_epoch().unwrap();
+        assert_eq!(report.decision, Resize::Shrink);
+        assert_eq!(report.next_main_cells, 2048);
+        assert_eq!(report.records.len(), 100);
+    }
+
+    #[test]
+    fn records_drained_at_boundary() {
+        let mut adaptive = AdaptiveHashFlow::new(config(512)).unwrap();
+        for i in 0..50u64 {
+            adaptive.monitor_mut().process_packet(&pkt(i));
+        }
+        let report = adaptive.end_epoch().unwrap();
+        assert_eq!(report.records.len(), 50);
+        assert_eq!(adaptive.monitor().flow_records().len(), 0, "fresh epoch");
+    }
+}

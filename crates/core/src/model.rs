@@ -1,0 +1,276 @@
+//! The probabilistic utilization model of §III-B (Equations 1–5).
+//!
+//! Both variants model feeding `m` distinct flows into a main table of `n`
+//! buckets in `d` rounds: round `k` hashes the `m_k` flows left over from
+//! round `k-1` with a fresh hash function, and a ball-and-urn argument gives
+//! the probability `p_k` that a bucket is still empty after round `k`.
+//!
+//! * **Multi-hash** (one table, `d` functions): `p_1 = e^(-m/n)` and
+//!   `p_k = p_{k-1} · e^(1 - m/n - p_{k-1})` (Equation 1); utilization is
+//!   `1 - p_d`.
+//! * **Pipelined** (`d` sub-tables with weight `α`): `p_1 = e^(-m/n_1)` with
+//!   `n_1 = n(1-α)/(1-α^d)`, recursion `p_{k+1} = p_k^{1/α} · e^((1-p_k)/α)`
+//!   (Equation 4), and total utilization
+//!   `1 - (1-α)/(1-α^d) · Σ α^(k-1) p_k` (Equation 5).
+//!
+//! These functions regenerate the theory curves of Fig. 2 and give the
+//! "concrete performance guarantee on the number of accurate flow records"
+//! the paper claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashflow_core::model;
+//!
+//! // §III-B: "in the case of m/n = 1, the utilization increases from 63%
+//! // to 80% when d is increased from 1 to 3".
+//! let u1 = model::multi_hash_utilization(1.0, 1);
+//! let u3 = model::multi_hash_utilization(1.0, 3);
+//! assert!((u1 - 0.63).abs() < 0.01);
+//! assert!((u3 - 0.80).abs() < 0.01);
+//! ```
+
+/// Probability that a bucket of a multi-hash table is empty after `d`
+/// rounds at load `m/n` (Equation 1, iterated).
+///
+/// # Panics
+///
+/// Panics if `load` is negative/non-finite or `depth == 0`.
+pub fn multi_hash_empty_probability(load: f64, depth: usize) -> f64 {
+    assert!(load.is_finite() && load >= 0.0, "load must be non-negative");
+    assert!(depth >= 1, "depth must be at least 1");
+    let mut p = (-load).exp();
+    for _ in 2..=depth {
+        p *= (1.0 - load - p).exp();
+    }
+    p
+}
+
+/// Predicted utilization of a multi-hash main table: `1 - p_d`.
+///
+/// # Panics
+///
+/// Panics if `load` is negative/non-finite or `depth == 0`.
+pub fn multi_hash_utilization(load: f64, depth: usize) -> f64 {
+    1.0 - multi_hash_empty_probability(load, depth)
+}
+
+/// Per-round empty probabilities `p_1..p_d` for pipelined tables
+/// (Equation 4).
+///
+/// `load = m/n` is relative to the *total* size `n` of all sub-tables.
+///
+/// # Panics
+///
+/// Panics if `load` is negative/non-finite, `depth == 0`, or `alpha` is
+/// outside `(0, 1]`.
+pub fn pipelined_empty_probabilities(load: f64, depth: usize, alpha: f64) -> Vec<f64> {
+    assert!(load.is_finite() && load >= 0.0, "load must be non-negative");
+    assert!(depth >= 1, "depth must be at least 1");
+    assert!(
+        alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1]"
+    );
+    // n_1 = n (1-alpha) / (1-alpha^d); for alpha = 1, n_1 = n/d.
+    let first_fraction = if (alpha - 1.0).abs() < 1e-12 {
+        1.0 / depth as f64
+    } else {
+        (1.0 - alpha) / (1.0 - alpha.powi(depth as i32))
+    };
+    let m1_over_n1 = load / first_fraction;
+    let mut ps = Vec::with_capacity(depth);
+    let mut p = (-m1_over_n1).exp();
+    ps.push(p);
+    for _ in 1..depth {
+        // Equation 4: p_{k+1} = p_k^{1/alpha} * e^{(1 - p_k)/alpha}
+        p = p.powf(1.0 / alpha) * ((1.0 - p) / alpha).exp();
+        ps.push(p);
+    }
+    ps
+}
+
+/// Predicted utilization of pipelined tables (Equation 5):
+/// `1 - (1-α)/(1-α^d) · Σ_k α^(k-1) p_k`.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`pipelined_empty_probabilities`].
+pub fn pipelined_utilization(load: f64, depth: usize, alpha: f64) -> f64 {
+    let ps = pipelined_empty_probabilities(load, depth, alpha);
+    let first_fraction = if (alpha - 1.0).abs() < 1e-12 {
+        1.0 / depth as f64
+    } else {
+        (1.0 - alpha) / (1.0 - alpha.powi(depth as i32))
+    };
+    let weighted: f64 = ps
+        .iter()
+        .enumerate()
+        .map(|(k, p)| alpha.powi(k as i32) * p)
+        .sum();
+    1.0 - first_fraction * weighted
+}
+
+/// Predicted number of accurate flow records a main table of `n` buckets
+/// will hold after `m` distinct flows, under either scheme.
+///
+/// This is the model's "concrete prediction on the number of records
+/// HashFlow can report" (§III-B).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the scheme parameters are invalid.
+pub fn predicted_records(scheme: crate::TableScheme, m: usize, n: usize) -> f64 {
+    assert!(n > 0, "table must have buckets");
+    let load = m as f64 / n as f64;
+    let u = match scheme {
+        crate::TableScheme::MultiHash { depth } => multi_hash_utilization(load, depth),
+        crate::TableScheme::Pipelined { depth, alpha } => {
+            pipelined_utilization(load, depth, alpha)
+        }
+    };
+    u * n as f64
+}
+
+/// Improvement of pipelined over multi-hash utilization at the same depth
+/// and load (the quantity plotted in Fig. 2(d)).
+///
+/// # Panics
+///
+/// Panics on invalid `load`, `depth`, or `alpha`.
+pub fn pipelined_improvement(load: f64, depth: usize, alpha: f64) -> f64 {
+    pipelined_utilization(load, depth, alpha) - multi_hash_utilization(load, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hash_matches_ball_and_urn() {
+        // d = 1: utilization = 1 - e^{-m/n}.
+        for load in [0.5, 1.0, 2.0, 4.0] {
+            let u = multi_hash_utilization(load, 1);
+            assert!((u - (1.0 - (-load).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_quoted_values() {
+        // §III-B: m/n = 1, d 1->3: 63% -> 80%; d 3 -> 10: 80% -> ~92%.
+        assert!((multi_hash_utilization(1.0, 1) - 0.632).abs() < 0.005);
+        assert!((multi_hash_utilization(1.0, 3) - 0.80).abs() < 0.01);
+        let u10 = multi_hash_utilization(1.0, 10);
+        assert!((0.89..0.94).contains(&u10), "u10 = {u10}");
+    }
+
+    #[test]
+    fn utilization_increases_with_depth() {
+        for load in [1.0, 2.0, 3.0] {
+            let mut prev = 0.0;
+            for d in 1..=10 {
+                let u = multi_hash_utilization(load, d);
+                assert!(u > prev, "depth {d} load {load}");
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_increases_with_load() {
+        for d in [1usize, 3, 5] {
+            let mut prev = 0.0;
+            for load10 in 1..=40 {
+                let u = multi_hash_utilization(load10 as f64 / 10.0, d);
+                assert!(u >= prev);
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_probability_bounded() {
+        for load in [0.0, 0.5, 1.0, 4.0] {
+            for d in 1..=10 {
+                let p = multi_hash_empty_probability(load, d);
+                assert!((0.0..=1.0).contains(&p), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_first_round_load_is_amplified() {
+        // With alpha = 0.7, d = 3: n1 = n * 0.3/(1-0.343) = 0.4566 n, so
+        // the first-round load is about 2.19x the global load.
+        let ps = pipelined_empty_probabilities(1.0, 3, 0.7);
+        let expected_p1 = (-1.0 / (0.3 / (1.0 - 0.7f64.powi(3)))).exp();
+        assert!((ps[0] - expected_p1).abs() < 1e-12);
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn pipelined_beats_multi_hash_at_paper_settings() {
+        // Fig. 2(d): at d = 3, alpha = 0.7, pipelined improves utilization
+        // at moderate load, with the gain vanishing as both schemes fill up
+        // under heavy load.
+        for load in [1.0, 1.5, 2.0] {
+            let gain = pipelined_improvement(load, 3, 0.7);
+            assert!(gain > 0.0, "load {load} gain {gain}");
+        }
+        for load in [3.0, 4.0] {
+            let gain = pipelined_improvement(load, 3, 0.7);
+            assert!(gain.abs() < 0.01, "load {load} gain {gain}");
+        }
+        let gain = pipelined_improvement(1.0, 3, 0.7);
+        assert!((0.03..0.08).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn alpha_point_seven_near_optimal_at_unit_load() {
+        // §III-B: "alpha = 0.7 seems to be the best choice" (at d = 3).
+        let best = (50..=95)
+            .map(|a| (a, pipelined_utilization(1.0, 3, a as f64 / 100.0)))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|(a, _)| a)
+            .unwrap();
+        assert!(
+            (60..=80).contains(&best),
+            "optimal alpha {best} should be near 70"
+        );
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_equal_tables() {
+        let ps = pipelined_empty_probabilities(1.0, 4, 1.0);
+        assert_eq!(ps.len(), 4);
+        let u = pipelined_utilization(1.0, 4, 1.0);
+        assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn predicted_records_scales_with_n() {
+        let scheme = crate::TableScheme::Pipelined {
+            depth: 3,
+            alpha: 0.7,
+        };
+        let r = predicted_records(scheme, 100_000, 100_000);
+        assert!((80_000.0..90_000.0).contains(&r), "records {r}");
+    }
+
+    #[test]
+    fn heavy_load_fills_table() {
+        assert!(multi_hash_utilization(4.0, 3) > 0.97);
+        assert!(pipelined_utilization(4.0, 3, 0.7) > 0.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_panics() {
+        multi_hash_utilization(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        pipelined_utilization(1.0, 3, 1.2);
+    }
+}

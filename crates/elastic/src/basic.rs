@@ -1,0 +1,308 @@
+//! The *basic* (software) version of ElasticSketch.
+//!
+//! The HashFlow paper evaluates against the hardware version (§IV-A); the
+//! ElasticSketch paper's basic version differs in two ways: the heavy part
+//! is a **single** bucket array, and a colliding packet that does not evict
+//! goes **directly to the light part** (instead of riding down a heavy
+//! pipeline). Provided as an extension so the reproduction can ablate the
+//! hardware-vs-basic design choice; it reuses the same bucket layout and
+//! λ-vote eviction rule as [`crate::ElasticSketch`].
+
+use crate::{DEFAULT_LAMBDA, HEAVY_CELL_BITS, LIGHT_COUNTER_BITS};
+use hashflow_hashing::{fast_range, HashFamily, XxHash64};
+use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget};
+use hashflow_primitives::{linear_counting_estimate, CountMinSketch};
+use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bucket {
+    key: FlowKey,
+    vote_pos: u32,
+    vote_neg: u32,
+    flag: bool,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        key: FlowKey::new(
+            hashflow_types::Ipv4Addr::new(0),
+            hashflow_types::Ipv4Addr::new(0),
+            0,
+            0,
+            0,
+        ),
+        vote_pos: 0,
+        vote_neg: 0,
+        flag: false,
+    };
+
+    fn is_empty(&self) -> bool {
+        self.vote_pos == 0
+    }
+}
+
+/// Basic-version ElasticSketch: one heavy array + count-min light part.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_sketch::BasicElasticSketch;
+/// use hashflow_monitor::{FlowMonitor, MemoryBudget};
+/// use hashflow_types::{FlowKey, Packet};
+///
+/// let mut es = BasicElasticSketch::with_memory(MemoryBudget::from_kib(64)?)?;
+/// es.process_packet(&Packet::new(FlowKey::from_index(1), 0, 64));
+/// assert_eq!(es.estimate_size(&FlowKey::from_index(1)), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicElasticSketch {
+    heavy: Vec<Bucket>,
+    light: CountMinSketch,
+    lambda: u32,
+    hash: HashFamily<XxHash64>,
+    cost: CostRecorder,
+}
+
+impl BasicElasticSketch {
+    /// Creates a basic ElasticSketch with `heavy_cells` buckets and
+    /// `light_cells` 8-bit counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero or `lambda == 0`.
+    pub fn new(
+        heavy_cells: usize,
+        light_cells: usize,
+        lambda: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if heavy_cells == 0 {
+            return Err(ConfigError::new("heavy part needs at least one cell"));
+        }
+        if lambda == 0 {
+            return Err(ConfigError::new("eviction threshold lambda must be >= 1"));
+        }
+        Ok(BasicElasticSketch {
+            heavy: vec![Bucket::EMPTY; heavy_cells],
+            light: CountMinSketch::new(1, light_cells, LIGHT_COUNTER_BITS, seed ^ 0xba51)?,
+            lambda,
+            hash: HashFamily::new(1, seed ^ 0xba51_c0de),
+            cost: CostRecorder::new(),
+        })
+    }
+
+    /// Creates the equal-split configuration (same number of heavy and
+    /// light cells) from a memory budget, mirroring §IV-A's sizing of the
+    /// hardware version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the budget is too small.
+    pub fn with_memory(budget: MemoryBudget) -> Result<Self, ConfigError> {
+        let cells = budget.bits() / (HEAVY_CELL_BITS + LIGHT_COUNTER_BITS as usize);
+        if cells == 0 {
+            return Err(ConfigError::new("budget too small for elastic sketch"));
+        }
+        Self::new(cells, cells, DEFAULT_LAMBDA, 0x0000_ba51)
+    }
+
+    /// Occupied heavy buckets.
+    pub fn heavy_occupied(&self) -> usize {
+        self.heavy.iter().filter(|b| !b.is_empty()).count()
+    }
+}
+
+impl FlowMonitor for BasicElasticSketch {
+    fn process_packet(&mut self, packet: &Packet) {
+        self.cost.start_packet();
+        let key = packet.key();
+        let idx = fast_range(self.hash.hash(0, &key), self.heavy.len());
+        self.cost.record_hashes(1);
+        self.cost.record_reads(1);
+        let bucket = self.heavy[idx];
+        if bucket.is_empty() {
+            self.heavy[idx] = Bucket {
+                key,
+                vote_pos: 1,
+                vote_neg: 0,
+                flag: false,
+            };
+            self.cost.record_writes(1);
+            return;
+        }
+        if bucket.key == key {
+            let mut updated = bucket;
+            updated.vote_pos = updated.vote_pos.saturating_add(1);
+            self.heavy[idx] = updated;
+            self.cost.record_writes(1);
+            return;
+        }
+        let mut updated = bucket;
+        updated.vote_neg = updated.vote_neg.saturating_add(1);
+        if updated.vote_neg / updated.vote_pos.max(1) >= self.lambda {
+            // Evict: the incumbent's accumulated count moves to the light
+            // part; the newcomer takes the bucket with its flag set.
+            self.light.add(&bucket.key, u64::from(bucket.vote_pos));
+            self.heavy[idx] = Bucket {
+                key,
+                vote_pos: 1,
+                vote_neg: 1,
+                flag: true,
+            };
+            self.cost.record_hashes(1);
+            self.cost.record_reads(1);
+            self.cost.record_writes(2);
+        } else {
+            // No eviction: this packet goes to the light part directly.
+            self.heavy[idx] = updated;
+            self.light.add(&key, 1);
+            self.cost.record_hashes(1);
+            self.cost.record_reads(1);
+            self.cost.record_writes(2);
+        }
+    }
+
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        self.heavy
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| {
+                let light = if b.flag {
+                    self.light.query(&b.key) as u32
+                } else {
+                    0
+                };
+                FlowRecord::new(b.key, b.vote_pos.saturating_add(light))
+            })
+            .collect()
+    }
+
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        let bucket = self.heavy[fast_range(self.hash.hash(0, key), self.heavy.len())];
+        if !bucket.is_empty() && bucket.key == *key {
+            let light = if bucket.flag {
+                self.light.query(key) as u32
+            } else {
+                0
+            };
+            return bucket.vote_pos.saturating_add(light);
+        }
+        self.light.query(key) as u32
+    }
+
+    fn estimate_cardinality(&self) -> f64 {
+        let cells = self.light.cols();
+        let zeros = self.light.first_row_zeros();
+        let light = linear_counting_estimate(cells, zeros);
+        let light = if light.is_finite() {
+            light
+        } else {
+            let n = cells as f64;
+            n * n.ln()
+        };
+        self.heavy_occupied() as f64 + light
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.heavy.len() * HEAVY_CELL_BITS + self.light.logical_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "ElasticSketch-basic"
+    }
+
+    fn cost(&self) -> CostSnapshot {
+        self.cost.snapshot()
+    }
+
+    fn reset(&mut self) {
+        self.heavy.fill(Bucket::EMPTY);
+        self.light.reset();
+        self.cost.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u64) -> Packet {
+        Packet::new(FlowKey::from_index(flow), 0, 64)
+    }
+
+    #[test]
+    fn single_flow_exact() {
+        let mut es = BasicElasticSketch::new(64, 64, 8, 1).unwrap();
+        for _ in 0..9 {
+            es.process_packet(&pkt(1));
+        }
+        assert_eq!(es.estimate_size(&FlowKey::from_index(1)), 9);
+    }
+
+    #[test]
+    fn collision_packets_fall_to_light_part() {
+        // One heavy bucket: flow 2 collides with flow 1 and must still be
+        // countable via the light part.
+        let mut es = BasicElasticSketch::new(1, 128, 8, 2).unwrap();
+        es.process_packet(&pkt(1));
+        for _ in 0..3 {
+            es.process_packet(&pkt(2));
+        }
+        assert!(es.estimate_size(&FlowKey::from_index(2)) >= 3);
+        assert_eq!(es.estimate_size(&FlowKey::from_index(1)), 1);
+    }
+
+    #[test]
+    fn eviction_moves_count_to_light() {
+        let mut es = BasicElasticSketch::new(1, 128, 2, 3).unwrap();
+        for _ in 0..3 {
+            es.process_packet(&pkt(1));
+        }
+        // lambda = 2: after vote_neg/vote_pos >= 2 the incumbent is evicted.
+        for _ in 0..6 {
+            es.process_packet(&pkt(2));
+        }
+        assert!(
+            es.estimate_size(&FlowKey::from_index(1)) >= 3,
+            "evicted flow's count must survive in the light part"
+        );
+        assert!(es.flow_records().iter().any(|r| r.key() == FlowKey::from_index(2)));
+    }
+
+    #[test]
+    fn comparable_budget_with_hardware_version() {
+        let budget = MemoryBudget::from_kib(256).unwrap();
+        let basic = BasicElasticSketch::with_memory(budget).unwrap();
+        let hardware = crate::ElasticSketch::with_memory(budget).unwrap();
+        let ratio = basic.memory_bits() as f64 / hardware.memory_bits() as f64;
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn never_forgets_flows() {
+        let mut es = BasicElasticSketch::new(32, 128, 8, 4).unwrap();
+        for i in 0..2_000u64 {
+            es.process_packet(&pkt(i % 100));
+        }
+        for f in 0..100 {
+            assert!(es.estimate_size(&FlowKey::from_index(f)) > 0, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(BasicElasticSketch::new(0, 8, 8, 0).is_err());
+        assert!(BasicElasticSketch::new(8, 0, 8, 0).is_err());
+        assert!(BasicElasticSketch::new(8, 8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut es = BasicElasticSketch::new(8, 8, 8, 5).unwrap();
+        es.process_packet(&pkt(1));
+        es.reset();
+        assert_eq!(es.heavy_occupied(), 0);
+        assert_eq!(es.estimate_size(&FlowKey::from_index(1)), 0);
+    }
+}

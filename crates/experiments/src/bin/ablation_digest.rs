@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_digest` exhibit. See `experiments::figs::ablation_digest`.
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("running ablation_digest (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    output::emit(&figs::ablation_digest::run(&cfg), &cfg.out_dir);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_promotion` exhibit. See `experiments::figs::ablation_promotion`.
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("running ablation_promotion (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    output::emit(&figs::ablation_promotion::run(&cfg), &cfg.out_dir);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_sampling` exhibit. See `experiments::figs::ablation_sampling`.
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("running ablation_sampling (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    output::emit(&figs::ablation_sampling::run(&cfg), &cfg.out_dir);
+}

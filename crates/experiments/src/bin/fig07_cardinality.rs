@@ -1,0 +1,8 @@
+//! Regenerates the `fig07_cardinality` exhibit. See `experiments::figs::fig07_cardinality`.
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("running fig07_cardinality (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    output::emit(&figs::fig07_cardinality::run(&cfg), &cfg.out_dir);
+}

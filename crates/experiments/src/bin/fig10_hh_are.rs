@@ -1,0 +1,8 @@
+//! Regenerates the `fig10_hh_are` exhibit. See `experiments::figs::fig10_hh_are`.
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!("running fig10_hh_are (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    output::emit(&figs::fig10_hh_are::run(&cfg), &cfg.out_dir);
+}

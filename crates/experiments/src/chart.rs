@@ -1,0 +1,195 @@
+//! ASCII line charts for experiment series — lets `run_all` emit a
+//! self-contained Markdown report whose figures are readable in a terminal
+//! or code review, no plotting stack required.
+
+use std::collections::BTreeMap;
+
+/// A labeled series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (need not be sorted; the chart sorts by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders labeled series into a fixed-size ASCII grid with axis ranges
+/// and a legend. Each series is drawn with its own glyph; overlapping
+/// points show the later series' glyph.
+///
+/// # Examples
+///
+/// ```
+/// use experiments::chart::{render_chart, Series};
+///
+/// let chart = render_chart(
+///     "fsc vs flows",
+///     &[Series::new("HashFlow", vec![(1.0, 0.9), (2.0, 0.5)])],
+///     40,
+///     10,
+/// );
+/// assert!(chart.contains("HashFlow"));
+/// assert!(chart.contains("fsc vs flows"));
+/// ```
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let glyphs = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+    let all_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all_points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all_points {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        let mut pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (x, y) in pts {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>9.3}")
+        } else if i == height - 1 {
+            format!("{y_min:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&y_label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10} {:<w$.3} {:>8.3}\n",
+        "",
+        x_min,
+        x_max,
+        w = width.saturating_sub(8)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", glyphs[si % glyphs.len()], s.label));
+    }
+    out
+}
+
+/// Groups rows `(series key, x, y)` into [`Series`] sorted by key —
+/// convenience for the CSV-shaped tables the figures produce.
+pub fn series_from_rows(rows: &[(String, f64, f64)]) -> Vec<Series> {
+    let mut grouped: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (key, x, y) in rows {
+        grouped.entry(key.clone()).or_default().push((*x, *y));
+    }
+    grouped
+        .into_iter()
+        .map(|(label, points)| Series::new(label, points))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = render_chart(
+            "test chart",
+            &[
+                Series::new("A", vec![(0.0, 0.0), (10.0, 1.0)]),
+                Series::new("B", vec![(0.0, 1.0), (10.0, 0.0)]),
+            ],
+            40,
+            8,
+        );
+        assert!(chart.contains("test chart"));
+        assert!(chart.contains("o A"));
+        assert!(chart.contains("x B"));
+        assert!(chart.contains("1.000"));
+        assert!(chart.contains("0.000"));
+    }
+
+    #[test]
+    fn extreme_corners_are_plotted() {
+        let chart = render_chart("c", &[Series::new("S", vec![(0.0, 0.0), (1.0, 1.0)])], 20, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row (y max) has a glyph at the right edge; bottom data row at
+        // the left edge.
+        let top = lines[1];
+        let bottom = lines[5];
+        assert!(top.ends_with('o'), "top row: {top:?}");
+        assert!(bottom.contains("|o"), "bottom row: {bottom:?}");
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let chart = render_chart("empty", &[], 20, 5);
+        assert!(chart.contains("no data"));
+        let chart = render_chart("nan", &[Series::new("S", vec![(f64::NAN, 1.0)])], 20, 5);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = render_chart("flat", &[Series::new("S", vec![(1.0, 5.0), (2.0, 5.0)])], 20, 5);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn grouping_sorts_by_label() {
+        let rows = vec![
+            ("B".to_owned(), 1.0, 2.0),
+            ("A".to_owned(), 1.0, 3.0),
+            ("B".to_owned(), 2.0, 4.0),
+        ];
+        let series = series_from_rows(&rows);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "A");
+        assert_eq!(series[1].points.len(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation (beyond the paper): ancillary digest width.
+//!
+//! §III-A notes the 8-bit digest "may mix flows up, but with a small
+//! chance". This experiment quantifies the trade: wider digests reduce
+//! aliasing in the ancillary table (better size estimates for evicted
+//! mice) but buy fewer cells per byte. The paper fixes 8 bits; we sweep
+//! 4..16 at a constant total memory budget.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_core::{HashFlow, HashFlowConfig};
+use hashflow_metrics::evaluate;
+use hashflow_trace::TraceProfile;
+use hashflow_types::RECORD_BITS;
+
+const DIGEST_WIDTHS: [u32; 4] = [4, 8, 12, 16];
+
+/// Runs the digest-width ablation on the CAIDA profile.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let flows = cfg.scaled(100_000, 2_000);
+    let budget = setup::standard_budget(cfg);
+    let trace = setup::trace_for(cfg, TraceProfile::Caida, flows);
+
+    let mut table = Table::new(
+        "ablation_digest_width",
+        &["digest_bits", "main_cells", "fsc", "size_are", "cardinality_re"],
+    );
+    for bits in DIGEST_WIDTHS {
+        // Keep main and ancillary cell counts equal (paper invariant) and
+        // respend the whole budget at this digest width.
+        let pair_bits = RECORD_BITS + (bits + 8) as usize;
+        let cells = budget.bits() / pair_bits;
+        let config = HashFlowConfig::builder()
+            .main_cells(cells)
+            .ancillary_cells(cells)
+            .digest_bits(bits)
+            .seed(cfg.seed)
+            .build()
+            .expect("valid digest config");
+        let mut hf = HashFlow::new(config).expect("constructible");
+        let report = evaluate(&mut hf, &trace, &[]);
+        table.push_row(vec![
+            Cell::from(bits),
+            Cell::from(cells),
+            Cell::Float(report.fsc),
+            Cell::Float(report.size_are),
+            Cell::Float(report.cardinality_re),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_digests_cost_main_cells() {
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        let cells: Vec<i64> = tables[0]
+            .rows()
+            .iter()
+            .map(|r| match &r[1] {
+                Cell::Int(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(cells.windows(2).all(|w| w[0] > w[1]), "cells {cells:?}");
+    }
+
+    #[test]
+    fn all_widths_produce_sane_metrics() {
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        for row in tables[0].rows() {
+            if let (Cell::Float(fsc), Cell::Float(are)) = (&row[2], &row[3]) {
+                assert!((0.0..=1.0).contains(fsc));
+                assert!(*are >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation (beyond the paper): ElasticSketch hardware version (the §IV-A
+//! comparator) against the basic software version, at equal memory.
+//!
+//! The hardware version rides collisions down a 3-stage heavy pipeline
+//! before touching the light part; the basic version sends every
+//! non-evicting collision packet straight to the light part. This
+//! experiment measures what the pipeline buys.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use elastic_sketch::{BasicElasticSketch, ElasticSketch};
+use hashflow_metrics::evaluate;
+use hashflow_monitor::FlowMonitor;
+use hashflow_trace::TraceProfile;
+
+/// Runs the hardware-vs-basic comparison across the Fig. 8 sweep.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let budget = setup::standard_budget(cfg);
+    let sweep = setup::size_estimation_sweep(cfg);
+
+    let mut table = Table::new(
+        "ablation_elastic_variant",
+        &["variant", "flows", "fsc", "size_are"],
+    );
+    for &flows in &sweep {
+        let trace = setup::trace_for(cfg, TraceProfile::Caida, flows);
+        let mut variants: Vec<Box<dyn FlowMonitor>> = vec![
+            Box::new(ElasticSketch::with_memory(budget).expect("fits")),
+            Box::new(BasicElasticSketch::with_memory(budget).expect("fits")),
+        ];
+        for monitor in variants.iter_mut() {
+            let report = evaluate(monitor.as_mut(), &trace, &[]);
+            table.push_row(vec![
+                Cell::from(report.algorithm),
+                Cell::from(flows),
+                Cell::Float(report.fsc),
+                Cell::Float(report.size_are),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_produce_full_sweeps() {
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        assert_eq!(tables[0].len(), 2 * 5);
+        for row in tables[0].rows() {
+            if let (Cell::Float(fsc), Cell::Float(are)) = (&row[2], &row[3]) {
+                assert!((0.0..=1.0).contains(fsc));
+                assert!(*are >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_pipeline_holds_at_least_as_many_records() {
+        // Three sub-tables give evicted flows more places to land, so the
+        // hardware version's FSC should not be materially worse.
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        let mut hw = 0.0;
+        let mut basic = 0.0;
+        for row in tables[0].rows() {
+            if let (Cell::Text(v), Cell::Float(fsc)) = (&row[0], &row[2]) {
+                if v == "ElasticSketch" {
+                    hw += fsc;
+                } else {
+                    basic += fsc;
+                }
+            }
+        }
+        assert!(hw >= basic * 0.9, "hardware {hw} vs basic {basic}");
+    }
+}

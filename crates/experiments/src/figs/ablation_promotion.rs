@@ -1,0 +1,89 @@
+//! Ablation (beyond the paper): the record-promotion rule on/off.
+//!
+//! §II motivates promotion as the mechanism that "bounces a flow back from
+//! the summarized set to the accurate set when this flow becomes an
+//! elephant". Disabling it leaves elephants that lost their initial
+//! main-table race stranded in the ancillary table with saturating 8-bit
+//! counters — this experiment quantifies the damage on heavy-hitter
+//! detection and size estimation.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_core::{HashFlow, HashFlowConfig};
+use hashflow_metrics::evaluate;
+
+/// Runs the promotion ablation on all four profiles.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let flows = cfg.scaled(250_000, 2_000);
+    let budget = setup::standard_budget(cfg);
+    let base = HashFlowConfig::with_memory(budget).expect("standard budget fits");
+
+    let results = setup::per_profile(|profile| {
+        let trace = setup::trace_for(cfg, profile, flows);
+        let thresholds = [profile.heavy_hitter_thresholds()[0]];
+        [true, false]
+            .into_iter()
+            .map(|promotion| {
+                let config = HashFlowConfig::builder()
+                    .main_cells(base.main_cells())
+                    .ancillary_cells(base.ancillary_cells())
+                    .promotion_enabled(promotion)
+                    .seed(cfg.seed)
+                    .build()
+                    .expect("valid config");
+                let mut hf = HashFlow::new(config).expect("constructible");
+                let report = evaluate(&mut hf, &trace, &thresholds);
+                (promotion, report)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut table = Table::new(
+        "ablation_promotion",
+        &["trace", "promotion", "fsc", "size_are", "hh_f1", "hh_are"],
+    );
+    for (profile, rows) in results {
+        for (promotion, report) in rows {
+            let hh = &report.heavy_hitters[0];
+            table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(if promotion { "on" } else { "off" }),
+                Cell::Float(report.fsc),
+                Cell::Float(report.size_are),
+                Cell::Float(hh.f1),
+                Cell::Float(hh.size_are),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn promotion_helps_heavy_hitters() {
+        let cfg = RunConfig::for_tests(0.04);
+        let tables = run(&cfg);
+        let mut f1: HashMap<(String, String), f64> = HashMap::new();
+        for row in tables[0].rows() {
+            if let (Cell::Text(t), Cell::Text(p), Cell::Float(v)) = (&row[0], &row[1], &row[4]) {
+                f1.insert((t.clone(), p.clone()), *v);
+            }
+        }
+        // Promotion must never hurt F1 materially, and should help on the
+        // skewed traces where elephants get stranded.
+        let mut wins = 0;
+        for trace in ["CAIDA", "Campus", "ISP1", "ISP2"] {
+            let on = f1[&(trace.to_owned(), "on".to_owned())];
+            let off = f1[&(trace.to_owned(), "off".to_owned())];
+            assert!(on >= off - 0.03, "{trace}: on {on} off {off}");
+            if on > off + 1e-6 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 1, "promotion should strictly help somewhere");
+    }
+}

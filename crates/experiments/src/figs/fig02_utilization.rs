@@ -1,0 +1,148 @@
+//! Fig. 2 — utilization of the multi-hash table and the pipelined tables:
+//! the §III-B model against simulation.
+//!
+//! * Panel (a): multi-hash, n = 100 K buckets, d = 1..10, m/n ∈ {1..4}.
+//! * Panels (b)/(c): pipelined, m/n ∈ {1, 2}, α ∈ {0.5, 0.6, 0.7, 0.8}.
+//! * Panel (d): model-predicted improvement of pipelined over multi-hash at
+//!   d = 3 as a function of α, for several loads.
+
+use crate::output::{Cell, Table};
+use crate::RunConfig;
+use hashflow_core::{model, scheme::MainTable, TableScheme};
+use hashflow_types::FlowKey;
+
+const DEPTHS: std::ops::RangeInclusive<usize> = 1..=10;
+const ALPHAS: [f64; 4] = [0.5, 0.6, 0.7, 0.8];
+
+/// Inserts `m` distinct flows once each and reports the realized
+/// utilization.
+fn simulate(scheme: TableScheme, m: usize, n: usize, seed: u64) -> f64 {
+    let mut table = MainTable::new(scheme, n, seed).expect("valid scheme");
+    for i in 0..m {
+        let key = FlowKey::from_index((seed << 32) ^ i as u64);
+        table.probe(&key);
+    }
+    table.utilization()
+}
+
+/// Runs all four panels.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let n = cfg.scaled(100_000, 2_000);
+
+    let mut panel_a = Table::new(
+        "fig02a_multihash_utilization",
+        &["load_m_over_n", "depth", "theory", "simulation"],
+    );
+    for load in [1.0f64, 2.0, 3.0, 4.0] {
+        let m = (load * n as f64) as usize;
+        for d in DEPTHS {
+            let theory = model::multi_hash_utilization(load, d);
+            let sim = simulate(TableScheme::MultiHash { depth: d }, m, n, cfg.seed + d as u64);
+            panel_a.push_row(vec![
+                Cell::Float(load),
+                Cell::Int(d as i64),
+                Cell::Float(theory),
+                Cell::Float(sim),
+            ]);
+        }
+    }
+
+    let mut panel_bc = Table::new(
+        "fig02bc_pipelined_utilization",
+        &["load_m_over_n", "alpha", "depth", "theory", "simulation"],
+    );
+    for load in [1.0f64, 2.0] {
+        let m = (load * n as f64) as usize;
+        for alpha in ALPHAS {
+            for d in DEPTHS {
+                let theory = model::pipelined_utilization(load, d, alpha);
+                let sim = simulate(
+                    TableScheme::Pipelined { depth: d, alpha },
+                    m,
+                    n,
+                    cfg.seed + d as u64,
+                );
+                panel_bc.push_row(vec![
+                    Cell::Float(load),
+                    Cell::Float(alpha),
+                    Cell::Int(d as i64),
+                    Cell::Float(theory),
+                    Cell::Float(sim),
+                ]);
+            }
+        }
+    }
+
+    let mut panel_d = Table::new(
+        "fig02d_pipelined_improvement",
+        &["alpha", "load_m_over_n", "improvement"],
+    );
+    for alpha_pct in (50..=100).step_by(5) {
+        let alpha = alpha_pct as f64 / 100.0;
+        for load in [1.0f64, 1.2, 1.4, 1.6, 1.8, 2.0, 3.0, 4.0] {
+            panel_d.push_row(vec![
+                Cell::Float(alpha),
+                Cell::Float(load),
+                Cell::Float(model::pipelined_improvement(load, 3, alpha)),
+            ]);
+        }
+    }
+
+    vec![panel_a, panel_bc, panel_d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_simulation_at_moderate_load() {
+        // The paper: "when m/n >= 2, the multi-hash table model provides
+        // nearly perfect predictions".
+        let cfg = RunConfig::for_tests(0.2); // n = 20K buckets
+        let tables = run(&cfg);
+        let panel_a = &tables[0];
+        for row in panel_a.rows() {
+            let (load, theory, sim) = match (&row[0], &row[2], &row[3]) {
+                (Cell::Float(l), Cell::Float(t), Cell::Float(s)) => (*l, *t, *s),
+                other => panic!("unexpected row {other:?}"),
+            };
+            if load >= 2.0 {
+                assert!(
+                    (theory - sim).abs() < 0.02,
+                    "load {load}: theory {theory} vs sim {sim}"
+                );
+            } else {
+                assert!(
+                    (theory - sim).abs() < 0.06,
+                    "load {load}: theory {theory} vs sim {sim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_sim_matches_model() {
+        // "This time the model and the simulation results match quite well."
+        let cfg = RunConfig::for_tests(0.2);
+        let tables = run(&cfg);
+        let bc = &tables[1];
+        for row in bc.rows() {
+            let (theory, sim) = match (&row[3], &row[4]) {
+                (Cell::Float(t), Cell::Float(s)) => (*t, *s),
+                other => panic!("unexpected row {other:?}"),
+            };
+            assert!((theory - sim).abs() < 0.05, "theory {theory} vs sim {sim}");
+        }
+    }
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 4 * 10);
+        assert_eq!(tables[1].len(), 2 * 4 * 10);
+        assert_eq!(tables[2].len(), 11 * 8);
+    }
+}

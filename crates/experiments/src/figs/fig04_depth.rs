@@ -1,0 +1,81 @@
+//! Fig. 4 — flow-size-estimation ARE of HashFlow under main-table depths
+//! 1..4 (50 K flows per trace, standard memory budget).
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_core::{HashFlow, HashFlowConfig, TableScheme};
+use hashflow_metrics::evaluate;
+
+/// Runs the depth ablation.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let flows = cfg.scaled(50_000, 1_000);
+    let budget = setup::standard_budget(cfg);
+    let base = HashFlowConfig::with_memory(budget).expect("standard budget fits");
+
+    let results = setup::per_profile(|profile| {
+        let trace = setup::trace_for(cfg, profile, flows);
+        (1..=4usize)
+            .map(|depth| {
+                let config = HashFlowConfig::builder()
+                    .main_cells(base.main_cells())
+                    .ancillary_cells(base.ancillary_cells())
+                    .scheme(TableScheme::Pipelined {
+                        depth,
+                        alpha: hashflow_core::DEFAULT_ALPHA,
+                    })
+                    .seed(cfg.seed)
+                    .build()
+                    .expect("valid depth config");
+                let mut hf = HashFlow::new(config).expect("constructible");
+                let report = evaluate(&mut hf, &trace, &[]);
+                (depth, report.size_are)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let mut table = Table::new("fig04_depth_are", &["trace", "depth", "are"]);
+    for (profile, rows) in results {
+        for (depth, are) in rows {
+            table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::Int(depth as i64),
+                Cell::Float(are),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deeper_tables_reduce_are() {
+        // The paper: increasing d from 1 to 3 reduces the ARE by around 3x.
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        let mut by_trace: HashMap<String, HashMap<i64, f64>> = HashMap::new();
+        for row in tables[0].rows() {
+            if let (Cell::Text(t), Cell::Int(d), Cell::Float(a)) = (&row[0], &row[1], &row[2]) {
+                by_trace.entry(t.clone()).or_default().insert(*d, *a);
+            }
+        }
+        for (trace, depths) in by_trace {
+            assert!(
+                depths[&3] <= depths[&1] + 0.02,
+                "{trace}: depth 3 ARE {} should improve on depth 1 {}",
+                depths[&3],
+                depths[&1]
+            );
+        }
+    }
+
+    #[test]
+    fn four_traces_four_depths() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables[0].len(), 16);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 5 — multi-hash vs pipelined main tables on the campus trace:
+//! FSC (panel a) and size-estimation ARE (panel b) as the number of
+//! concurrent flows grows from 10 K to 60 K, for α ∈ {0.6, 0.7, 0.8}.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_core::{HashFlow, HashFlowConfig, TableScheme};
+use hashflow_metrics::evaluate;
+use hashflow_trace::TraceProfile;
+
+const DEPTH: usize = 3;
+
+fn variants() -> Vec<(&'static str, TableScheme)> {
+    vec![
+        ("Multi-hash", TableScheme::MultiHash { depth: DEPTH }),
+        (
+            "alpha=0.6",
+            TableScheme::Pipelined {
+                depth: DEPTH,
+                alpha: 0.6,
+            },
+        ),
+        (
+            "alpha=0.7",
+            TableScheme::Pipelined {
+                depth: DEPTH,
+                alpha: 0.7,
+            },
+        ),
+        (
+            "alpha=0.8",
+            TableScheme::Pipelined {
+                depth: DEPTH,
+                alpha: 0.8,
+            },
+        ),
+    ]
+}
+
+/// Runs the scheme/weight comparison on the campus profile.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let budget = setup::standard_budget(cfg);
+    let base = HashFlowConfig::with_memory(budget).expect("standard budget fits");
+    let sweep: Vec<usize> = (1..=6)
+        .map(|i| cfg.scaled(10_000 * i, 200 * i))
+        .collect();
+
+    let mut fsc_table = Table::new("fig05a_scheme_fsc", &["scheme", "flows", "fsc"]);
+    let mut are_table = Table::new("fig05b_scheme_are", &["scheme", "flows", "are"]);
+
+    for &flows in &sweep {
+        let trace = setup::trace_for(cfg, TraceProfile::Campus, flows);
+        for (label, scheme) in variants() {
+            let config = HashFlowConfig::builder()
+                .main_cells(base.main_cells())
+                .ancillary_cells(base.ancillary_cells())
+                .scheme(scheme)
+                .seed(cfg.seed)
+                .build()
+                .expect("valid scheme config");
+            let mut hf = HashFlow::new(config).expect("constructible");
+            let report = evaluate(&mut hf, &trace, &[]);
+            fsc_table.push_row(vec![
+                Cell::from(label),
+                Cell::from(flows),
+                Cell::Float(report.fsc),
+            ]);
+            are_table.push_row(vec![
+                Cell::from(label),
+                Cell::from(flows),
+                Cell::Float(report.size_are),
+            ]);
+        }
+    }
+
+    vec![fsc_table, are_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn metric_by_scheme(table: &Table) -> HashMap<String, Vec<f64>> {
+        let mut out: HashMap<String, Vec<f64>> = HashMap::new();
+        for row in table.rows() {
+            if let (Cell::Text(s), Cell::Float(v)) = (&row[0], &row[2]) {
+                out.entry(s.clone()).or_default().push(*v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fsc_decreases_with_flow_count() {
+        let cfg = RunConfig::for_tests(0.1);
+        let tables = run(&cfg);
+        let by_scheme = metric_by_scheme(&tables[0]);
+        for (scheme, series) in by_scheme {
+            assert!(
+                series.first().unwrap() >= series.last().unwrap(),
+                "{scheme}: FSC should not grow with load: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_07_beats_multihash_on_average() {
+        let cfg = RunConfig::for_tests(0.1);
+        let tables = run(&cfg);
+        let by_scheme = metric_by_scheme(&tables[0]);
+        let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let multi = avg(&by_scheme["Multi-hash"]);
+        let piped = avg(&by_scheme["alpha=0.7"]);
+        assert!(
+            piped >= multi - 0.01,
+            "pipelined {piped} should be at least multi-hash {multi}"
+        );
+    }
+
+    #[test]
+    fn table_shapes() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 6 * 4);
+        assert_eq!(tables[1].len(), 6 * 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 6 — Flow Set Coverage of the four algorithms as the number of
+//! concurrent flows grows to 250 K, one panel per trace.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+
+/// Runs the FSC comparison sweep.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let sweep = setup::flow_sweep(cfg);
+    let results = setup::comparison_sweep(cfg, &sweep, |r| r.fsc);
+
+    let mut table = Table::new("fig06_flow_record_fsc", &["trace", "flows", "algorithm", "fsc"]);
+    for (profile, rows) in results {
+        for (flows, algorithm, fsc) in rows {
+            table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(flows),
+                Cell::from(algorithm),
+                Cell::Float(fsc),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// trace -> algorithm -> (flows, fsc) series
+    fn series(table: &Table) -> HashMap<(String, String), Vec<(usize, f64)>> {
+        let mut out: HashMap<(String, String), Vec<(usize, f64)>> = HashMap::new();
+        for row in table.rows() {
+            if let (Cell::Text(t), Cell::Int(f), Cell::Text(a), Cell::Float(v)) =
+                (&row[0], &row[1], &row[2], &row[3])
+            {
+                out.entry((t.clone(), a.clone()))
+                    .or_default()
+                    .push((*f as usize, *v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hashflow_wins_at_high_load() {
+        // The paper's headline (Fig. 6): at 250K flows HashFlow reports the
+        // most correct records. Scaled run keeps the load factors.
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        let s = series(&tables[0]);
+        for trace in ["CAIDA", "Campus", "ISP1", "ISP2"] {
+            let at_max = |alg: &str| {
+                s[&(trace.to_owned(), alg.to_owned())]
+                    .iter()
+                    .max_by_key(|(f, _)| *f)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            let hf = at_max("HashFlow");
+            for other in ["HashPipe", "ElasticSketch", "FlowRadar"] {
+                assert!(
+                    hf >= at_max(other) - 0.02,
+                    "{trace}: HashFlow {hf} vs {other} {}",
+                    at_max(other)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flowradar_cliff_exists() {
+        // FlowRadar decodes perfectly at low load and collapses at high
+        // load (Fig. 6's crossing curves).
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        let s = series(&tables[0]);
+        let fr = &s[&("CAIDA".to_owned(), "FlowRadar".to_owned())];
+        let first = fr.iter().min_by_key(|(f, _)| *f).unwrap().1;
+        let last = fr.iter().max_by_key(|(f, _)| *f).unwrap().1;
+        assert!(first > 0.95, "light-load decode should be near-perfect, got {first}");
+        assert!(last < 0.3, "heavy-load decode should collapse, got {last}");
+    }
+}

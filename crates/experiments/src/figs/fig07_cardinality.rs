@@ -1,0 +1,82 @@
+//! Fig. 7 — Relative Error of flow cardinality estimation, one panel per
+//! trace, as the number of concurrent flows grows to 250 K.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+
+/// Runs the cardinality comparison sweep.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let sweep = setup::flow_sweep(cfg);
+    let results = setup::comparison_sweep(cfg, &sweep, |r| r.cardinality_re);
+
+    let mut table = Table::new(
+        "fig07_cardinality_re",
+        &["trace", "flows", "algorithm", "re"],
+    );
+    for (profile, rows) in results {
+        for (flows, algorithm, re) in rows {
+            table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(flows),
+                Cell::from(algorithm),
+                Cell::Float(re),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn avg_by_algorithm(table: &Table, trace: &str) -> HashMap<String, f64> {
+        let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+        for row in table.rows() {
+            if let (Cell::Text(t), Cell::Text(a), Cell::Float(v)) = (&row[0], &row[2], &row[3]) {
+                if t == trace {
+                    let e = sums.entry(a.clone()).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn estimators_beat_hashpipe() {
+        // Fig. 7: HashFlow, ElasticSketch and FlowRadar stay accurate;
+        // HashPipe "always performs badly" because it just counts held
+        // records.
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        for trace in ["CAIDA", "Campus", "ISP1"] {
+            let avg = avg_by_algorithm(&tables[0], trace);
+            assert!(
+                avg["HashFlow"] < avg["HashPipe"],
+                "{trace}: HashFlow {} vs HashPipe {}",
+                avg["HashFlow"],
+                avg["HashPipe"]
+            );
+            assert!(avg["FlowRadar"] < 0.2, "{trace}: FlowRadar {}", avg["FlowRadar"]);
+        }
+    }
+
+    #[test]
+    fn hashflow_re_is_small() {
+        let cfg = RunConfig::for_tests(0.05);
+        let tables = run(&cfg);
+        for trace in ["CAIDA", "ISP1"] {
+            let avg = avg_by_algorithm(&tables[0], trace);
+            assert!(
+                avg["HashFlow"] < 0.25,
+                "{trace}: HashFlow cardinality RE {}",
+                avg["HashFlow"]
+            );
+        }
+    }
+}

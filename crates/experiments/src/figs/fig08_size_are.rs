@@ -1,0 +1,96 @@
+//! Fig. 8 — Average Relative Error of per-flow size estimation, one panel
+//! per trace, for 20 K to 100 K concurrent flows.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+
+/// Runs the size-estimation comparison sweep.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let sweep = setup::size_estimation_sweep(cfg);
+    let results = setup::comparison_sweep(cfg, &sweep, |r| r.size_are);
+
+    let mut table = Table::new(
+        "fig08_size_estimation_are",
+        &["trace", "flows", "algorithm", "are"],
+    );
+    for (profile, rows) in results {
+        for (flows, algorithm, are) in rows {
+            table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(flows),
+                Cell::from(algorithm),
+                Cell::Float(are),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn at_flow_count(
+        table: &Table,
+        trace: &str,
+        flows: usize,
+    ) -> HashMap<String, f64> {
+        let mut out = HashMap::new();
+        for row in table.rows() {
+            if let (Cell::Text(t), Cell::Int(f), Cell::Text(a), Cell::Float(v)) =
+                (&row[0], &row[1], &row[2], &row[3])
+            {
+                if t == trace && *f as usize == flows {
+                    out.insert(a.clone(), *v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hashflow_lowest_are_at_midrange() {
+        // Paper: "for estimating the sizes of 50K flows, HashFlow achieves
+        // a relative error of around 11.6%, while the estimation error of
+        // the best competitor is 42.9% higher". At 10% scale the 50K point
+        // is 5K flows (index 2 of the sweep, but scaled); just compare at
+        // the mid sweep point.
+        let cfg = RunConfig::for_tests(0.1);
+        let sweep = setup::size_estimation_sweep(&cfg);
+        let mid = sweep[2];
+        let tables = run(&cfg);
+        for trace in ["CAIDA", "Campus", "ISP1"] {
+            let are = at_flow_count(&tables[0], trace, mid);
+            let hf = are["HashFlow"];
+            for other in ["HashPipe", "ElasticSketch"] {
+                assert!(
+                    hf <= are[other] + 0.03,
+                    "{trace}: HashFlow {hf} vs {other} {}",
+                    are[other]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn are_grows_with_load_for_hashflow() {
+        let cfg = RunConfig::for_tests(0.1);
+        let tables = run(&cfg);
+        let mut series: Vec<(usize, f64)> = Vec::new();
+        for row in tables[0].rows() {
+            if let (Cell::Text(t), Cell::Int(f), Cell::Text(a), Cell::Float(v)) =
+                (&row[0], &row[1], &row[2], &row[3])
+            {
+                if t == "CAIDA" && a == "HashFlow" {
+                    series.push((*f as usize, *v));
+                }
+            }
+        }
+        series.sort_by_key(|(f, _)| *f);
+        assert!(
+            series.first().unwrap().1 <= series.last().unwrap().1 + 0.02,
+            "ARE should grow with load: {series:?}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 9 — heavy-hitter detection F1 score at 250 K flows, per-trace
+//! threshold sweeps (the x-axes of the paper's four panels).
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_metrics::evaluate;
+
+/// Runs the heavy-hitter F1 comparison; also emits the size-ARE table of
+/// Fig. 10 from the same runs (the two figures share the experiment).
+pub fn run_both(cfg: &RunConfig) -> (Table, Table) {
+    let flows = cfg.scaled(250_000, 2_000);
+    let budget = setup::standard_budget(cfg);
+
+    let results = setup::per_profile(|profile| {
+        let trace = setup::trace_for(cfg, profile, flows);
+        let thresholds = scaled_thresholds(cfg, &profile.heavy_hitter_thresholds());
+        let mut rows = Vec::new();
+        for monitor in setup::comparison_monitors(budget, cfg.seed).iter_mut() {
+            let report = evaluate(monitor.as_mut(), &trace, &thresholds);
+            for hh in report.heavy_hitters {
+                rows.push((report.algorithm, hh));
+            }
+        }
+        rows
+    });
+
+    let mut f1_table = Table::new(
+        "fig09_heavy_hitter_f1",
+        &["trace", "threshold", "algorithm", "precision", "recall", "f1", "true_hh"],
+    );
+    let mut are_table = Table::new(
+        "fig10_heavy_hitter_are",
+        &["trace", "threshold", "algorithm", "are"],
+    );
+    for (profile, rows) in results {
+        for (algorithm, hh) in rows {
+            f1_table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(hh.threshold),
+                Cell::from(algorithm),
+                Cell::Float(hh.precision),
+                Cell::Float(hh.recall),
+                Cell::Float(hh.f1),
+                Cell::from(hh.actual),
+            ]);
+            are_table.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(hh.threshold),
+                Cell::from(algorithm),
+                Cell::Float(hh.size_are),
+            ]);
+        }
+    }
+    (f1_table, are_table)
+}
+
+/// Scales the paper's threshold axes along with the traffic so the number
+/// of true heavy hitters stays comparable. Flow sizes do not scale with
+/// `HF_SCALE` (the size distribution is fixed), but the *memory pressure*
+/// does, so thresholds are kept as-is at full scale and lowered gently at
+/// small scale to keep a non-trivial heavy-hitter set.
+fn scaled_thresholds(cfg: &RunConfig, paper: &[u32]) -> Vec<u32> {
+    if cfg.scale >= 0.99 {
+        return paper.to_vec();
+    }
+    // Shrink thresholds by sqrt(scale), floor 1, dedup.
+    let factor = cfg.scale.sqrt();
+    let mut out: Vec<u32> = paper
+        .iter()
+        .map(|&t| ((f64::from(t) * factor).round() as u32).max(1))
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Runs Fig. 9 only (the binary for Fig. 10 calls [`run_both`] too).
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let (f1, _) = run_both(cfg);
+    vec![f1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashflow_beats_competitors_on_f1() {
+        let cfg = RunConfig::for_tests(0.04);
+        let (f1, _) = run_both(&cfg);
+        // Average F1 per algorithm over all traces/thresholds with a
+        // non-empty true heavy-hitter set.
+        let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+        for row in f1.rows() {
+            if let (Cell::Text(a), Cell::Float(v), Cell::Int(actual)) =
+                (&row[2], &row[5], &row[6])
+            {
+                if *actual > 0 {
+                    let e = sums.entry(a.clone()).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        let avg: HashMap<String, f64> = sums
+            .into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect();
+        assert!(
+            avg["HashFlow"] + 0.02 >= avg["HashPipe"],
+            "HashFlow {} vs HashPipe {}",
+            avg["HashFlow"],
+            avg["HashPipe"]
+        );
+        assert!(
+            avg["HashFlow"] > avg["ElasticSketch"],
+            "HashFlow {} vs ElasticSketch {}",
+            avg["HashFlow"],
+            avg["ElasticSketch"]
+        );
+        assert!(
+            avg["HashFlow"] > avg["FlowRadar"],
+            "HashFlow {} vs FlowRadar {}",
+            avg["HashFlow"],
+            avg["FlowRadar"]
+        );
+    }
+
+    #[test]
+    fn f1_improves_with_threshold_for_hashflow() {
+        // Larger thresholds mean fewer, larger heavy hitters, which
+        // HashFlow detects nearly perfectly (Fig. 9 curves rise toward 1).
+        let cfg = RunConfig::for_tests(0.04);
+        let (f1, _) = run_both(&cfg);
+        let mut caida: Vec<(u32, f64)> = Vec::new();
+        for row in f1.rows() {
+            if let (Cell::Text(t), Cell::Int(th), Cell::Text(a), Cell::Float(v)) =
+                (&row[0], &row[1], &row[2], &row[5])
+            {
+                if t == "CAIDA" && a == "HashFlow" {
+                    caida.push((*th as u32, *v));
+                }
+            }
+        }
+        caida.sort_by_key(|(t, _)| *t);
+        let first = caida.first().unwrap().1;
+        let last = caida.last().unwrap().1;
+        assert!(last >= first - 0.05, "F1 series {caida:?}");
+        assert!(last > 0.8, "HashFlow F1 at largest threshold: {last}");
+    }
+}

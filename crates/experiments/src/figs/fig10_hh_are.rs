@@ -1,0 +1,48 @@
+//! Fig. 10 — size-estimation ARE of the detected heavy hitters (shares its
+//! experiment with Fig. 9; see [`crate::figs::fig09_hh_f1::run_both`]).
+
+use crate::output::Table;
+use crate::RunConfig;
+
+/// Runs the heavy-hitter ARE table.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let (_, are) = super::fig09_hh_f1::run_both(cfg);
+    vec![are]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Cell;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashflow_heavy_hitter_sizes_are_accurate() {
+        // Paper: "when HashFlow makes nearly perfect size estimation of the
+        // heavy hitters, the ARE of HashPipe and ElasticSketch are around
+        // 0.15-0.2 and 0.2-0.25".
+        let cfg = RunConfig::for_tests(0.04);
+        let tables = run(&cfg);
+        let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+        for row in tables[0].rows() {
+            if let (Cell::Text(t), Cell::Text(a), Cell::Float(v)) = (&row[0], &row[2], &row[3]) {
+                if t != "ISP2" {
+                    let e = sums.entry(a.clone()).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        let avg: HashMap<String, f64> = sums
+            .into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect();
+        assert!(avg["HashFlow"] < 0.2, "HashFlow HH ARE {}", avg["HashFlow"]);
+        assert!(
+            avg["HashFlow"] < avg["ElasticSketch"],
+            "HashFlow {} vs ElasticSketch {}",
+            avg["HashFlow"],
+            avg["ElasticSketch"]
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! One module per paper exhibit. Each exposes
+//! `run(&RunConfig) -> Vec<Table>`; the per-exhibit binaries and `run_all`
+//! are thin wrappers around these.
+
+pub mod ablation_digest;
+pub mod ablation_elastic;
+pub mod ablation_ordering;
+pub mod ablation_sampling;
+pub mod ablation_promotion;
+pub mod fig02_utilization;
+pub mod fig04_depth;
+pub mod fig05_weights;
+pub mod fig06_fsc;
+pub mod fig07_cardinality;
+pub mod fig08_size_are;
+pub mod fig09_hh_f1;
+pub mod fig10_hh_are;
+pub mod fig11_throughput;
+pub mod table01_traces;

@@ -1,0 +1,126 @@
+//! Table I + Fig. 3 — per-trace statistics and the flow-size CDF of the
+//! four (synthetic) evaluation traces, plus the §II skew quote check for
+//! the campus trace.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_trace::TraceProfile;
+
+/// Regenerates Table I and the Fig. 3 CDF series.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let flows = cfg.scaled(250_000, 2_000);
+
+    let results = setup::per_profile(|profile| {
+        let trace = setup::trace_for(cfg, profile, flows);
+        let stats = trace.stats();
+        let cdf = stats.default_cdf().points().to_vec();
+        let campus_skew = stats.packet_share_of_top_flows(0.077);
+        (stats, cdf, campus_skew)
+    });
+
+    let mut table1 = Table::new(
+        "table01_trace_statistics",
+        &[
+            "trace",
+            "date",
+            "flows",
+            "packets",
+            "max_flow_size",
+            "avg_flow_size",
+            "paper_max",
+            "paper_avg",
+        ],
+    );
+    let mut fig3 = Table::new("fig03_flow_size_cdf", &["trace", "size", "cdf"]);
+    let mut skew = Table::new(
+        "sec2_campus_skew",
+        &["trace", "top_flow_fraction", "packet_share"],
+    );
+
+    for (profile, (stats, cdf, top_share)) in &results {
+        table1.push_row(vec![
+            Cell::from(profile.name()),
+            Cell::from(profile.date()),
+            Cell::from(stats.flows),
+            Cell::from(stats.packets),
+            Cell::from(stats.max_flow_size),
+            Cell::Float(stats.avg_flow_size),
+            Cell::from(profile.max_flow_size()),
+            Cell::Float(profile.avg_flow_size()),
+        ]);
+        for (size, fraction) in cdf {
+            fig3.push_row(vec![
+                Cell::from(profile.name()),
+                Cell::from(*size),
+                Cell::Float(*fraction),
+            ]);
+        }
+        skew.push_row(vec![
+            Cell::from(profile.name()),
+            Cell::Float(0.077),
+            Cell::Float(*top_share),
+        ]);
+    }
+
+    let _ = TraceProfile::Campus; // referenced in docs
+    vec![table1, fig3, skew]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_land_near_table1() {
+        let cfg = RunConfig::for_tests(0.1); // 25K flows
+        let tables = run(&cfg);
+        let t1 = &tables[0];
+        assert_eq!(t1.len(), 4);
+        for row in t1.rows() {
+            let (avg, paper_avg) = match (&row[5], &row[7]) {
+                (Cell::Float(a), Cell::Float(p)) => (*a, *p),
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(
+                (avg - paper_avg).abs() / paper_avg < 0.35,
+                "avg {avg} too far from paper {paper_avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn campus_is_most_skewed() {
+        let cfg = RunConfig::for_tests(0.1);
+        let tables = run(&cfg);
+        let skew = &tables[2];
+        let shares: Vec<f64> = skew
+            .rows()
+            .iter()
+            .map(|r| match &r[2] {
+                Cell::Float(v) => *v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        // Campus (§II): top 7.7 % of flows carry well over half the packets
+        // and more than any other profile.
+        let campus = shares[1];
+        assert!(campus > 0.6, "campus skew {campus}");
+        assert!(shares.iter().all(|&s| s <= campus + 1e-9));
+    }
+
+    #[test]
+    fn cdf_series_cover_all_traces() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        let fig3 = &tables[1];
+        let names: std::collections::HashSet<String> = fig3
+            .rows()
+            .iter()
+            .map(|r| match &r[0] {
+                Cell::Text(s) => s.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

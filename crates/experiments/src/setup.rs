@@ -1,0 +1,190 @@
+//! Shared experiment plumbing: equal-memory monitor construction (§IV-A)
+//! and the standard sweeps of the evaluation figures.
+
+use crate::RunConfig;
+use elastic_sketch::ElasticSketch;
+use flowradar::FlowRadar;
+use hashflow_core::HashFlow;
+use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
+use hashpipe::HashPipe;
+
+/// The paper's standard memory budget: 1 MB (§IV-A), scaled by the run
+/// configuration.
+pub fn standard_budget(cfg: &RunConfig) -> MemoryBudget {
+    let bytes = ((1u64 << 20) as f64 * cfg.scale).round() as usize;
+    MemoryBudget::from_bytes(bytes.max(16 * 1024))
+        .expect("scaled standard budget is always positive")
+}
+
+/// Builds the four §IV comparison algorithms at the same memory budget.
+///
+/// # Panics
+///
+/// Panics if the budget is too small for any algorithm's minimum geometry
+/// (the standard budget never is).
+pub fn comparison_monitors(
+    budget: MemoryBudget,
+    seed: u64,
+) -> Vec<Box<dyn FlowMonitor + Send>> {
+    vec![
+        Box::new(
+            HashFlow::new(
+                hashflow_core::HashFlowConfig::with_memory(budget)
+                    .and_then(|c| {
+                        // Re-derive with the experiment seed.
+                        hashflow_core::HashFlowConfig::builder()
+                            .main_cells(c.main_cells())
+                            .ancillary_cells(c.ancillary_cells())
+                            .seed(seed)
+                            .build()
+                    })
+                    .expect("standard budget fits HashFlow"),
+            )
+            .expect("valid HashFlow config"),
+        ),
+        Box::new(HashPipe::with_memory_seeded(budget, seed).expect("standard budget fits HashPipe")),
+        Box::new(
+            ElasticSketch::with_memory_seeded(budget, seed)
+                .expect("standard budget fits ElasticSketch"),
+        ),
+        Box::new(FlowRadar::with_memory_seeded(budget, seed).expect("standard budget fits FlowRadar")),
+    ]
+}
+
+/// The flow-count sweep of Fig. 6/7 (x-axis 0..250 K), scaled.
+pub fn flow_sweep(cfg: &RunConfig) -> Vec<usize> {
+    (1..=10)
+        .map(|i| cfg.scaled(25_000 * i, 100 * i))
+        .collect()
+}
+
+/// The flow-count sweep of Fig. 8 (20 K..100 K), scaled.
+pub fn size_estimation_sweep(cfg: &RunConfig) -> Vec<usize> {
+    (1..=5).map(|i| cfg.scaled(20_000 * i, 100 * i)).collect()
+}
+
+/// Generates the trace for `profile` with `flows` flows, seeded from the
+/// run configuration.
+pub fn trace_for(cfg: &RunConfig, profile: TraceProfile, flows: usize) -> Trace {
+    TraceGenerator::new(profile, cfg.seed).generate(flows)
+}
+
+/// Runs `f` once per profile, in parallel, preserving profile order in the
+/// returned vector.
+pub fn per_profile<T, F>(f: F) -> Vec<(TraceProfile, T)>
+where
+    T: Send,
+    F: Fn(TraceProfile) -> T + Sync,
+{
+    let mut out: Vec<Option<(TraceProfile, T)>> = Vec::new();
+    for _ in hashflow_trace::ALL_PROFILES {
+        out.push(None);
+    }
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, profile) in hashflow_trace::ALL_PROFILES.into_iter().enumerate() {
+            let f = &f;
+            handles.push((i, scope.spawn(move |_| (profile, f(profile)))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("experiment worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitors_share_budget_within_tolerance() {
+        let budget = MemoryBudget::from_bytes(1 << 20).unwrap();
+        let monitors = comparison_monitors(budget, 1);
+        assert_eq!(monitors.len(), 4);
+        for m in &monitors {
+            let bits = m.memory_bits();
+            assert!(
+                bits <= budget.bits(),
+                "{} exceeds budget: {bits}",
+                m.name()
+            );
+            assert!(
+                bits > budget.bits() * 9 / 10,
+                "{} underuses budget: {bits}",
+                m.name()
+            );
+        }
+        let names: Vec<&str> = monitors.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"]
+        );
+    }
+
+    #[test]
+    fn sweeps_scale() {
+        let cfg = RunConfig::for_tests(0.01);
+        let sweep = flow_sweep(&cfg);
+        assert_eq!(sweep.len(), 10);
+        assert_eq!(sweep[0], 250);
+        assert_eq!(sweep[9], 2_500);
+        assert_eq!(size_estimation_sweep(&cfg).len(), 5);
+    }
+
+    #[test]
+    fn per_profile_preserves_order() {
+        let results = per_profile(|p| p.name().len());
+        let names: Vec<&str> = results.iter().map(|(p, _)| p.name()).collect();
+        assert_eq!(names, ["CAIDA", "Campus", "ISP1", "ISP2"]);
+    }
+
+    #[test]
+    fn standard_budget_has_floor() {
+        let cfg = RunConfig::for_tests(1e-9);
+        assert!(standard_budget(&cfg).bytes() >= 16 * 1024);
+    }
+}
+
+/// Shared driver for the Fig. 6/7/8 comparison sweeps: for every profile
+/// (in parallel) and every flow count in `sweep`, runs the four §IV
+/// algorithms at the standard budget and extracts one metric per run.
+///
+/// Returns `(profile, rows)` where each row is
+/// `(flow_count, algorithm_name, metric_value)`.
+pub fn comparison_sweep<F>(
+    cfg: &RunConfig,
+    sweep: &[usize],
+    metric: F,
+) -> Vec<(TraceProfile, Vec<(usize, &'static str, f64)>)>
+where
+    F: Fn(&hashflow_metrics::EvaluationReport) -> f64 + Sync,
+{
+    let budget = standard_budget(cfg);
+    per_profile(|profile| {
+        let mut rows = Vec::new();
+        for &flows in sweep {
+            // Accumulate metric sums per algorithm across trials.
+            let mut sums: Vec<(&'static str, f64)> = Vec::new();
+            for trial in 0..cfg.trials.max(1) {
+                let seed = cfg.trial_seed(trial);
+                let trace = TraceGenerator::new(profile, seed).generate(flows);
+                for (i, monitor) in comparison_monitors(budget, seed).iter_mut().enumerate() {
+                    let report = hashflow_metrics::evaluate(monitor.as_mut(), &trace, &[]);
+                    let value = metric(&report);
+                    match sums.get_mut(i) {
+                        Some((_, sum)) => *sum += value,
+                        None => sums.push((report.algorithm, value)),
+                    }
+                }
+            }
+            let trials = cfg.trials.max(1) as f64;
+            for (algorithm, sum) in sums {
+                rows.push((flows, algorithm, sum / trials));
+            }
+        }
+        rows
+    })
+}

@@ -1,0 +1,111 @@
+use crate::KeyHasher;
+
+/// Zobrist-style tabulation hashing over the 13-byte flow key.
+///
+/// Tabulation hashing is 3-independent, which is *provably* sufficient for
+/// the balls-and-urns behaviour the paper's utilization model assumes, so it
+/// serves as the "theoretically clean" member of the hasher set. Each byte
+/// position gets a table of 256 random 64-bit words (derived deterministically
+/// from the seed with SplitMix64) and the hash is the XOR of the selected
+/// words.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_hashing::{KeyHasher, TabulationHash};
+/// let h = TabulationHash::with_seed(11);
+/// assert_eq!(h.hash_bytes(&[1, 2, 3]), h.hash_bytes(&[1, 2, 3]));
+/// assert_ne!(h.hash_bytes(&[1, 2, 3]), h.hash_bytes(&[1, 2, 4]));
+/// ```
+#[derive(Clone)]
+pub struct TabulationHash {
+    // One 256-entry table per byte position, covering keys up to 16 bytes;
+    // longer inputs wrap around with a position-dependent rotation so the
+    // hasher still accepts arbitrary slices.
+    tables: Box<[[u64; 256]; 16]>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for TabulationHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabulationHash").field("seed", &self.seed).finish()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl KeyHasher for TabulationHash {
+    fn with_seed(seed: u64) -> Self {
+        let mut state = seed ^ 0x5151_5151_5151_5151;
+        let mut tables = Box::new([[0u64; 256]; 16]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = splitmix64(&mut state);
+            }
+        }
+        TabulationHash { tables, seed }
+    }
+
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        let mut h = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for (i, &b) in bytes.iter().enumerate() {
+            let word = self.tables[i % 16][b as usize];
+            // Rotate wrapped positions so byte 0 and byte 16 of a long input
+            // do not cancel each other out.
+            h ^= word.rotate_left(((i / 16) % 64) as u32);
+        }
+        // Mix in the length so prefixes of zero bytes still distinguish keys.
+        h ^ (bytes.len() as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TabulationHash::with_seed(1);
+        let b = TabulationHash::with_seed(1);
+        assert_eq!(a.hash_bytes(b"packet"), b.hash_bytes(b"packet"));
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = TabulationHash::with_seed(1);
+        let b = TabulationHash::with_seed(2);
+        assert_ne!(a.hash_bytes(b"packet"), b.hash_bytes(b"packet"));
+    }
+
+    #[test]
+    fn length_is_mixed_in() {
+        let h = TabulationHash::with_seed(0);
+        assert_ne!(h.hash_bytes(&[0, 0]), h.hash_bytes(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn long_inputs_do_not_cancel() {
+        let h = TabulationHash::with_seed(3);
+        let mut long_a = vec![0u8; 32];
+        let mut long_b = vec![0u8; 32];
+        long_a[0] = 7;
+        long_b[16] = 7;
+        assert_ne!(h.hash_bytes(&long_a), h.hash_bytes(&long_b));
+    }
+
+    #[test]
+    fn single_byte_flip_avalanches() {
+        let h = TabulationHash::with_seed(9);
+        let base = h.hash_bytes(&[5; 13]);
+        let mut flipped = [5u8; 13];
+        flipped[6] = 6;
+        let diff = (base ^ h.hash_bytes(&flipped)).count_ones();
+        assert!(diff >= 8, "flip changed only {diff} bits");
+    }
+}

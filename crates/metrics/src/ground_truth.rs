@@ -1,0 +1,142 @@
+use hashflow_types::{FlowKey, FlowRecord};
+use std::collections::HashMap;
+
+/// Exact per-flow packet counts for one trace selection — the denominator
+/// of every §IV-A metric.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_metrics::GroundTruth;
+/// use hashflow_types::{FlowKey, FlowRecord};
+///
+/// let truth = GroundTruth::from_records(&[FlowRecord::new(FlowKey::from_index(1), 4)]);
+/// assert_eq!(truth.flow_count(), 1);
+/// assert_eq!(truth.size_of(&FlowKey::from_index(1)), Some(4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    sizes: HashMap<FlowKey, u32>,
+    // Insertion-ordered entries: metric sums iterate this so floating-point
+    // accumulation order (and therefore every reported metric) is exactly
+    // reproducible run to run.
+    entries: Vec<FlowRecord>,
+    total_packets: u64,
+}
+
+impl GroundTruth {
+    /// Builds ground truth from exact flow records.
+    pub fn from_records(records: &[FlowRecord]) -> Self {
+        let mut sizes = HashMap::with_capacity(records.len());
+        let mut entries = Vec::with_capacity(records.len());
+        let mut total = 0u64;
+        for rec in records {
+            if sizes.insert(rec.key(), rec.count()).is_none() {
+                entries.push(*rec);
+            }
+            total += u64::from(rec.count());
+        }
+        GroundTruth {
+            sizes,
+            entries,
+            total_packets: total,
+        }
+    }
+
+    /// Builds ground truth by counting a raw packet stream.
+    pub fn from_packets<'a, I: IntoIterator<Item = &'a hashflow_types::Packet>>(
+        packets: I,
+    ) -> Self {
+        let mut sizes: HashMap<FlowKey, u32> = HashMap::new();
+        let mut order: Vec<FlowKey> = Vec::new();
+        let mut total = 0u64;
+        for p in packets {
+            match sizes.entry(p.key()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(1);
+                    order.push(p.key());
+                }
+            }
+            total += 1;
+        }
+        let entries = order
+            .into_iter()
+            .map(|k| FlowRecord::new(k, sizes[&k]))
+            .collect();
+        GroundTruth {
+            sizes,
+            entries,
+            total_packets: total,
+        }
+    }
+
+    /// Number of distinct flows (`n` in the metric definitions).
+    pub fn flow_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total packets across all flows.
+    pub const fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Exact size of `key`, if it is a real flow.
+    pub fn size_of(&self, key: &FlowKey) -> Option<u32> {
+        self.sizes.get(key).copied()
+    }
+
+    /// Whether `key` is a real flow of this trace.
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.sizes.contains_key(key)
+    }
+
+    /// Iterates over `(flow, exact size)` pairs in first-seen order — a
+    /// deterministic order, so metric accumulation is reproducible.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, u32)> + '_ {
+        self.entries.iter().map(|r| (r.key_ref(), r.count()))
+    }
+
+    /// Number of true heavy hitters at `threshold`.
+    pub fn heavy_hitter_count(&self, threshold: u32) -> usize {
+        self.sizes.values().filter(|&&c| c >= threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_types::Packet;
+
+    #[test]
+    fn from_packets_counts() {
+        let packets: Vec<Packet> = (0..10)
+            .map(|i| Packet::new(FlowKey::from_index(i % 3), 0, 64))
+            .collect();
+        let truth = GroundTruth::from_packets(&packets);
+        assert_eq!(truth.flow_count(), 3);
+        assert_eq!(truth.total_packets(), 10);
+        assert_eq!(truth.size_of(&FlowKey::from_index(0)), Some(4));
+        assert_eq!(truth.size_of(&FlowKey::from_index(1)), Some(3));
+    }
+
+    #[test]
+    fn heavy_hitter_count_thresholds() {
+        let truth = GroundTruth::from_records(&[
+            FlowRecord::new(FlowKey::from_index(1), 100),
+            FlowRecord::new(FlowKey::from_index(2), 10),
+            FlowRecord::new(FlowKey::from_index(3), 1),
+        ]);
+        assert_eq!(truth.heavy_hitter_count(1), 3);
+        assert_eq!(truth.heavy_hitter_count(10), 2);
+        assert_eq!(truth.heavy_hitter_count(101), 0);
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let truth = GroundTruth::from_records(&[FlowRecord::new(FlowKey::from_index(9), 2)]);
+        assert!(truth.contains(&FlowKey::from_index(9)));
+        assert!(!truth.contains(&FlowKey::from_index(8)));
+        assert_eq!(truth.iter().count(), 1);
+    }
+}

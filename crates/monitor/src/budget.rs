@@ -1,0 +1,137 @@
+use hashflow_types::ConfigError;
+
+/// A byte budget shared by all algorithms in one experiment.
+///
+/// §IV-A: "We let these algorithms use the same amount of memory in all the
+/// experiments. For each flow record, we use a flow ID of 104 bits and a
+/// counter of 32 bits, so 1 MB memory approximately corresponds to 60 K flow
+/// records." Each algorithm's config translates a `MemoryBudget` into its
+/// own cell geometry using its exact per-cell bit widths.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_monitor::MemoryBudget;
+/// let budget = MemoryBudget::from_bytes(1 << 20)?; // 1 MB
+/// // 136-bit full flow records:
+/// assert_eq!(budget.cells(136), 61_680);
+/// # Ok::<(), hashflow_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `bytes == 0`.
+    pub fn from_bytes(bytes: usize) -> Result<Self, ConfigError> {
+        if bytes == 0 {
+            return Err(ConfigError::new("memory budget must be positive"));
+        }
+        Ok(MemoryBudget { bytes })
+    }
+
+    /// Creates a budget of `kib` kibibytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `kib == 0`.
+    pub fn from_kib(kib: usize) -> Result<Self, ConfigError> {
+        Self::from_bytes(kib * 1024)
+    }
+
+    /// Budget in bytes.
+    pub const fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Budget in bits.
+    pub const fn bits(&self) -> usize {
+        self.bytes * 8
+    }
+
+    /// How many cells of `cell_bits` bits fit in this budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_bits == 0`.
+    pub fn cells(&self, cell_bits: usize) -> usize {
+        assert!(cell_bits > 0, "cell width must be positive");
+        self.bits() / cell_bits
+    }
+
+    /// Splits the budget into `parts` equal sub-budgets (the remainder is
+    /// dropped, mirroring how fixed-size tables truncate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the split would produce an empty budget.
+    pub fn split(&self, parts: usize) -> Result<MemoryBudget, ConfigError> {
+        if parts == 0 {
+            return Err(ConfigError::new("cannot split a budget into zero parts"));
+        }
+        MemoryBudget::from_bytes(self.bytes / parts)
+    }
+}
+
+impl std::fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bytes % (1 << 20) == 0 {
+            write!(f, "{} MiB", self.bytes >> 20)
+        } else if self.bytes % 1024 == 0 {
+            write!(f, "{} KiB", self.bytes >> 10)
+        } else {
+            write!(f, "{} B", self.bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mb_is_about_60k_records() {
+        let b = MemoryBudget::from_bytes(1 << 20).unwrap();
+        let records = b.cells(136);
+        assert!((55_000..65_000).contains(&records), "got {records}");
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(MemoryBudget::from_bytes(0).is_err());
+        assert!(MemoryBudget::from_kib(0).is_err());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let b = MemoryBudget::from_kib(64).unwrap();
+        assert_eq!(b.bytes(), 65_536);
+        assert_eq!(b.bits(), 524_288);
+    }
+
+    #[test]
+    fn split_divides() {
+        let b = MemoryBudget::from_bytes(1000).unwrap();
+        assert_eq!(b.split(4).unwrap().bytes(), 250);
+        assert!(b.split(0).is_err());
+        assert!(b.split(2000).is_err());
+    }
+
+    #[test]
+    fn display_uses_natural_units() {
+        assert_eq!(MemoryBudget::from_bytes(1 << 20).unwrap().to_string(), "1 MiB");
+        assert_eq!(MemoryBudget::from_bytes(2048).unwrap().to_string(), "2 KiB");
+        assert_eq!(MemoryBudget::from_bytes(100).unwrap().to_string(), "100 B");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell width")]
+    fn zero_cell_width_panics() {
+        let _ = MemoryBudget::from_bytes(8).unwrap().cells(0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Measurement-epoch management.
+//!
+//! NetFlow-style collection runs in epochs: the switch accumulates
+//! records for an interval, the collector drains them, and the tables are
+//! cleared for the next interval. The paper's evaluation is single-epoch;
+//! its conclusion lists "make it adaptive to traffic variation" as future
+//! work — [`EpochRotator`] provides the epoch scaffolding any such policy
+//! needs: time-based rotation driven by packet timestamps, with drained
+//! per-epoch reports.
+
+use crate::{CostSnapshot, FlowMonitor};
+use hashflow_types::{FlowKey, FlowRecord, Packet};
+
+/// A completed measurement epoch: its records and bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch sequence number, starting at 0.
+    pub epoch: u64,
+    /// Timestamp (ns) of the first packet in the epoch, if any.
+    pub start_ns: Option<u64>,
+    /// Timestamp (ns) of the last packet in the epoch, if any.
+    pub end_ns: Option<u64>,
+    /// Flow records drained from the monitor at rotation.
+    pub records: Vec<FlowRecord>,
+    /// Estimated distinct flows in the epoch.
+    pub cardinality: f64,
+    /// Cost counters accumulated during the epoch.
+    pub cost: CostSnapshot,
+}
+
+/// Wraps any [`FlowMonitor`] with fixed-length measurement epochs.
+///
+/// Packets are routed to the inner monitor; when a packet's timestamp
+/// crosses the epoch boundary, the monitor is drained into an
+/// [`EpochReport`] and reset before the packet is processed. Queries
+/// always reflect the *current* epoch.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_core::HashFlow;
+/// use hashflow_monitor::{EpochRotator, FlowMonitor, MemoryBudget};
+/// use hashflow_types::{FlowKey, Packet};
+///
+/// let inner = HashFlow::with_memory(MemoryBudget::from_kib(32)?)?;
+/// let mut rotator = EpochRotator::new(inner, 1_000_000); // 1 ms epochs
+/// for t in 0..10u64 {
+///     rotator.process_packet(&Packet::new(FlowKey::from_index(1), t * 300_000, 64));
+/// }
+/// // Packets spanned ~3 ms: at least two epochs have been sealed.
+/// assert!(rotator.completed_epochs().len() >= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochRotator<M> {
+    inner: M,
+    epoch_len_ns: u64,
+    current_epoch: u64,
+    epoch_base_ns: Option<u64>,
+    first_ns: Option<u64>,
+    last_ns: Option<u64>,
+    completed: Vec<EpochReport>,
+}
+
+impl<M: FlowMonitor> EpochRotator<M> {
+    /// Wraps `inner` with epochs of `epoch_len_ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len_ns == 0`.
+    pub fn new(inner: M, epoch_len_ns: u64) -> Self {
+        assert!(epoch_len_ns > 0, "epoch length must be positive");
+        EpochRotator {
+            inner,
+            epoch_len_ns,
+            current_epoch: 0,
+            epoch_base_ns: None,
+            first_ns: None,
+            last_ns: None,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The wrapped monitor (current-epoch state).
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Epoch length in nanoseconds.
+    pub const fn epoch_len_ns(&self) -> u64 {
+        self.epoch_len_ns
+    }
+
+    /// Reports of all epochs sealed so far.
+    pub fn completed_epochs(&self) -> &[EpochReport] {
+        &self.completed
+    }
+
+    /// Seals the current epoch immediately (end-of-capture flush) and
+    /// returns its report.
+    pub fn rotate_now(&mut self) -> EpochReport {
+        let report = EpochReport {
+            epoch: self.current_epoch,
+            start_ns: self.first_ns,
+            end_ns: self.last_ns,
+            records: self.inner.flow_records(),
+            cardinality: self.inner.estimate_cardinality(),
+            cost: self.inner.cost(),
+        };
+        self.completed.push(report.clone());
+        self.inner.reset();
+        self.current_epoch += 1;
+        self.epoch_base_ns = None;
+        self.first_ns = None;
+        self.last_ns = None;
+        report
+    }
+
+    /// Drains completed epoch reports, leaving the current epoch running.
+    pub fn drain_completed(&mut self) -> Vec<EpochReport> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
+    fn process_packet(&mut self, packet: &Packet) {
+        let ts = packet.timestamp_ns();
+        match self.epoch_base_ns {
+            None => self.epoch_base_ns = Some(ts),
+            Some(base) => {
+                if ts >= base.saturating_add(self.epoch_len_ns) {
+                    self.rotate_now();
+                    self.epoch_base_ns = Some(ts);
+                }
+            }
+        }
+        if self.first_ns.is_none() {
+            self.first_ns = Some(ts);
+        }
+        self.last_ns = Some(ts);
+        self.inner.process_packet(packet);
+    }
+
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        self.inner.flow_records()
+    }
+
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        self.inner.estimate_size(key)
+    }
+
+    fn estimate_cardinality(&self) -> f64 {
+        self.inner.estimate_cardinality()
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.inner.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cost(&self) -> CostSnapshot {
+        self.inner.cost()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.current_epoch = 0;
+        self.epoch_base_ns = None;
+        self.first_ns = None;
+        self.last_ns = None;
+        self.completed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostRecorder;
+    use std::collections::HashMap;
+
+    /// Minimal exact monitor for rotator tests.
+    #[derive(Default, Debug, Clone)]
+    struct Exact {
+        flows: HashMap<FlowKey, u32>,
+        cost: CostRecorder,
+    }
+
+    impl FlowMonitor for Exact {
+        fn process_packet(&mut self, packet: &Packet) {
+            self.cost.start_packet();
+            *self.flows.entry(packet.key()).or_insert(0) += 1;
+        }
+        fn flow_records(&self) -> Vec<FlowRecord> {
+            self.flows
+                .iter()
+                .map(|(k, c)| FlowRecord::new(*k, *c))
+                .collect()
+        }
+        fn estimate_size(&self, key: &FlowKey) -> u32 {
+            self.flows.get(key).copied().unwrap_or(0)
+        }
+        fn estimate_cardinality(&self) -> f64 {
+            self.flows.len() as f64
+        }
+        fn memory_bits(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+        fn cost(&self) -> CostSnapshot {
+            self.cost.snapshot()
+        }
+        fn reset(&mut self) {
+            self.flows.clear();
+            self.cost.reset();
+        }
+    }
+
+    fn pkt(flow: u64, ts: u64) -> Packet {
+        Packet::new(FlowKey::from_index(flow), ts, 64)
+    }
+
+    #[test]
+    fn rotates_on_boundary() {
+        let mut r = EpochRotator::new(Exact::default(), 1_000);
+        r.process_packet(&pkt(1, 0));
+        r.process_packet(&pkt(1, 999)); // same epoch
+        assert!(r.completed_epochs().is_empty());
+        r.process_packet(&pkt(2, 1_000)); // crosses
+        assert_eq!(r.completed_epochs().len(), 1);
+        let sealed = &r.completed_epochs()[0];
+        assert_eq!(sealed.epoch, 0);
+        assert_eq!(sealed.records.len(), 1);
+        assert_eq!(sealed.records[0].count(), 2);
+        assert_eq!(sealed.start_ns, Some(0));
+        assert_eq!(sealed.end_ns, Some(999));
+        // Current epoch sees only flow 2.
+        assert_eq!(r.estimate_size(&FlowKey::from_index(1)), 0);
+        assert_eq!(r.estimate_size(&FlowKey::from_index(2)), 1);
+    }
+
+    #[test]
+    fn epochs_are_time_anchored_per_epoch() {
+        // Epoch base resets to the first packet after rotation, so quiet
+        // gaps do not produce empty epochs.
+        let mut r = EpochRotator::new(Exact::default(), 100);
+        r.process_packet(&pkt(1, 0));
+        r.process_packet(&pkt(1, 10_000)); // long gap: one rotation only
+        assert_eq!(r.completed_epochs().len(), 1);
+        r.process_packet(&pkt(1, 10_050)); // still in the new epoch
+        assert_eq!(r.completed_epochs().len(), 1);
+    }
+
+    #[test]
+    fn rotate_now_flushes() {
+        let mut r = EpochRotator::new(Exact::default(), u64::MAX);
+        r.process_packet(&pkt(1, 5));
+        let report = r.rotate_now();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.cardinality, 1.0);
+        assert_eq!(r.flow_records().len(), 0);
+        assert_eq!(r.completed_epochs().len(), 1);
+    }
+
+    #[test]
+    fn drain_takes_reports() {
+        let mut r = EpochRotator::new(Exact::default(), 10);
+        for t in 0..5 {
+            r.process_packet(&pkt(t, t * 10));
+        }
+        let drained = r.drain_completed();
+        assert_eq!(drained.len(), 4);
+        assert!(r.completed_epochs().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut r = EpochRotator::new(Exact::default(), 10);
+        r.process_packet(&pkt(1, 0));
+        r.process_packet(&pkt(1, 50));
+        r.reset();
+        assert!(r.completed_epochs().is_empty());
+        assert_eq!(r.flow_records().len(), 0);
+        assert_eq!(r.epoch_len_ns(), 10);
+        assert_eq!(r.inner().flows.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_rejected() {
+        let _ = EpochRotator::new(Exact::default(), 0);
+    }
+
+    #[test]
+    fn epoch_numbers_increment() {
+        let mut r = EpochRotator::new(Exact::default(), 10);
+        for t in 0..4 {
+            r.process_packet(&pkt(1, t * 10));
+        }
+        let epochs: Vec<u64> = r.completed_epochs().iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2]);
+    }
+}

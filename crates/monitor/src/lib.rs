@@ -1,0 +1,208 @@
+//! The common interface implemented by every flow-measurement algorithm in
+//! this workspace, plus the cost accounting and equal-memory budgeting the
+//! paper's evaluation methodology (§IV-A) requires.
+//!
+//! The four measurement applications of §IV-A map onto trait methods:
+//!
+//! | Application | Method | Metric |
+//! |---|---|---|
+//! | Flow record report | [`FlowMonitor::flow_records`] | FSC |
+//! | Flow size estimation | [`FlowMonitor::estimate_size`] | ARE |
+//! | Heavy hitter detection | [`FlowMonitor::heavy_hitters`] | F1 + ARE |
+//! | Cardinality estimation | [`FlowMonitor::estimate_cardinality`] | RE |
+//!
+//! [`CostRecorder`] counts hash operations and memory accesses per packet —
+//! the quantities Fig. 11(b)/(c) report and the input to the throughput model
+//! in the `simswitch` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod cost;
+mod epoch;
+
+pub use budget::MemoryBudget;
+pub use cost::{CostRecorder, CostSnapshot};
+pub use epoch::{EpochReport, EpochRotator};
+
+use hashflow_types::{FlowKey, FlowRecord, Packet};
+
+/// A streaming flow-record collector: the interface shared by HashFlow,
+/// HashPipe, ElasticSketch and FlowRadar.
+///
+/// Implementations ingest packets one at a time and answer the four §IV-A
+/// application queries at the end of the measurement epoch.
+///
+/// # Examples
+///
+/// Implementors are exercised uniformly; a trivial exact baseline looks like:
+///
+/// ```
+/// use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor};
+/// use hashflow_types::{FlowKey, FlowRecord, Packet};
+/// use std::collections::HashMap;
+///
+/// #[derive(Default)]
+/// struct Exact {
+///     flows: HashMap<FlowKey, u32>,
+///     cost: CostRecorder,
+/// }
+///
+/// impl FlowMonitor for Exact {
+///     fn process_packet(&mut self, packet: &Packet) {
+///         self.cost.start_packet();
+///         *self.flows.entry(packet.key()).or_insert(0) += 1;
+///     }
+///     fn flow_records(&self) -> Vec<FlowRecord> {
+///         self.flows.iter().map(|(k, c)| FlowRecord::new(*k, *c)).collect()
+///     }
+///     fn estimate_size(&self, key: &FlowKey) -> u32 {
+///         self.flows.get(key).copied().unwrap_or(0)
+///     }
+///     fn estimate_cardinality(&self) -> f64 { self.flows.len() as f64 }
+///     fn memory_bits(&self) -> usize { 0 }
+///     fn name(&self) -> &'static str { "Exact" }
+///     fn cost(&self) -> CostSnapshot { self.cost.snapshot() }
+///     fn reset(&mut self) { self.flows.clear(); self.cost.reset(); }
+/// }
+///
+/// let mut m = Exact::default();
+/// m.process_packet(&Packet::new(FlowKey::from_index(1), 0, 64));
+/// assert_eq!(m.estimate_size(&FlowKey::from_index(1)), 1);
+/// ```
+pub trait FlowMonitor {
+    /// Ingests one packet (the per-packet update of each algorithm).
+    fn process_packet(&mut self, packet: &Packet);
+
+    /// Reports every flow record the structure can reconstruct, with the
+    /// flow ID it believes and the packet count it recorded.
+    ///
+    /// For FlowRadar this triggers the decode phase; for the others it walks
+    /// the tables.
+    fn flow_records(&self) -> Vec<FlowRecord>;
+
+    /// Estimates the packet count of `key`; `0` when the structure has no
+    /// information about the flow (§IV-A: "if no result can be reported, we
+    /// use 0 as the default value").
+    fn estimate_size(&self, key: &FlowKey) -> u32;
+
+    /// Estimates the number of distinct flows observed.
+    fn estimate_cardinality(&self) -> f64;
+
+    /// Reports flows with at least `threshold` packets.
+    ///
+    /// The default implementation filters [`Self::flow_records`], which is
+    /// how the paper queries all four algorithms.
+    fn heavy_hitters(&self, threshold: u32) -> Vec<FlowRecord> {
+        let mut hh: Vec<FlowRecord> = self
+            .flow_records()
+            .into_iter()
+            .filter(|r| r.count() >= threshold)
+            .collect();
+        hh.sort_by(|a, b| b.count().cmp(&a.count()).then(a.key().cmp(&b.key())));
+        hh
+    }
+
+    /// Logical memory footprint in bits (the quantity the §IV-A equal-memory
+    /// comparison budgets).
+    fn memory_bits(&self) -> usize;
+
+    /// Short human-readable algorithm name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Snapshot of per-packet cost counters accumulated so far.
+    fn cost(&self) -> CostSnapshot;
+
+    /// Clears all state (tables and cost counters) for a fresh epoch.
+    fn reset(&mut self);
+
+    /// Convenience: processes every packet of a slice in order.
+    fn process_trace(&mut self, packets: &[Packet]) {
+        for p in packets {
+            self.process_packet(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct Exact {
+        flows: HashMap<FlowKey, u32>,
+        cost: CostRecorder,
+    }
+
+    impl FlowMonitor for Exact {
+        fn process_packet(&mut self, packet: &Packet) {
+            self.cost.start_packet();
+            self.cost.record_hashes(1);
+            self.cost.record_reads(1);
+            self.cost.record_writes(1);
+            *self.flows.entry(packet.key()).or_insert(0) += 1;
+        }
+        fn flow_records(&self) -> Vec<FlowRecord> {
+            self.flows
+                .iter()
+                .map(|(k, c)| FlowRecord::new(*k, *c))
+                .collect()
+        }
+        fn estimate_size(&self, key: &FlowKey) -> u32 {
+            self.flows.get(key).copied().unwrap_or(0)
+        }
+        fn estimate_cardinality(&self) -> f64 {
+            self.flows.len() as f64
+        }
+        fn memory_bits(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+        fn cost(&self) -> CostSnapshot {
+            self.cost.snapshot()
+        }
+        fn reset(&mut self) {
+            self.flows.clear();
+            self.cost.reset();
+        }
+    }
+
+    fn pkt(i: u64) -> Packet {
+        Packet::new(FlowKey::from_index(i), 0, 64)
+    }
+
+    #[test]
+    fn default_heavy_hitters_filters_and_sorts() {
+        let mut m = Exact::default();
+        for _ in 0..5 {
+            m.process_packet(&pkt(1));
+        }
+        for _ in 0..3 {
+            m.process_packet(&pkt(2));
+        }
+        m.process_packet(&pkt(3));
+        let hh = m.heavy_hitters(3);
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0].count(), 5);
+        assert_eq!(hh[1].count(), 3);
+    }
+
+    #[test]
+    fn process_trace_feeds_all_packets() {
+        let mut m = Exact::default();
+        let trace: Vec<Packet> = (0..10).map(|i| pkt(i % 2)).collect();
+        m.process_trace(&trace);
+        assert_eq!(m.estimate_size(&FlowKey::from_index(0)), 5);
+        assert_eq!(m.cost().packets, 10);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m: Box<dyn FlowMonitor> = Box::new(Exact::default());
+        assert_eq!(m.name(), "Exact");
+    }
+}

@@ -1,0 +1,228 @@
+//! A deterministic software-switch substrate — the reproduction's stand-in
+//! for the bmv2 P4 switch of §IV-D.
+//!
+//! The paper measures throughput by loading each algorithm into bmv2 on an
+//! isolated CPU core, where baseline forwarding runs at about 20 Kpps and
+//! every extra hash computation and table access costs measurable time
+//! (Fig. 11). Rather than shipping a P4 toolchain, this crate:
+//!
+//! 1. replays traces through any [`FlowMonitor`] while its own cost
+//!    recorder counts hash operations and memory accesses (exactly the
+//!    quantities in Fig. 11(b)/(c)); and
+//! 2. converts those counts into a modeled bmv2-like throughput with
+//!    [`ThroughputModel`], calibrated so that baseline forwarding sits at
+//!    ~20 Kpps — reproducing the *relative* ordering of Fig. 11(a); and
+//! 3. measures the *native* Rust packet rate with a wall clock, which the
+//!    criterion benches report as the modern-hardware counterpart.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashflow_core::HashFlow;
+//! use hashflow_monitor::MemoryBudget;
+//! use hashflow_trace::{TraceGenerator, TraceProfile};
+//! use simswitch::SoftwareSwitch;
+//!
+//! let trace = TraceGenerator::new(TraceProfile::Caida, 0).generate(1_000);
+//! let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(64)?)?;
+//! let report = SoftwareSwitch::default().replay(&mut hf, &trace);
+//! assert_eq!(report.packets, trace.packets().len() as u64);
+//! assert!(report.modeled_kpps > 0.0 && report.modeled_kpps < 20.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod port;
+
+pub use pipeline::Pipeline;
+pub use port::{Port, PortStats};
+
+use hashflow_monitor::{CostSnapshot, FlowMonitor};
+use hashflow_trace::Trace;
+use std::time::Instant;
+
+/// Cost model translating per-packet operation counts into a bmv2-like
+/// packet rate.
+///
+/// `time_per_packet = base + hashes * hash_cost + accesses * access_cost`,
+/// all in microseconds. Defaults are calibrated to the paper's testbed
+/// (§IV-D: Core i5-4680K, isolcpus): 50 µs base (≈ 20 Kpps bare
+/// forwarding), with hash and access costs that place the four algorithms
+/// in the 1–6 Kpps band of Fig. 11(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputModel {
+    /// Fixed per-packet forwarding cost in µs (bmv2 parse + deparse).
+    pub base_us: f64,
+    /// Cost of one hash evaluation in µs.
+    pub hash_us: f64,
+    /// Cost of one table read or write in µs.
+    pub access_us: f64,
+}
+
+impl Default for ThroughputModel {
+    fn default() -> Self {
+        ThroughputModel {
+            base_us: 50.0,
+            hash_us: 25.0,
+            access_us: 20.0,
+        }
+    }
+}
+
+impl ThroughputModel {
+    /// Modeled per-packet processing time in µs for the average operation
+    /// counts of `cost`.
+    pub fn packet_time_us(&self, cost: &CostSnapshot) -> f64 {
+        self.base_us
+            + cost.avg_hashes_per_packet() * self.hash_us
+            + cost.avg_memory_accesses_per_packet() * self.access_us
+    }
+
+    /// Modeled throughput in Kpps.
+    pub fn kpps(&self, cost: &CostSnapshot) -> f64 {
+        1_000.0 / self.packet_time_us(cost)
+    }
+
+    /// Throughput of the bare switch with no measurement algorithm loaded.
+    pub fn baseline_kpps(&self) -> f64 {
+        1_000.0 / self.base_us
+    }
+}
+
+/// Result of replaying one trace through one monitor.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayReport {
+    /// Packets forwarded.
+    pub packets: u64,
+    /// Wall-clock nanoseconds the native Rust implementation took.
+    pub native_elapsed_ns: u128,
+    /// Native packets per second (modern-CPU number, not bmv2).
+    pub native_pps: f64,
+    /// Modeled bmv2-like throughput in Kpps (Fig. 11(a)).
+    pub modeled_kpps: f64,
+    /// Average hash operations per packet (Fig. 11(b)).
+    pub avg_hashes: f64,
+    /// Average memory accesses per packet (Fig. 11(c)).
+    pub avg_accesses: f64,
+    /// Raw cost counters.
+    pub cost: CostSnapshot,
+}
+
+/// The software switch: replays traces through monitors under a
+/// [`ThroughputModel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareSwitch {
+    model: ThroughputModel,
+}
+
+impl SoftwareSwitch {
+    /// Creates a switch with a custom cost model.
+    pub const fn with_model(model: ThroughputModel) -> Self {
+        SoftwareSwitch { model }
+    }
+
+    /// The active cost model.
+    pub const fn model(&self) -> &ThroughputModel {
+        &self.model
+    }
+
+    /// Resets `monitor`, replays every packet of `trace` through it, and
+    /// reports native and modeled throughput.
+    pub fn replay<M: FlowMonitor + ?Sized>(&self, monitor: &mut M, trace: &Trace) -> ReplayReport {
+        monitor.reset();
+        let start = Instant::now();
+        monitor.process_trace(trace.packets());
+        let elapsed = start.elapsed();
+        let cost = monitor.cost();
+        let packets = cost.packets;
+        let secs = elapsed.as_secs_f64();
+        ReplayReport {
+            packets,
+            native_elapsed_ns: elapsed.as_nanos(),
+            native_pps: if secs > 0.0 {
+                packets as f64 / secs
+            } else {
+                f64::INFINITY
+            },
+            modeled_kpps: self.model.kpps(&cost),
+            avg_hashes: cost.avg_hashes_per_packet(),
+            avg_accesses: cost.avg_memory_accesses_per_packet(),
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_core::HashFlow;
+    use hashflow_monitor::MemoryBudget;
+    use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    #[test]
+    fn baseline_is_twenty_kpps() {
+        let model = ThroughputModel::default();
+        assert!((model.baseline_kpps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_ops_means_less_throughput() {
+        let model = ThroughputModel::default();
+        let light = CostSnapshot {
+            packets: 100,
+            hashes: 100,
+            reads: 100,
+            writes: 100,
+        };
+        let heavy = CostSnapshot {
+            packets: 100,
+            hashes: 700,
+            reads: 700,
+            writes: 300,
+        };
+        assert!(model.kpps(&light) > model.kpps(&heavy));
+        assert!(model.kpps(&light) < model.baseline_kpps());
+    }
+
+    #[test]
+    fn replay_counts_all_packets() {
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 1).generate(500);
+        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let report = SoftwareSwitch::default().replay(&mut hf, &trace);
+        assert_eq!(report.packets, trace.packets().len() as u64);
+        assert!(report.native_pps > 0.0);
+        assert!(report.avg_hashes >= 1.0);
+        assert!(report.modeled_kpps < 20.0);
+    }
+
+    #[test]
+    fn replay_resets_monitor_first() {
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 2).generate(200);
+        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let sw = SoftwareSwitch::default();
+        let first = sw.replay(&mut hf, &trace);
+        let second = sw.replay(&mut hf, &trace);
+        assert_eq!(first.packets, second.packets);
+        assert_eq!(first.avg_hashes, second.avg_hashes);
+    }
+
+    #[test]
+    fn custom_model_applies() {
+        let sw = SoftwareSwitch::with_model(ThroughputModel {
+            base_us: 100.0,
+            hash_us: 0.0,
+            access_us: 0.0,
+        });
+        assert_eq!(sw.model().baseline_kpps(), 10.0);
+        let cost = CostSnapshot {
+            packets: 10,
+            hashes: 100,
+            reads: 0,
+            writes: 0,
+        };
+        assert_eq!(sw.model().kpps(&cost), 10.0);
+    }
+}

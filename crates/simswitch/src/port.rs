@@ -1,0 +1,107 @@
+//! Switch ports and per-port statistics.
+
+use hashflow_types::Packet;
+
+/// Per-port packet/byte counters, mirroring what a real switch exposes via
+/// its counters (and what bmv2 reports per interface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen (wire lengths summed).
+    pub bytes: u64,
+}
+
+impl PortStats {
+    /// Records one packet.
+    pub fn record(&mut self, packet: &Packet) {
+        self.packets += 1;
+        self.bytes += u64::from(packet.wire_len());
+    }
+
+    /// Average packet size in bytes; 0 when idle.
+    pub fn avg_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+}
+
+/// A numbered switch port with ingress and egress counters.
+#[derive(Debug, Clone, Default)]
+pub struct Port {
+    ingress: PortStats,
+    egress: PortStats,
+}
+
+impl Port {
+    /// Creates an idle port.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingress counters.
+    pub const fn ingress(&self) -> &PortStats {
+        &self.ingress
+    }
+
+    /// Egress counters.
+    pub const fn egress(&self) -> &PortStats {
+        &self.egress
+    }
+
+    /// Counts a packet arriving on this port.
+    pub fn receive(&mut self, packet: &Packet) {
+        self.ingress.record(packet);
+    }
+
+    /// Counts a packet leaving on this port.
+    pub fn transmit(&mut self, packet: &Packet) {
+        self.egress.record(packet);
+    }
+
+    /// Clears both directions.
+    pub fn reset(&mut self) {
+        self.ingress = PortStats::default();
+        self.egress = PortStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_types::FlowKey;
+
+    fn pkt(len: u16) -> Packet {
+        Packet::new(FlowKey::from_index(1), 0, len)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut port = Port::new();
+        port.receive(&pkt(100));
+        port.receive(&pkt(300));
+        port.transmit(&pkt(100));
+        assert_eq!(port.ingress().packets, 2);
+        assert_eq!(port.ingress().bytes, 400);
+        assert_eq!(port.egress().packets, 1);
+        assert_eq!(port.ingress().avg_packet_size(), 200.0);
+    }
+
+    #[test]
+    fn idle_port_zeroes() {
+        let port = Port::new();
+        assert_eq!(port.ingress().avg_packet_size(), 0.0);
+        assert_eq!(port.egress().packets, 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut port = Port::new();
+        port.receive(&pkt(64));
+        port.reset();
+        assert_eq!(*port.ingress(), PortStats::default());
+    }
+}

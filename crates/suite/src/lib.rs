@@ -1,0 +1,66 @@
+//! One-stop facade for the HashFlow reproduction.
+//!
+//! Re-exports the public API of every workspace crate under stable module
+//! names, so downstream users depend on a single crate:
+//!
+//! ```
+//! use hashflow_suite::prelude::*;
+//!
+//! let trace = TraceGenerator::new(TraceProfile::Caida, 1).generate(1_000);
+//! let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(64)?)?;
+//! let report = evaluate(&mut hf, &trace, &[100]);
+//! assert!(report.fsc > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The workspace-level `examples/` directory (run via
+//! `cargo run -p hashflow-suite --example quickstart`) and `tests/`
+//! integration suite are hosted by this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use elastic_sketch;
+pub use flowradar;
+pub use hashflow_core as core;
+pub use hashflow_hashing as hashing;
+pub use hashflow_metrics as metrics;
+pub use hashflow_monitor as monitor;
+pub use hashflow_primitives as primitives;
+pub use hashflow_trace as trace;
+pub use hashflow_types as types;
+pub use hashpipe;
+pub use netflow_export;
+pub use sampled_netflow;
+pub use simswitch;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use elastic_sketch::{BasicElasticSketch, ElasticSketch};
+    pub use flowradar::FlowRadar;
+    pub use hashflow_core::adaptive::{AdaptiveController, AdaptiveHashFlow};
+    pub use hashflow_core::{model, HashFlow, HashFlowConfig, TableScheme};
+    pub use hashflow_metrics::{evaluate, EvaluationReport, GroundTruth};
+    pub use hashflow_monitor::{CostSnapshot, EpochReport, EpochRotator, FlowMonitor, MemoryBudget};
+    pub use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
+    pub use hashflow_types::{FlowKey, FlowRecord, Packet};
+    pub use hashpipe::HashPipe;
+    pub use sampled_netflow::SampledNetFlow;
+    pub use simswitch::{SoftwareSwitch, ThroughputModel};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let _ = TraceProfile::Caida;
+        let _ = MemoryBudget::from_kib(1).unwrap();
+        fn assert_monitor<T: FlowMonitor>() {}
+        assert_monitor::<HashFlow>();
+        assert_monitor::<HashPipe>();
+        assert_monitor::<ElasticSketch>();
+        assert_monitor::<FlowRadar>();
+        assert_monitor::<SampledNetFlow>();
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a data structure is configured with invalid
+/// parameters (zero-sized tables, out-of-range weights, empty budgets, ...).
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_types::ConfigError;
+/// let err = ConfigError::new("depth must be at least 1");
+/// assert_eq!(err.to_string(), "invalid configuration: depth must be at least 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation carried by this error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_message() {
+        let e = ConfigError::new("alpha out of range");
+        assert!(e.to_string().contains("alpha out of range"));
+        assert_eq!(e.message(), "alpha out of range");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

@@ -1,0 +1,304 @@
+use std::fmt;
+
+/// Number of bits in a serialized [`FlowKey`] (the paper's 104-bit flow ID).
+pub const FLOW_KEY_BITS: usize = 104;
+
+/// Number of bytes in a serialized [`FlowKey`].
+pub const FLOW_KEY_BYTES: usize = FLOW_KEY_BITS / 8;
+
+/// A minimal IPv4 address newtype.
+///
+/// The reproduction is self-contained (no `std::net` parsing requirements in
+/// hot paths), so we use a transparent wrapper over the 32-bit big-endian
+/// address value.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_types::Ipv4Addr;
+/// let a = Ipv4Addr::from([192, 168, 0, 1]);
+/// assert_eq!(a.octets(), [192, 168, 0, 1]);
+/// assert_eq!(a.to_string(), "192.168.0.1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(u32);
+
+impl Ipv4Addr {
+    /// Creates an address from its 32-bit numeric value.
+    pub const fn new(bits: u32) -> Self {
+        Ipv4Addr(bits)
+    }
+
+    /// Returns the four dotted-quad octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the numeric 32-bit value of the address.
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Addr {
+    fn from(octets: [u8; 4]) -> Self {
+        Ipv4Addr(u32::from_be_bytes(octets))
+    }
+}
+
+impl From<u32> for Ipv4Addr {
+    fn from(bits: u32) -> Self {
+        Ipv4Addr(bits)
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A 104-bit five-tuple flow identifier (§IV-A).
+///
+/// Flows are keyed by `(src_ip, dst_ip, src_port, dst_port, protocol)`. The
+/// serialized form ([`FlowKey::to_bytes`]) is exactly [`FLOW_KEY_BYTES`]
+/// bytes and is the unit all the algorithms in this workspace hash over, so
+/// two keys are equal if and only if their serialized forms are equal.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_types::FlowKey;
+/// let k = FlowKey::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 1234, 80, 6);
+/// assert_eq!(FlowKey::from_bytes(k.to_bytes()), k);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowKey {
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    protocol: u8,
+}
+
+impl FlowKey {
+    /// Creates a flow key from its five-tuple components.
+    pub const fn new(
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        protocol: u8,
+    ) -> Self {
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol,
+        }
+    }
+
+    /// Builds a synthetic-but-distinct flow key from a dense flow index.
+    ///
+    /// Trace generators need millions of distinct keys; this bijectively
+    /// spreads a `u64` index over the five-tuple space so no two indices
+    /// collide and the bit patterns are not degenerate (ports and address
+    /// bytes all vary).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hashflow_types::FlowKey;
+    /// assert_ne!(FlowKey::from_index(1), FlowKey::from_index(2));
+    /// ```
+    pub fn from_index(index: u64) -> Self {
+        // SplitMix64 finalizer: a bijection on u64, so distinct indices give
+        // distinct (src_ip, dst_ip low half) pairs even before ports differ.
+        let mut z = index.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        FlowKey {
+            src_ip: Ipv4Addr::new((z >> 32) as u32),
+            dst_ip: Ipv4Addr::new(z as u32),
+            src_port: (index & 0xffff) as u16,
+            dst_port: ((index >> 16) & 0xffff) as u16,
+            protocol: if index & 1 == 0 { 6 } else { 17 },
+        }
+    }
+
+    /// Source IPv4 address.
+    pub const fn src_ip(&self) -> Ipv4Addr {
+        self.src_ip
+    }
+
+    /// Destination IPv4 address.
+    pub const fn dst_ip(&self) -> Ipv4Addr {
+        self.dst_ip
+    }
+
+    /// Source transport port.
+    pub const fn src_port(&self) -> u16 {
+        self.src_port
+    }
+
+    /// Destination transport port.
+    pub const fn dst_port(&self) -> u16 {
+        self.dst_port
+    }
+
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
+    pub const fn protocol(&self) -> u8 {
+        self.protocol
+    }
+
+    /// Serializes the key to its canonical 13-byte wire form.
+    pub const fn to_bytes(&self) -> [u8; FLOW_KEY_BYTES] {
+        let s = self.src_ip.to_bits().to_be_bytes();
+        let d = self.dst_ip.to_bits().to_be_bytes();
+        let sp = self.src_port.to_be_bytes();
+        let dp = self.dst_port.to_be_bytes();
+        [
+            s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3], sp[0], sp[1], dp[0], dp[1],
+            self.protocol,
+        ]
+    }
+
+    /// Deserializes a key from its canonical 13-byte wire form.
+    pub const fn from_bytes(bytes: [u8; FLOW_KEY_BYTES]) -> Self {
+        FlowKey {
+            src_ip: Ipv4Addr::new(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])),
+            dst_ip: Ipv4Addr::new(u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]])),
+            src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
+            dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
+            protocol: bytes[12],
+        }
+    }
+
+    /// XORs another key into this one, byte-wise.
+    ///
+    /// FlowRadar's counting table stores the XOR of all flow IDs hashed into
+    /// a cell and peels single flows back out by XOR-ing decoded IDs away;
+    /// this helper keeps that logic on the most specific type involved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hashflow_types::FlowKey;
+    /// let a = FlowKey::from_index(7);
+    /// let b = FlowKey::from_index(9);
+    /// assert_eq!(a.xor(&b).xor(&b), a);
+    /// ```
+    pub fn xor(&self, other: &FlowKey) -> FlowKey {
+        let mut bytes = self.to_bytes();
+        let rhs = other.to_bytes();
+        for (b, r) in bytes.iter_mut().zip(rhs.iter()) {
+            *b ^= r;
+        }
+        FlowKey::from_bytes(bytes)
+    }
+
+    /// Returns `true` if every byte of the serialized key is zero.
+    ///
+    /// The all-zero key is what an XOR accumulator returns to after every
+    /// encoded flow has been peeled away.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; FLOW_KEY_BYTES]
+    }
+}
+
+impl From<(Ipv4Addr, Ipv4Addr, u16, u16, u8)> for FlowKey {
+    fn from(t: (Ipv4Addr, Ipv4Addr, u16, u16, u8)) -> Self {
+        FlowKey::new(t.0, t.1, t.2, t.3, t.4)
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+impl fmt::Debug for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlowKey({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_octet_round_trip() {
+        let a = Ipv4Addr::from([203, 0, 113, 9]);
+        assert_eq!(a.octets(), [203, 0, 113, 9]);
+        assert_eq!(Ipv4Addr::new(a.to_bits()), a);
+    }
+
+    #[test]
+    fn ipv4_display() {
+        assert_eq!(Ipv4Addr::from([10, 20, 30, 40]).to_string(), "10.20.30.40");
+    }
+
+    #[test]
+    fn key_byte_round_trip() {
+        let k = FlowKey::new([1, 2, 3, 4].into(), [9, 8, 7, 6].into(), 53, 40001, 17);
+        assert_eq!(FlowKey::from_bytes(k.to_bytes()), k);
+    }
+
+    #[test]
+    fn key_width_matches_paper() {
+        assert_eq!(FLOW_KEY_BITS, 104);
+        assert_eq!(FLOW_KEY_BYTES, 13);
+        assert_eq!(FlowKey::default().to_bytes().len(), FLOW_KEY_BYTES);
+    }
+
+    #[test]
+    fn from_index_distinct_for_small_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(FlowKey::from_index(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn xor_is_self_inverse_and_zero_identity() {
+        let a = FlowKey::from_index(12345);
+        let b = FlowKey::from_index(67890);
+        assert_eq!(a.xor(&b).xor(&b), a);
+        assert!(a.xor(&a).is_zero());
+        assert_eq!(a.xor(&FlowKey::default()), a);
+    }
+
+    #[test]
+    fn display_contains_tuple_fields() {
+        let k = FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 80, 443, 6);
+        let s = k.to_string();
+        assert!(s.contains("1.1.1.1:80"));
+        assert!(s.contains("2.2.2.2:443"));
+        assert!(s.contains("proto 6"));
+    }
+
+    #[test]
+    fn accessors_return_components() {
+        let k = FlowKey::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 1000, 2000, 17);
+        assert_eq!(k.src_ip().octets(), [1, 2, 3, 4]);
+        assert_eq!(k.dst_ip().octets(), [5, 6, 7, 8]);
+        assert_eq!(k.src_port(), 1000);
+        assert_eq!(k.dst_port(), 2000);
+        assert_eq!(k.protocol(), 17);
+    }
+}

@@ -1,0 +1,32 @@
+//! Core domain types shared by every crate in the HashFlow reproduction.
+//!
+//! The paper defines a *flow record* as a `(key, count)` pair, where the key
+//! is a flow identifier and the count is the number of packets observed for
+//! that flow (§II). Following §IV-A we use a 104-bit five-tuple flow ID
+//! (source/destination IPv4 address, source/destination transport port,
+//! protocol) and a 32-bit packet counter.
+//!
+//! # Examples
+//!
+//! ```
+//! use hashflow_types::{FlowKey, FlowRecord, Packet};
+//!
+//! let key = FlowKey::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 443, 51000, 6);
+//! let pkt = Packet::new(key, 0, 1500);
+//! let rec = FlowRecord::new(pkt.key(), 1);
+//! assert_eq!(rec.key(), key);
+//! assert_eq!(rec.count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flow_key;
+mod packet;
+mod record;
+
+pub use error::ConfigError;
+pub use flow_key::{FlowKey, Ipv4Addr, FLOW_KEY_BITS, FLOW_KEY_BYTES};
+pub use packet::Packet;
+pub use record::{FlowRecord, COUNTER_BITS, RECORD_BITS};

@@ -1,0 +1,46 @@
+//! Adaptive table sizing across measurement epochs — the paper's §V future
+//! work ("make it adaptive to traffic variation") in action.
+//!
+//! Traffic ramps up 16x over eight epochs and then collapses; the
+//! controller grows the tables while utilization saturates and shrinks
+//! them when the storm passes.
+//!
+//! Run with:
+//! `cargo run --release -p hashflow-suite --example adaptive_sizing`
+
+use hashflow_suite::core::adaptive::AdaptiveHashFlow;
+use hashflow_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = HashFlowConfig::builder().main_cells(2_048).build()?;
+    let mut adaptive = AdaptiveHashFlow::new(config)?;
+    println!("starting geometry: {} main cells\n", adaptive.monitor().config().main_cells());
+    println!(
+        "{:>6} {:>9} {:>12} {:>13} {:>9} {:>11}",
+        "epoch", "flows", "utilization", "anc churn", "decision", "next cells"
+    );
+
+    // Flow counts per epoch: ramp, plateau, collapse.
+    let epoch_flows = [2_000usize, 4_000, 8_000, 16_000, 32_000, 32_000, 2_000, 1_000];
+    for (epoch, &flows) in epoch_flows.iter().enumerate() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 100 + epoch as u64).generate(flows);
+        adaptive.monitor_mut().process_trace(trace.packets());
+        let report = adaptive.end_epoch()?;
+        println!(
+            "{:>6} {:>9} {:>12.3} {:>13.3} {:>9} {:>11}",
+            report.epoch,
+            flows,
+            report.utilization,
+            report.replacement_rate,
+            format!("{:?}", report.decision),
+            report.next_main_cells
+        );
+    }
+
+    println!(
+        "\nfinal geometry after {} epochs: {} main cells",
+        adaptive.epochs(),
+        adaptive.monitor().config().main_cells()
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a HashFlow instance, feed it traffic, and query the
+//! four §IV-A applications.
+//!
+//! Run with: `cargo run --release -p hashflow-suite --example quickstart`
+
+use hashflow_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A HashFlow instance with the paper's defaults (d = 3 pipelined
+    //    sub-tables, alpha = 0.7, equal-size ancillary table) in 256 KiB.
+    let mut hashflow = HashFlow::with_memory(MemoryBudget::from_kib(256)?)?;
+    println!(
+        "HashFlow ready: {} main cells, {} ancillary cells, scheme {}",
+        hashflow.config().main_cells(),
+        hashflow.config().ancillary_cells(),
+        hashflow.config().scheme(),
+    );
+
+    // 2. Synthetic traffic shaped like the paper's CAIDA backbone trace:
+    //    20K flows, heavy-tailed sizes.
+    let trace = TraceGenerator::new(TraceProfile::Caida, 42).generate(20_000);
+    let stats = trace.stats();
+    println!(
+        "trace: {} flows, {} packets, max flow {} pkts, avg {:.1} pkts",
+        stats.flows, stats.packets, stats.max_flow_size, stats.avg_flow_size
+    );
+
+    // 3. Stream the packets through the data structure.
+    hashflow.process_trace(trace.packets());
+
+    // 4. Application 1: flow record report.
+    let records = hashflow.flow_records();
+    println!(
+        "\nflow records: {} exact records ({}% of flows), main table {:.1}% full",
+        records.len(),
+        records.len() * 100 / stats.flows,
+        hashflow.main_table_utilization() * 100.0
+    );
+
+    // 5. Application 2: per-flow size estimation for the biggest flow.
+    let biggest = trace
+        .ground_truth()
+        .iter()
+        .max_by_key(|r| r.count())
+        .expect("trace is non-empty");
+    println!(
+        "largest flow {} -> true size {}, estimate {}",
+        biggest.key(),
+        biggest.count(),
+        hashflow.estimate_size(&biggest.key())
+    );
+
+    // 6. Application 3: heavy hitters over 1000 packets.
+    let hh = hashflow.heavy_hitters(1000);
+    println!(
+        "heavy hitters (>= 1000 pkts): {} detected, {} true",
+        hh.len(),
+        trace.true_heavy_hitters(1000).len()
+    );
+
+    // 7. Application 4: cardinality.
+    println!(
+        "cardinality estimate: {:.0} (true {})",
+        hashflow.estimate_cardinality(),
+        stats.flows
+    );
+
+    // 8. What did it cost per packet?
+    println!("\nper-packet cost: {}", hashflow.cost());
+    println!("promotions performed: {}", hashflow.promotions());
+    Ok(())
+}

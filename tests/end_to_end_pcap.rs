@@ -1,0 +1,67 @@
+//! Integration: full pipeline from synthetic trace through pcap
+//! serialization, parsing, measurement and evaluation — the path a user
+//! with a real capture would take.
+
+use hashflow_suite::prelude::*;
+use hashflow_suite::trace::{read_pcap, write_pcap};
+
+#[test]
+fn pcap_round_trip_preserves_evaluation_results() {
+    let trace = TraceGenerator::new(TraceProfile::Isp1, 5).generate(3_000);
+
+    // Run directly on the in-memory trace.
+    let budget = MemoryBudget::from_kib(64).unwrap();
+    let mut direct = HashFlow::with_memory(budget).unwrap();
+    direct.process_trace(trace.packets());
+
+    // Run through a pcap round trip.
+    let mut buf = Vec::new();
+    write_pcap(&mut buf, trace.packets()).unwrap();
+    let parsed = read_pcap(&buf[..]).unwrap();
+    assert_eq!(parsed.len(), trace.packets().len());
+    let mut via_pcap = HashFlow::with_memory(budget).unwrap();
+    via_pcap.process_trace(&parsed);
+
+    // Flow keys survive byte-exactly, so the data structures end up
+    // identical.
+    let mut direct_records = direct.flow_records();
+    let mut pcap_records = via_pcap.flow_records();
+    direct_records.sort_by_key(|r| r.key());
+    pcap_records.sort_by_key(|r| r.key());
+    assert_eq!(direct_records, pcap_records);
+}
+
+#[test]
+fn pcap_ground_truth_matches_trace_ground_truth() {
+    let trace = TraceGenerator::new(TraceProfile::Isp2, 6).generate(2_000);
+    let mut buf = Vec::new();
+    write_pcap(&mut buf, trace.packets()).unwrap();
+    let parsed = read_pcap(&buf[..]).unwrap();
+
+    let truth = GroundTruth::from_packets(&parsed);
+    assert_eq!(truth.flow_count(), trace.flow_count());
+    for rec in trace.ground_truth() {
+        assert_eq!(truth.size_of(&rec.key()), Some(rec.count()));
+    }
+}
+
+#[test]
+fn every_algorithm_consumes_parsed_captures() {
+    let trace = TraceGenerator::new(TraceProfile::Caida, 7).generate(2_000);
+    let mut buf = Vec::new();
+    write_pcap(&mut buf, trace.packets()).unwrap();
+    let parsed = read_pcap(&buf[..]).unwrap();
+
+    let budget = MemoryBudget::from_kib(64).unwrap();
+    let mut monitors: Vec<Box<dyn FlowMonitor>> = vec![
+        Box::new(HashFlow::with_memory(budget).unwrap()),
+        Box::new(HashPipe::with_memory(budget).unwrap()),
+        Box::new(ElasticSketch::with_memory(budget).unwrap()),
+        Box::new(FlowRadar::with_memory(budget).unwrap()),
+    ];
+    for m in monitors.iter_mut() {
+        m.process_trace(&parsed);
+        assert_eq!(m.cost().packets, parsed.len() as u64, "{}", m.name());
+        assert!(!m.flow_records().is_empty(), "{}", m.name());
+    }
+}

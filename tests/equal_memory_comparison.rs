@@ -1,0 +1,148 @@
+//! Cross-crate integration: the four algorithms under the §IV-A
+//! equal-memory methodology, checking the paper's qualitative orderings on
+//! a scaled-down workload.
+
+use hashflow_suite::prelude::*;
+
+const BUDGET_KIB: usize = 128; // ~7.7K record slots per algorithm
+
+fn monitors(budget: MemoryBudget) -> Vec<Box<dyn FlowMonitor>> {
+    vec![
+        Box::new(HashFlow::with_memory(budget).unwrap()),
+        Box::new(HashPipe::with_memory(budget).unwrap()),
+        Box::new(ElasticSketch::with_memory(budget).unwrap()),
+        Box::new(FlowRadar::with_memory(budget).unwrap()),
+    ]
+}
+
+fn reports(profile: TraceProfile, flows: usize) -> Vec<EvaluationReport> {
+    let budget = MemoryBudget::from_kib(BUDGET_KIB).unwrap();
+    let trace = TraceGenerator::new(profile, 11).generate(flows);
+    monitors(budget)
+        .iter_mut()
+        .map(|m| evaluate(m.as_mut(), &trace, &[50]))
+        .collect()
+}
+
+fn by_name<'a>(reports: &'a [EvaluationReport], name: &str) -> &'a EvaluationReport {
+    reports
+        .iter()
+        .find(|r| r.algorithm == name)
+        .unwrap_or_else(|| panic!("no report for {name}"))
+}
+
+#[test]
+fn all_algorithms_fit_the_budget() {
+    let budget = MemoryBudget::from_kib(BUDGET_KIB).unwrap();
+    for m in monitors(budget) {
+        assert!(
+            m.memory_bits() <= budget.bits(),
+            "{} uses {} bits over budget {}",
+            m.name(),
+            m.memory_bits(),
+            budget.bits()
+        );
+    }
+}
+
+#[test]
+fn hashflow_has_best_fsc_under_heavy_load() {
+    // Heavy load: 4x as many flows as HashFlow has main cells.
+    let rs = reports(TraceProfile::Caida, 25_000);
+    let hf = by_name(&rs, "HashFlow").fsc;
+    for other in ["HashPipe", "ElasticSketch", "FlowRadar"] {
+        assert!(
+            hf >= by_name(&rs, other).fsc,
+            "HashFlow fsc {hf} vs {other} {}",
+            by_name(&rs, other).fsc
+        );
+    }
+    // And it nearly fills its main table: ~55% of the per-pair cell count.
+    // (Fig. 6: "nearly making a full use of its main table".)
+    let budget = MemoryBudget::from_kib(BUDGET_KIB).unwrap();
+    let main_cells = HashFlow::with_memory(budget).unwrap().config().main_cells();
+    assert!(
+        hf * 25_000.0 > 0.9 * main_cells as f64,
+        "HashFlow should nearly fill its {main_cells} main cells, fsc {hf}"
+    );
+}
+
+#[test]
+fn flowradar_perfect_then_collapses() {
+    let light = reports(TraceProfile::Caida, 1_500);
+    assert!(
+        by_name(&light, "FlowRadar").fsc > 0.99,
+        "FlowRadar should decode everything at light load"
+    );
+    let heavy = reports(TraceProfile::Caida, 25_000);
+    assert!(
+        by_name(&heavy, "FlowRadar").fsc < 0.2,
+        "FlowRadar decode must collapse at heavy load, fsc {}",
+        by_name(&heavy, "FlowRadar").fsc
+    );
+}
+
+#[test]
+fn hashflow_size_estimates_beat_competitors_under_load() {
+    let rs = reports(TraceProfile::Campus, 20_000);
+    let hf = by_name(&rs, "HashFlow").size_are;
+    for other in ["HashPipe", "ElasticSketch", "FlowRadar"] {
+        assert!(
+            hf <= by_name(&rs, other).size_are + 0.02,
+            "HashFlow ARE {hf} vs {other} {}",
+            by_name(&rs, other).size_are
+        );
+    }
+}
+
+#[test]
+fn cardinality_estimators_work_hashpipe_does_not() {
+    let rs = reports(TraceProfile::Isp1, 20_000);
+    for good in ["HashFlow", "ElasticSketch", "FlowRadar"] {
+        assert!(
+            by_name(&rs, good).cardinality_re < 0.3,
+            "{good} RE {}",
+            by_name(&rs, good).cardinality_re
+        );
+    }
+    assert!(
+        by_name(&rs, "HashPipe").cardinality_re > by_name(&rs, "FlowRadar").cardinality_re,
+        "HashPipe cannot estimate cardinality it dropped"
+    );
+}
+
+#[test]
+fn heavy_hitter_f1_ordering() {
+    let rs = reports(TraceProfile::Campus, 20_000);
+    let hf = by_name(&rs, "HashFlow").heavy_hitters[0];
+    let es = by_name(&rs, "ElasticSketch").heavy_hitters[0];
+    let fr = by_name(&rs, "FlowRadar").heavy_hitters[0];
+    assert!(hf.f1 > 0.9, "HashFlow F1 {}", hf.f1);
+    assert!(hf.f1 >= es.f1, "HashFlow {} vs ElasticSketch {}", hf.f1, es.f1);
+    assert!(hf.f1 >= fr.f1, "HashFlow {} vs FlowRadar {}", hf.f1, fr.f1);
+}
+
+#[test]
+fn per_packet_hash_budgets_match_section_4a() {
+    // "In the worst case, HashFlow, HashPipe and ElasticSketch will compute
+    // 4 hash results ... while FlowRadar needs to compute 7."
+    let rs = reports(TraceProfile::Caida, 10_000);
+    for r in &rs {
+        let avg = r.cost.avg_hashes_per_packet();
+        match r.algorithm {
+            "FlowRadar" => assert!((avg - 7.0).abs() < 1e-9, "FlowRadar {avg}"),
+            _ => assert!(avg <= 4.0 + 1e-9, "{} {avg}", r.algorithm),
+        }
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let a = reports(TraceProfile::Isp2, 5_000);
+    let b = reports(TraceProfile::Isp2, 5_000);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.fsc, y.fsc, "{}", x.algorithm);
+        assert_eq!(x.size_are, y.size_are, "{}", x.algorithm);
+        assert_eq!(x.cardinality_re, y.cardinality_re, "{}", x.algorithm);
+    }
+}

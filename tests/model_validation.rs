@@ -1,0 +1,115 @@
+//! Integration: the §III-B analytical model against the real main-table
+//! implementation, across schemes, depths, weights and loads (the claim of
+//! Fig. 2: theory and simulation match).
+
+use hashflow_suite::core::scheme::MainTable;
+use hashflow_suite::core::{model, TableScheme};
+use hashflow_suite::types::FlowKey;
+
+fn simulate(scheme: TableScheme, m: usize, n: usize, seed: u64) -> f64 {
+    let mut table = MainTable::new(scheme, n, seed).expect("valid scheme");
+    for i in 0..m {
+        table.probe(&FlowKey::from_index((seed << 40) + i as u64));
+    }
+    table.utilization()
+}
+
+const N: usize = 50_000;
+
+#[test]
+fn multi_hash_model_accurate_at_moderate_and_heavy_load() {
+    for load in [2.0f64, 3.0, 4.0] {
+        for depth in [1usize, 2, 3, 5, 8, 10] {
+            let theory = model::multi_hash_utilization(load, depth);
+            let sim = simulate(
+                TableScheme::MultiHash { depth },
+                (load * N as f64) as usize,
+                N,
+                depth as u64,
+            );
+            assert!(
+                (theory - sim).abs() < 0.015,
+                "load {load} depth {depth}: theory {theory:.4} sim {sim:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_hash_model_slightly_optimistic_at_unit_load() {
+    // The paper: "only under a light load of m/n = 1, there is a slight
+    // difference between the model and the real algorithm".
+    for depth in [2usize, 3, 5] {
+        let theory = model::multi_hash_utilization(1.0, depth);
+        let sim = simulate(TableScheme::MultiHash { depth }, N, N, 7 + depth as u64);
+        let diff = (theory - sim).abs();
+        assert!(diff < 0.05, "depth {depth}: diff {diff}");
+    }
+}
+
+#[test]
+fn pipelined_model_matches_all_weights() {
+    for load in [1.0f64, 2.0] {
+        for alpha in [0.5f64, 0.6, 0.7, 0.8] {
+            for depth in [2usize, 3, 5] {
+                let theory = model::pipelined_utilization(load, depth, alpha);
+                let sim = simulate(
+                    TableScheme::Pipelined { depth, alpha },
+                    (load * N as f64) as usize,
+                    N,
+                    depth as u64 ^ 0x99,
+                );
+                assert!(
+                    (theory - sim).abs() < 0.03,
+                    "load {load} alpha {alpha} depth {depth}: theory {theory:.4} sim {sim:.4}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_beats_multi_hash_in_simulation_too() {
+    // Fig. 2(d)'s claim holds for the real tables, not just the model.
+    let m = N;
+    let multi = simulate(TableScheme::MultiHash { depth: 3 }, m, N, 1);
+    let piped = simulate(
+        TableScheme::Pipelined {
+            depth: 3,
+            alpha: 0.7,
+        },
+        m,
+        N,
+        1,
+    );
+    assert!(
+        piped > multi,
+        "pipelined {piped:.4} should beat multi-hash {multi:.4} at m/n = 1"
+    );
+    let gain = piped - multi;
+    assert!(
+        (0.02..0.09).contains(&gain),
+        "gain {gain:.4} should be near the paper's ~5.5%"
+    );
+}
+
+#[test]
+fn predicted_records_match_occupied_cells() {
+    let scheme = TableScheme::Pipelined {
+        depth: 3,
+        alpha: 0.7,
+    };
+    for load in [1.0f64, 2.0, 3.0] {
+        let m = (load * N as f64) as usize;
+        let predicted = model::predicted_records(scheme, m, N);
+        let mut table = MainTable::new(scheme, N, 3).unwrap();
+        for i in 0..m {
+            table.probe(&FlowKey::from_index(i as u64));
+        }
+        let actual = table.occupied() as f64;
+        assert!(
+            (predicted - actual).abs() / actual < 0.03,
+            "load {load}: predicted {predicted:.0} vs actual {actual}"
+        );
+    }
+}

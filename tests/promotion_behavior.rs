@@ -1,0 +1,125 @@
+//! Integration: end-to-end behaviour of HashFlow's record-promotion rule —
+//! the mechanism §II motivates ("bounces a flow back from the summarized
+//! set to the accurate set, when this flow becomes an elephant").
+
+use hashflow_suite::prelude::*;
+use hashflow_suite::types::Packet;
+
+/// A tiny HashFlow whose main table is saturated by mice before an
+/// elephant arrives — the adversarial arrival order for a non-promoting
+/// design.
+fn saturated_instance(promotion: bool) -> (HashFlow, Vec<Packet>) {
+    let config = HashFlowConfig::builder()
+        .main_cells(64)
+        .ancillary_cells(64)
+        .promotion_enabled(promotion)
+        .seed(3)
+        .build()
+        .unwrap();
+    let hf = HashFlow::new(config).unwrap();
+
+    let mut packets = Vec::new();
+    // 512 mice, one packet each: the 64-cell main table fills completely.
+    for flow in 0..512u64 {
+        packets.push(Packet::new(FlowKey::from_index(flow), 0, 64));
+    }
+    // One late elephant with 300 packets.
+    for _ in 0..300 {
+        packets.push(Packet::new(FlowKey::from_index(9_999_999), 0, 64));
+    }
+    (hf, packets)
+}
+
+#[test]
+fn late_elephant_is_promoted_into_main_table() {
+    let (mut hf, packets) = saturated_instance(true);
+    hf.process_trace(&packets);
+    assert!(hf.promotions() > 0, "expected promotions");
+    let elephant = FlowKey::from_index(9_999_999);
+    let records = hf.flow_records();
+    let rec = records
+        .iter()
+        .find(|r| r.key() == elephant)
+        .expect("elephant must end up in the main table");
+    assert!(
+        rec.count() >= 250,
+        "promoted elephant should carry most of its 300 packets, got {}",
+        rec.count()
+    );
+}
+
+#[test]
+fn without_promotion_the_elephant_is_stranded() {
+    let (mut hf, packets) = saturated_instance(false);
+    hf.process_trace(&packets);
+    assert_eq!(hf.promotions(), 0);
+    let elephant = FlowKey::from_index(9_999_999);
+    let in_main = hf.flow_records().iter().any(|r| r.key() == elephant);
+    assert!(!in_main, "elephant must stay out of the main table");
+    // Its ancillary estimate saturates at the 8-bit counter ceiling.
+    assert!(
+        hf.estimate_size(&elephant) <= 255,
+        "ancillary counter is 8 bits"
+    );
+}
+
+#[test]
+fn promotion_improves_heavy_hitter_recall() {
+    let trace = TraceGenerator::new(TraceProfile::Campus, 21).generate(30_000);
+    let budget = MemoryBudget::from_kib(64).unwrap();
+    let base = HashFlowConfig::with_memory(budget).unwrap();
+
+    let mut f1 = Vec::new();
+    for promotion in [true, false] {
+        let config = HashFlowConfig::builder()
+            .main_cells(base.main_cells())
+            .ancillary_cells(base.ancillary_cells())
+            .promotion_enabled(promotion)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut hf = HashFlow::new(config).unwrap();
+        let report = evaluate(&mut hf, &trace, &[100]);
+        f1.push(report.heavy_hitters[0].f1);
+    }
+    assert!(
+        f1[0] >= f1[1],
+        "promotion on ({}) must not lose to off ({})",
+        f1[0],
+        f1[1]
+    );
+}
+
+#[test]
+fn promoted_records_never_overcount() {
+    // Promotion writes ancillary_count + 1; because the ancillary counter
+    // only counts packets actually seen for (the digest of) that flow plus
+    // possible aliased flows, overcounting is possible only through digest
+    // aliasing, which the 8-bit digest makes rare. With distinct flows
+    // below the alias birthday bound, estimates stay <= truth.
+    let config = HashFlowConfig::builder()
+        .main_cells(32)
+        .ancillary_cells(1024)
+        .digest_bits(16)
+        .seed(9)
+        .build()
+        .unwrap();
+    let mut hf = HashFlow::new(config).unwrap();
+    let mut truth = std::collections::HashMap::new();
+    for i in 0..20_000u64 {
+        let flow = i % 200;
+        hf.process_packet(&Packet::new(FlowKey::from_index(flow), 0, 64));
+        *truth.entry(flow).or_insert(0u32) += 1;
+    }
+    for rec in hf.flow_records() {
+        let idx = (0..200u64)
+            .find(|&f| FlowKey::from_index(f) == rec.key())
+            .expect("record is a real flow");
+        assert!(
+            rec.count() <= truth[&idx],
+            "flow {idx}: recorded {} > true {}",
+            rec.count(),
+            truth[&idx]
+        );
+    }
+}
