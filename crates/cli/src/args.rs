@@ -157,6 +157,16 @@ fn parse_profile(s: &str) -> Result<TraceProfile, ArgError> {
     }
 }
 
+/// Parses `--flows`, rejecting 0 before it can trip the trace
+/// generator's internal assertion.
+fn parse_flows(opts: &Options<'_>, default: usize) -> Result<usize, ArgError> {
+    let flows: usize = opts.parse_or("flows", default)?;
+    if flows == 0 {
+        return Err(ArgError::new("--flows must be at least 1"));
+    }
+    Ok(flows)
+}
+
 struct Options<'a> {
     pairs: Vec<(&'a str, &'a str)>,
     positional: Vec<&'a str>,
@@ -249,7 +259,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
             opts.reject_unknown(&["profile", "flows", "seed", "out"])?;
             Command::Generate {
                 profile: parse_profile(opts.get("profile").unwrap_or("caida"))?,
-                flows: opts.parse_or("flows", 10_000)?,
+                flows: parse_flows(&opts, 10_000)?,
                 seed: opts.parse_or("seed", 1)?,
                 out: opts
                     .get("out")
@@ -262,7 +272,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
             opts.reject_unknown(&["profile", "flows", "memory-kib", "seed"])?;
             Command::Compare {
                 profile: parse_profile(opts.get("profile").unwrap_or("caida"))?,
-                flows: opts.parse_or("flows", 60_000)?,
+                flows: parse_flows(&opts, 60_000)?,
                 memory_kib: opts.parse_or("memory-kib", 256)?,
                 seed: opts.parse_or("seed", 1)?,
             }
@@ -270,16 +280,31 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
         "model" => {
             let opts = split_options(rest)?;
             opts.reject_unknown(&["load", "depth", "alpha"])?;
-            Command::Model {
-                load: opts.parse_or("load", 1.0)?,
-                depth: opts.parse_or("depth", 3)?,
-                alpha: match opts.get("alpha") {
-                    None => None,
-                    Some(v) => Some(v.parse().map_err(|_| {
-                        ArgError::new(format!("invalid value '{v}' for --alpha"))
-                    })?),
-                },
+            let load: f64 = opts.parse_or("load", 1.0)?;
+            if !load.is_finite() || load < 0.0 {
+                return Err(ArgError::new(format!(
+                    "--load must be a non-negative traffic load, got {load}"
+                )));
             }
+            let depth: usize = opts.parse_or("depth", 3)?;
+            if depth == 0 {
+                return Err(ArgError::new("--depth must be at least 1"));
+            }
+            let alpha = match opts.get("alpha") {
+                None => None,
+                Some(v) => {
+                    let a: f64 = v.parse().map_err(|_| {
+                        ArgError::new(format!("invalid value '{v}' for --alpha"))
+                    })?;
+                    if !a.is_finite() || a <= 0.0 || a > 1.0 {
+                        return Err(ArgError::new(format!(
+                            "--alpha must be in (0, 1], got {a}"
+                        )));
+                    }
+                    Some(a)
+                }
+            };
+            Command::Model { load, depth, alpha }
         }
         "export" => {
             let opts = split_options(rest)?;

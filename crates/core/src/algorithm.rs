@@ -351,7 +351,7 @@ mod tests {
         }
         let snap = hf.cost();
         let avg_hashes = snap.avg_hashes_per_packet();
-        assert!(avg_hashes >= 1.0 && avg_hashes <= 4.0, "avg {avg_hashes}");
+        assert!((1.0..=4.0).contains(&avg_hashes), "avg {avg_hashes}");
         assert!(snap.avg_memory_accesses_per_packet() <= 6.0);
     }
 

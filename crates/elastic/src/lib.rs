@@ -414,7 +414,7 @@ mod tests {
         }
         // 3 heavy stages + 1 light hash = worst case 4 (§IV-A).
         let avg = es.cost().avg_hashes_per_packet();
-        assert!(avg >= 1.0 && avg <= 4.0, "avg {avg}");
+        assert!((1.0..=4.0).contains(&avg), "avg {avg}");
     }
 
     #[test]

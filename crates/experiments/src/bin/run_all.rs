@@ -4,6 +4,9 @@
 use experiments::{figs, output, RunConfig};
 use std::time::Instant;
 
+/// An exhibit-regeneration entry point.
+type Job = fn(&RunConfig) -> Vec<experiments::output::Table>;
+
 fn main() {
     let cfg = RunConfig::from_env();
     println!(
@@ -13,7 +16,7 @@ fn main() {
         cfg.out_dir.display()
     );
     let mut all_tables = Vec::new();
-    let jobs: Vec<(&str, fn(&RunConfig) -> Vec<experiments::output::Table>)> = vec![
+    let jobs: Vec<(&str, Job)> = vec![
         ("table01+fig03", figs::table01_traces::run),
         ("fig02", figs::fig02_utilization::run),
         ("fig04", figs::fig04_depth::run),

@@ -76,7 +76,7 @@ impl RunConfig {
     pub fn for_tests(scale: f64) -> Self {
         RunConfig {
             scale,
-            out_dir: PathBuf::from(std::env::temp_dir()).join("hashflow-experiments-test"),
+            out_dir: std::env::temp_dir().join("hashflow-experiments-test"),
             seed: 7,
             trials: 1,
         }

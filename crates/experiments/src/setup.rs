@@ -81,18 +81,62 @@ where
     for _ in hashflow_trace::ALL_PROFILES {
         out.push(None);
     }
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, profile) in hashflow_trace::ALL_PROFILES.into_iter().enumerate() {
             let f = &f;
-            handles.push((i, scope.spawn(move |_| (profile, f(profile)))));
+            handles.push((i, scope.spawn(move || (profile, f(profile)))));
         }
         for (i, h) in handles {
             out[i] = Some(h.join().expect("experiment worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+/// One `(flow_count, algorithm_name, metric_value)` row per run of a
+/// comparison sweep.
+pub type SweepRows = Vec<(usize, &'static str, f64)>;
+
+/// Shared driver for the Fig. 6/7/8 comparison sweeps: for every profile
+/// (in parallel) and every flow count in `sweep`, runs the four §IV
+/// algorithms at the standard budget and extracts one metric per run.
+///
+/// Returns `(profile, rows)` where each row is
+/// `(flow_count, algorithm_name, metric_value)`.
+pub fn comparison_sweep<F>(
+    cfg: &RunConfig,
+    sweep: &[usize],
+    metric: F,
+) -> Vec<(TraceProfile, SweepRows)>
+where
+    F: Fn(&hashflow_metrics::EvaluationReport) -> f64 + Sync,
+{
+    let budget = standard_budget(cfg);
+    per_profile(|profile| {
+        let mut rows = Vec::new();
+        for &flows in sweep {
+            // Accumulate metric sums per algorithm across trials.
+            let mut sums: Vec<(&'static str, f64)> = Vec::new();
+            for trial in 0..cfg.trials.max(1) {
+                let seed = cfg.trial_seed(trial);
+                let trace = TraceGenerator::new(profile, seed).generate(flows);
+                for (i, monitor) in comparison_monitors(budget, seed).iter_mut().enumerate() {
+                    let report = hashflow_metrics::evaluate(monitor.as_mut(), &trace, &[]);
+                    let value = metric(&report);
+                    match sums.get_mut(i) {
+                        Some((_, sum)) => *sum += value,
+                        None => sums.push((report.algorithm, value)),
+                    }
+                }
+            }
+            let trials = cfg.trials.max(1) as f64;
+            for (algorithm, sum) in sums {
+                rows.push((flows, algorithm, sum / trials));
+            }
+        }
+        rows
+    })
 }
 
 #[cfg(test)]
@@ -146,45 +190,4 @@ mod tests {
         let cfg = RunConfig::for_tests(1e-9);
         assert!(standard_budget(&cfg).bytes() >= 16 * 1024);
     }
-}
-
-/// Shared driver for the Fig. 6/7/8 comparison sweeps: for every profile
-/// (in parallel) and every flow count in `sweep`, runs the four §IV
-/// algorithms at the standard budget and extracts one metric per run.
-///
-/// Returns `(profile, rows)` where each row is
-/// `(flow_count, algorithm_name, metric_value)`.
-pub fn comparison_sweep<F>(
-    cfg: &RunConfig,
-    sweep: &[usize],
-    metric: F,
-) -> Vec<(TraceProfile, Vec<(usize, &'static str, f64)>)>
-where
-    F: Fn(&hashflow_metrics::EvaluationReport) -> f64 + Sync,
-{
-    let budget = standard_budget(cfg);
-    per_profile(|profile| {
-        let mut rows = Vec::new();
-        for &flows in sweep {
-            // Accumulate metric sums per algorithm across trials.
-            let mut sums: Vec<(&'static str, f64)> = Vec::new();
-            for trial in 0..cfg.trials.max(1) {
-                let seed = cfg.trial_seed(trial);
-                let trace = TraceGenerator::new(profile, seed).generate(flows);
-                for (i, monitor) in comparison_monitors(budget, seed).iter_mut().enumerate() {
-                    let report = hashflow_metrics::evaluate(monitor.as_mut(), &trace, &[]);
-                    let value = metric(&report);
-                    match sums.get_mut(i) {
-                        Some((_, sum)) => *sum += value,
-                        None => sums.push((report.algorithm, value)),
-                    }
-                }
-            }
-            let trials = cfg.trials.max(1) as f64;
-            for (algorithm, sum) in sums {
-                rows.push((flows, algorithm, sum / trials));
-            }
-        }
-        rows
-    })
 }

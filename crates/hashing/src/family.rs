@@ -117,7 +117,7 @@ impl<H: KeyHasher> HashFamily<H> {
 /// assert_eq!(digest_from_hash(0xab, 8), 0xab);
 /// ```
 pub fn digest_from_hash(hash: u64, width: u32) -> u32 {
-    assert!(width >= 1 && width <= 32, "digest width must be in 1..=32");
+    assert!((1..=32).contains(&width), "digest width must be in 1..=32");
     let mask = if width == 32 {
         u32::MAX
     } else {
@@ -182,7 +182,7 @@ mod tests {
     fn digest_never_zero() {
         for h in 0..10_000u64 {
             let d = digest_from_hash(h << 8, 8);
-            assert!(d >= 1 && d <= 0xff);
+            assert!((1..=0xff).contains(&d));
         }
         assert_eq!(digest_from_hash(u64::MAX, 32), u32::MAX);
     }

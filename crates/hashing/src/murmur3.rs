@@ -82,6 +82,23 @@ mod tests {
         assert_eq!(murmur3_x86_32(b"", 1), 0x514e_28b7);
         assert_eq!(murmur3_x86_32(b"", 0xffff_ffff), 0x81f1_6f39);
         assert_eq!(murmur3_x86_32(b"test", 0), 0xba6b_d213);
+        assert_eq!(murmur3_x86_32(b"test", 0x9747_b28c), 0x704b_81dc);
+        assert_eq!(murmur3_x86_32(b"Hello, world!", 0), 0xc036_3e43);
+        assert_eq!(murmur3_x86_32(b"Hello, world!", 0x9747_b28c), 0x2488_4cba);
+        assert_eq!(
+            murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747_b28c),
+            0x2fa8_26cd
+        );
+    }
+
+    // Every tail length (input length mod 4) exercises a distinct code path;
+    // pin all of them with the classic incremental-"a" vectors.
+    #[test]
+    fn reference_vectors_cover_all_tail_lengths() {
+        assert_eq!(murmur3_x86_32(b"a", 0x9747_b28c), 0x7fa0_9ea6);
+        assert_eq!(murmur3_x86_32(b"aa", 0x9747_b28c), 0x5d21_1726);
+        assert_eq!(murmur3_x86_32(b"aaa", 0x9747_b28c), 0x283e_0130);
+        assert_eq!(murmur3_x86_32(b"aaaa", 0x9747_b28c), 0x5a97_808a);
     }
 
     #[test]

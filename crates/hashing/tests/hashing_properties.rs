@@ -1,0 +1,185 @@
+//! Statistical and determinism properties of the hashing crate, exercised
+//! through its public API only.
+//!
+//! Three groups:
+//! * known-answer sanity for the widened [`Murmur3`] (the canonical 32-bit
+//!   vectors live next to the private reference function),
+//! * independence checks for [`TabulationHash`] (the paper's ball-and-urn
+//!   analysis in §III-B assumes the hash family behaves independently),
+//! * determinism of [`HashFamily`] under a fixed master seed.
+
+use hashflow_hashing::{
+    digest_from_hash, fast_range, HashFamily, KeyHasher, Murmur3, TabulationHash, XxHash64,
+};
+use hashflow_types::FlowKey;
+
+fn keys(n: u64) -> impl Iterator<Item = FlowKey> {
+    (0..n).map(FlowKey::from_index)
+}
+
+// --- Murmur3 (widened 64-bit construction) -------------------------------
+
+/// The widened hash must change whenever the underlying 32-bit hash does,
+/// and its halves must come from decorrelated seeds: pin the structural
+/// properties on a fixed corpus.
+#[test]
+fn murmur3_widened_is_injective_on_small_corpus() {
+    let h = Murmur3::with_seed(0);
+    let mut seen = std::collections::HashSet::new();
+    for key in keys(50_000) {
+        assert!(seen.insert(h.hash_key(&key)), "collision at {key:?}");
+    }
+}
+
+#[test]
+fn murmur3_empty_and_prefix_inputs_distinct() {
+    let h = Murmur3::with_seed(1);
+    let outputs = [
+        h.hash_bytes(b""),
+        h.hash_bytes(b"\0"),
+        h.hash_bytes(b"\0\0"),
+        h.hash_bytes(b"a"),
+        h.hash_bytes(b"ab"),
+        h.hash_bytes(b"abc"),
+        h.hash_bytes(b"abcd"),
+        h.hash_bytes(b"abcde"),
+    ];
+    let distinct: std::collections::HashSet<u64> = outputs.iter().copied().collect();
+    assert_eq!(distinct.len(), outputs.len());
+}
+
+// --- Tabulation independence ---------------------------------------------
+
+/// Pairwise (2-)independence proxy: for distinct keys x != y the events
+/// "bucket(x) == bucket(y)" should occur with probability about 1/n.
+#[test]
+fn tabulation_pairwise_collision_rate_matches_uniform() {
+    let h = TabulationHash::with_seed(42);
+    let n = 64usize;
+    let trials = 40_000;
+    let mut collisions = 0usize;
+    for i in 0..trials as u64 {
+        let a = fast_range(h.hash_key(&FlowKey::from_index(2 * i)), n);
+        let b = fast_range(h.hash_key(&FlowKey::from_index(2 * i + 1)), n);
+        if a == b {
+            collisions += 1;
+        }
+    }
+    let expected = trials as f64 / n as f64; // 625
+    let got = collisions as f64;
+    assert!(
+        (got - expected).abs() < expected * 0.25,
+        "collision count {got} vs expected {expected}"
+    );
+}
+
+/// Every output bit should be unbiased: across many keys, each of the 64
+/// bits is set about half the time.
+#[test]
+fn tabulation_output_bits_are_unbiased() {
+    let h = TabulationHash::with_seed(7);
+    let trials = 20_000u64;
+    let mut ones = [0u32; 64];
+    for key in keys(trials) {
+        let v = h.hash_key(&key);
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += ((v >> bit) & 1) as u32;
+        }
+    }
+    let expect = trials as f64 / 2.0;
+    for (bit, &count) in ones.iter().enumerate() {
+        assert!(
+            (f64::from(count) - expect).abs() < expect * 0.05,
+            "bit {bit} set {count} times, expected about {expect}"
+        );
+    }
+}
+
+/// Keys differing in a single byte of the five-tuple must land in
+/// uncorrelated buckets (no alignment artifacts from the per-position
+/// tables).
+#[test]
+fn tabulation_single_byte_neighbors_spread_uniformly() {
+    let h = TabulationHash::with_seed(13);
+    let n = 32usize;
+    let trials = 20_000u64;
+    let mut histogram = vec![0usize; n];
+    for i in 0..trials {
+        let base = FlowKey::from_index(i);
+        let neighbor = FlowKey::from_index(i ^ 1);
+        let delta =
+            (fast_range(h.hash_key(&base), n) + n - fast_range(h.hash_key(&neighbor), n)) % n;
+        histogram[delta] += 1;
+    }
+    let expect = trials as f64 / n as f64;
+    for (delta, &count) in histogram.iter().enumerate() {
+        assert!(
+            (count as f64 - expect).abs() < expect * 0.25,
+            "bucket distance {delta} hit {count} times, expected about {expect}"
+        );
+    }
+}
+
+// --- Family determinism under a fixed seed --------------------------------
+
+fn family_fingerprint<H: KeyHasher>(members: usize, seed: u64) -> Vec<u64> {
+    let family = HashFamily::<H>::new(members, seed);
+    let mut out = Vec::new();
+    for key in keys(256) {
+        for i in 0..members {
+            out.push(family.hash(i, &key));
+        }
+    }
+    out
+}
+
+#[test]
+fn families_are_deterministic_under_fixed_seed() {
+    assert_eq!(
+        family_fingerprint::<XxHash64>(4, 0xdead_beef),
+        family_fingerprint::<XxHash64>(4, 0xdead_beef)
+    );
+    assert_eq!(
+        family_fingerprint::<Murmur3>(4, 0xdead_beef),
+        family_fingerprint::<Murmur3>(4, 0xdead_beef)
+    );
+    assert_eq!(
+        family_fingerprint::<TabulationHash>(4, 0xdead_beef),
+        family_fingerprint::<TabulationHash>(4, 0xdead_beef)
+    );
+}
+
+#[test]
+fn families_differ_across_seeds_and_hashers() {
+    let a = family_fingerprint::<XxHash64>(3, 1);
+    let b = family_fingerprint::<XxHash64>(3, 2);
+    assert_ne!(a, b, "different master seeds must give different families");
+    let c = family_fingerprint::<Murmur3>(3, 1);
+    assert_ne!(a, c, "different hashers must not produce the same stream");
+}
+
+/// A family's member list is a pure function of (members, seed): growing the
+/// family must not change the earlier members.
+#[test]
+fn family_members_stable_under_growth() {
+    let small = HashFamily::<XxHash64>::new(2, 99);
+    let large = HashFamily::<XxHash64>::new(6, 99);
+    for key in keys(64) {
+        for i in 0..2 {
+            assert_eq!(small.hash(i, &key), large.hash(i, &key), "member {i}");
+        }
+    }
+}
+
+/// Digest extraction is deterministic and never produces the reserved
+/// empty-cell value, whatever hash feeds it.
+#[test]
+fn digests_from_any_family_member_are_nonzero() {
+    let family = HashFamily::<TabulationHash>::new(3, 5);
+    for key in keys(10_000) {
+        for i in 0..3 {
+            let d = digest_from_hash(family.hash(i, &key), 12);
+            assert!((1..1 << 12).contains(&d));
+        }
+    }
+}

@@ -323,7 +323,7 @@ mod tests {
             hp.process_packet(&pkt(i % 4_000));
         }
         let avg = hp.cost().avg_hashes_per_packet();
-        assert!(avg >= 1.0 && avg <= 4.0, "avg hashes {avg}");
+        assert!((1.0..=4.0).contains(&avg), "avg hashes {avg}");
     }
 
     #[test]

@@ -80,9 +80,9 @@ impl MemoryBudget {
 
 impl std::fmt::Display for MemoryBudget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.bytes % (1 << 20) == 0 {
+        if self.bytes.is_multiple_of(1 << 20) {
             write!(f, "{} MiB", self.bytes >> 20)
-        } else if self.bytes % 1024 == 0 {
+        } else if self.bytes.is_multiple_of(1024) {
             write!(f, "{} KiB", self.bytes >> 10)
         } else {
             write!(f, "{} B", self.bytes)

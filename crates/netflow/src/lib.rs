@@ -46,6 +46,7 @@ pub const MAX_RECORDS_PER_DATAGRAM: usize = 30;
 
 /// Exporter-level metadata stamped into datagram headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub struct ExportMeta {
     /// Milliseconds since device boot.
     pub sys_uptime_ms: u32,
@@ -61,18 +62,6 @@ pub struct ExportMeta {
     pub sampling_interval: u16,
 }
 
-impl Default for ExportMeta {
-    fn default() -> Self {
-        ExportMeta {
-            sys_uptime_ms: 0,
-            unix_secs: 0,
-            unix_nsecs: 0,
-            engine_type: 0,
-            engine_id: 0,
-            sampling_interval: 0,
-        }
-    }
-}
 
 /// Stateful v5 exporter: maintains the running `flow_sequence` counter
 /// across datagrams, as a real exporter must.

@@ -54,7 +54,7 @@ pub fn schedule(
     seed: u64,
 ) -> Vec<Packet> {
     assert!(window_ns > 0, "window must be positive");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xa441_7a1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0a44_17a1);
 
     // Group the packets per flow, preserving per-flow order.
     let mut per_flow: std::collections::HashMap<hashflow_types::FlowKey, Vec<Packet>> =
@@ -73,7 +73,7 @@ pub fn schedule(
         for (i, p) in packets.into_iter().enumerate() {
             // Spread packets over the lifetime with jitter.
             let base = start + (i as u64).saturating_mul(lifetime / n.max(1));
-            let ts = base + rng.gen_range(0..1_000);
+            let ts = base + rng.gen_range(0u64..1_000);
             out.push(p.with_timestamp(ts.min(window_ns)));
         }
     }

@@ -3,6 +3,7 @@ use crate::profile::TraceProfile;
 use crate::stats::TraceStats;
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// A generated packet trace with known per-flow ground truth.
@@ -112,11 +113,23 @@ impl TraceGenerator {
         // Disjoint key spaces per (profile, seed) so cross-trace tests never
         // alias flows.
         let key_base = rng.gen::<u64>() & 0x7fff_ffff_ffff_0000;
-        let mut truth = Vec::with_capacity(flows);
-        for i in 0..flows {
-            let size = sampler.sample(&mut rng) as u32;
-            truth.push(FlowRecord::new(FlowKey::from_index(key_base + i as u64), size));
-        }
+
+        // §IV-A selects a constant number of flows from a fixed capture, so
+        // the realized size distribution of a selection tracks the capture's
+        // (Table I) distribution far more tightly than iid sampling of a
+        // heavy-tailed law ever would. Model that with stratified quantile
+        // sampling — one size per probability stratum, assigned to flows in
+        // seeded random order — which pins the realized average near the
+        // Table I target at any trace size.
+        let mut sizes: Vec<u32> = (0..flows)
+            .map(|i| sampler.quantile((i as f64 + 0.5) / flows as f64) as u32)
+            .collect();
+        sizes.shuffle(&mut rng);
+        let truth: Vec<FlowRecord> = sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, size)| FlowRecord::new(FlowKey::from_index(key_base + i as u64), size))
+            .collect();
 
         // Lay out each flow's packets with sampled wire lengths, then hand
         // the groups to the interleaver for arrival ordering.

@@ -314,7 +314,7 @@ mod tests {
     fn error_display_and_source() {
         let e = PcapError::BadMagic(1);
         assert!(e.to_string().contains("magic"));
-        let io = PcapError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = PcapError::from(std::io::Error::other("x"));
         assert!(Error::source(&io).is_some());
     }
 }

@@ -126,10 +126,17 @@ impl PowerLawSampler {
 
     /// Draws one flow size in `[1, cap]`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        // P(S >= s) = s^{-a}  <=>  S = floor(U^{-1/a}) for U ~ Uniform(0,1],
-        // then clamp the (rare) over-cap draws to the cap, which is how the
-        // realized per-trace maxima of Table I behave as hard limits.
-        let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+        self.quantile(rng.gen_range(f64::EPSILON..=1.0))
+    }
+
+    /// The flow size at tail-quantile `u ∈ (0, 1]`: the inverse transform
+    /// behind [`Self::sample`].
+    ///
+    /// `P(S >= s) = s^{-a}  <=>  S = floor(u^{-1/a})` for `u ~ Uniform(0,1]`,
+    /// with the (rare) over-cap values clamped to the cap, which is how the
+    /// realized per-trace maxima of Table I behave as hard limits.
+    pub fn quantile(&self, u: f64) -> u64 {
+        assert!(u > 0.0 && u <= 1.0, "quantile argument {u} outside (0, 1]");
         let s = u.powf(-1.0 / self.a).floor();
         if s < 1.0 {
             1

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cardinality estimate: {:.0}", monitor.estimate_cardinality());
 
     let mut top: Vec<FlowRecord> = monitor.flow_records();
-    top.sort_by(|a, b| b.count().cmp(&a.count()));
+    top.sort_by_key(|r| std::cmp::Reverse(r.count()));
     println!("\ntop flows by recorded packets:");
     for rec in top.iter().take(8) {
         println!("  {:>6} pkts  {}", rec.count(), rec.key());

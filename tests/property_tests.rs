@@ -47,8 +47,8 @@ proptest! {
             packed.add(idx, delta);
             reference[idx] = (reference[idx].saturating_add(delta)).min(max);
         }
-        for i in 0..50 {
-            prop_assert_eq!(packed.get(i), reference[i], "cell {}", i);
+        for (i, &want) in reference.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), want, "cell {}", i);
         }
     }
 

@@ -1,0 +1,275 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment is offline, so this vendored crate implements the
+//! subset of the criterion API the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain wall-clock
+//! timer: each benchmark is warmed up briefly, then timed over a fixed
+//! number of batches, and the median per-iteration time (plus derived
+//! throughput) is printed. No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group; mirrors
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Units of work per iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration duration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms have passed to fault in caches/pages.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick a batch size aiming for ~5ms per batch.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = ((5_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(15);
+        for _ in 0..15 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / batch as u32);
+        }
+        samples.sort_unstable();
+        self.elapsed_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks; mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-of-work used to derive a rate for later benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness always times a fixed
+    /// number of batches.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Bencher::iter`] for the actual
+    /// timing policy.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up length is fixed.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, b.elapsed_per_iter);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, b.elapsed_per_iter);
+        self
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, per_iter: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / per_iter.as_secs_f64().max(1e-12);
+                format!("  {:>14.1} elem/s", per_sec)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>14.1} MiB/s",
+                    n as f64 / per_iter.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} {:>12}{}",
+            self.name,
+            id.id,
+            format!("{:?}", per_iter),
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The top-level harness handle; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark function;
+/// mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("noop", 0), |b| {
+            b.iter(|| black_box(1u64 + 1))
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`,
+//! integer/float range strategies, tuple strategies, and
+//! `prop::collection::{vec, hash_set}`. Inputs are sampled from a
+//! deterministic per-test RNG (seeded from the test name), so failures are
+//! reproducible run-to-run. Unlike upstream proptest there is **no
+//! shrinking**: a failing case reports the case index and panics with the
+//! original assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies. A thin wrapper so strategy impls don't
+/// depend on the vendored `rand` internals.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for case number `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ u64::from(case)))
+    }
+
+    /// Returns the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Test-runner configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy for "any value of `T`"; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen::<$t>(rng.rng())
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng.rng(), self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng.rng(), self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng.rng(), self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+
+/// Size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty size range");
+        SizeRange { min, max: max + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies, mirroring `proptest::collection`.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use std::collections::HashSet;
+        use std::hash::Hash;
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rand::Rng::gen_range(rng.rng(), self.size.min()..self.size.max());
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+        pub struct HashSetStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Generates hash sets whose elements come from `elem`.
+        ///
+        /// Best-effort: if the element domain is too small to reach the
+        /// sampled size, the set is returned once progress stalls (upstream
+        /// proptest rejects instead).
+        pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            HashSetStrategy { elem, size: size.into() }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let want = rand::Rng::gen_range(rng.rng(), self.size.min()..self.size.max());
+                let mut out = HashSet::new();
+                let mut stale = 0usize;
+                while out.len() < want && stale < 1000 {
+                    if out.insert(self.elem.generate(rng)) {
+                        stale = 0;
+                    } else {
+                        stale += 1;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl SizeRange {
+    fn min(&self) -> usize {
+        self.min
+    }
+    fn max(&self) -> usize {
+        self.max
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property; panics with the case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+///
+/// Each function body runs once per case with its arguments drawn from the
+/// given strategies. Inputs are deterministic per (test name, case index).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in 1u32..=4, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn hash_set_sizes_respected(s in prop::collection::hash_set(0u64..10_000, 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((x, y) in (0u8..4, 10u8..14)) {
+            prop_assert!(x < 4 && (10..14).contains(&y));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let strat = prop::collection::vec(any::<u64>(), 3..10);
+        let a = strat.generate(&mut crate::TestRng::for_case("t", 5));
+        let b = strat.generate(&mut crate::TestRng::for_case("t", 5));
+        assert_eq!(a, b);
+        let c = strat.generate(&mut crate::TestRng::for_case("t", 6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for name in ["alpha", "beta", "gamma"] {
+            let v = any::<u64>().generate(&mut crate::TestRng::for_case(name, 0));
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 1));
+    }
+}
