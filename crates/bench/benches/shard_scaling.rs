@@ -1,0 +1,65 @@
+//! Shard-scaling throughput of `ShardedMonitor<HashFlow>` on the CAIDA
+//! profile at N = 1/2/4/8 shards (beyond the paper's single-core §IV-D).
+//!
+//! Two measurements per shard count:
+//!
+//! * `ingest` — the real threaded path (dispatcher + N workers over
+//!   bounded batch queues). Its wall clock reflects *this* machine's core
+//!   count; on a box with >= N cores it approaches the critical path.
+//! * `lanes`  — the contention-free serial pass behind the modeled
+//!   one-core-per-shard numbers (`experiments --bin scaling_shards`
+//!   derives the critical-path model from the same measurement).
+//!
+//! Each timed iteration includes `reset()` (the vendored criterion has
+//! no `iter_batched` to exclude setup). Zeroing the 256 KiB budget costs
+//! ~1% of a 20K-packet ingest and is identical across shard counts, so
+//! relative numbers are unaffected; the clean absolute throughput is the
+//! `scaling_shards` exhibit's, which times ingest alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashflow_bench::{bench_sharded_hashflow, bench_trace};
+use hashflow_monitor::FlowMonitor;
+use hashflow_trace::TraceProfile;
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let trace = bench_trace(TraceProfile::Caida, 20_000);
+    group.throughput(Throughput::Elements(trace.packets().len() as u64));
+
+    for shards in SHARD_COUNTS {
+        let mut monitor = bench_sharded_hashflow(shards);
+        group.bench_with_input(
+            BenchmarkId::new("ingest", shards),
+            trace.packets(),
+            |b, packets| {
+                b.iter(|| {
+                    monitor.reset();
+                    monitor.ingest(packets).packets
+                })
+            },
+        );
+        let mut monitor = bench_sharded_hashflow(shards);
+        group.bench_with_input(
+            BenchmarkId::new("lanes", shards),
+            trace.packets(),
+            |b, packets| {
+                b.iter(|| {
+                    monitor.reset();
+                    monitor.lane_timings(packets).critical_path_ns()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

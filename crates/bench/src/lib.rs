@@ -10,7 +10,10 @@
 //! * `flowradar_decode` — decode cost below and above the decode cliff;
 //! * `table_schemes` — multi-hash vs pipelined main-table probes
 //!   (the design ablation of Fig. 2/5);
-//! * `query_latency` — per-flow size queries for each algorithm.
+//! * `query_latency` — per-flow size queries for each algorithm;
+//! * `shard_scaling` — threaded `ShardedMonitor<HashFlow>` ingestion at
+//!   N = 1/2/4/8 shards (beyond the paper; the modeled one-core-per-shard
+//!   numbers come from `cargo run -p experiments --bin scaling_shards`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +22,7 @@ use elastic_sketch::ElasticSketch;
 use flowradar::FlowRadar;
 use hashflow_core::HashFlow;
 use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_shard::ShardedMonitor;
 use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
 use hashpipe::HashPipe;
 
@@ -56,6 +60,13 @@ pub fn bench_monitors() -> Vec<(&'static str, Box<dyn FlowMonitor>)> {
     ]
 }
 
+/// A sharded HashFlow at the benchmark budget: `shards` equal sub-budgets
+/// summing to at most [`bench_budget`], identical configuration per shard.
+pub fn bench_sharded_hashflow(shards: usize) -> ShardedMonitor<HashFlow> {
+    ShardedMonitor::with_budget(shards, bench_budget(), |_, b| HashFlow::with_memory(b))
+        .expect("bench budget splits into any bench shard count")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +75,8 @@ mod tests {
     fn helpers_construct() {
         assert_eq!(bench_monitors().len(), 4);
         assert_eq!(bench_trace(TraceProfile::Isp2, 100).flow_count(), 100);
+        let sharded = bench_sharded_hashflow(4);
+        assert_eq!(sharded.shard_count(), 4);
+        assert!(sharded.memory_bits() <= bench_budget().bits());
     }
 }

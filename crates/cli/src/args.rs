@@ -15,6 +15,13 @@ commands:
                                                         [default: hashflow]
       --threshold <T>       heavy-hitter threshold      [default: 100]
       --top <K>             flows to list               [default: 10]
+      --shards <N>          parallel ingest shards      [default: 1]
+                            each flow is pinned to one shard by hashing
+                            its key; the memory budget is split into N
+                            equal shard budgets whose sum never exceeds
+                            the single-monitor budget (the remainder of
+                            the division is dropped, not rounded up);
+                            supported by hashflow, flowradar and netflow
   generate                  write a synthetic trace as pcap
       --profile <name>      caida|campus|isp1|isp2      [default: caida]
       --flows <N>           number of flows             [default: 10000]
@@ -102,6 +109,8 @@ pub enum Command {
         threshold: u32,
         /// How many top flows to list.
         top: usize,
+        /// Parallel ingest shards (1 = the single-core paper setup).
+        shards: usize,
     },
     /// Generate a synthetic pcap.
     Generate {
@@ -237,12 +246,16 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
         "help" | "--help" | "-h" => Command::Help,
         "analyze" => {
             let opts = split_options(rest)?;
-            opts.reject_unknown(&["memory-kib", "algorithm", "threshold", "top"])?;
+            opts.reject_unknown(&["memory-kib", "algorithm", "threshold", "top", "shards"])?;
             let path = opts
                 .positional
                 .first()
                 .ok_or_else(|| ArgError::new("analyze needs a capture path"))?
                 .to_string();
+            let shards: usize = opts.parse_or("shards", 1)?;
+            if shards == 0 {
+                return Err(ArgError::new("--shards must be at least 1"));
+            }
             Command::Analyze {
                 path,
                 memory_kib: opts.parse_or("memory-kib", 256)?,
@@ -252,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 },
                 threshold: opts.parse_or("threshold", 100)?,
                 top: opts.parse_or("top", 10)?,
+                shards,
             }
         }
         "generate" => {
@@ -351,12 +365,14 @@ mod tests {
                 algorithm,
                 threshold,
                 top,
+                shards,
             } => {
                 assert_eq!(path, "cap.pcap");
                 assert_eq!(memory_kib, 256);
                 assert_eq!(algorithm, AlgorithmName::HashFlow);
                 assert_eq!(threshold, 100);
                 assert_eq!(top, 10);
+                assert_eq!(shards, 1);
             }
             other => panic!("{other:?}"),
         }
@@ -379,6 +395,21 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn shards_flag_is_validated() {
+        let p = parse(&argv("analyze cap.pcap --shards 4")).unwrap();
+        match p.command {
+            Command::Analyze { shards, .. } => assert_eq!(shards, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("analyze cap.pcap --shards 0")).is_err());
+        assert!(parse(&argv("analyze cap.pcap --shards -1")).is_err());
+        assert!(parse(&argv("analyze cap.pcap --shards many")).is_err());
+        // Documented in --help, including the budget-splitting rule.
+        assert!(USAGE.contains("--shards"));
+        assert!(USAGE.contains("split into N"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use flowradar::FlowRadar;
 use hashflow_core::{model, HashFlow};
 use hashflow_metrics::{evaluate, GroundTruth};
 use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_shard::ShardedMonitor;
 use hashflow_trace::{read_pcap, write_pcap, TraceGenerator};
 use netflow_export::{ExportMeta, Exporter};
 use hashpipe::HashPipe;
@@ -27,6 +28,40 @@ fn build(algorithm: AlgorithmName, budget: MemoryBudget) -> Result<Box<dyn FlowM
     })
 }
 
+/// Builds an N-shard monitor for the algorithms implementing the merge
+/// layer; `process_trace` on the result runs the threaded ingest path.
+fn build_sharded(
+    algorithm: AlgorithmName,
+    budget: MemoryBudget,
+    shards: usize,
+) -> Result<Box<dyn FlowMonitor>, Box<dyn Error>> {
+    if shards == 1 {
+        return build(algorithm, budget);
+    }
+    Ok(match algorithm {
+        AlgorithmName::HashFlow => Box::new(ShardedMonitor::with_budget(
+            shards,
+            budget,
+            |_, b| HashFlow::with_memory(b),
+        )?),
+        AlgorithmName::FlowRadar => Box::new(ShardedMonitor::with_budget(
+            shards,
+            budget,
+            |_, b| FlowRadar::with_memory(b),
+        )?),
+        AlgorithmName::NetFlow => Box::new(ShardedMonitor::with_budget(
+            shards,
+            budget,
+            |_, b| SampledNetFlow::with_memory(b, 1),
+        )?),
+        AlgorithmName::HashPipe | AlgorithmName::Elastic => {
+            return Err("--shards: this algorithm does not implement the merge layer; \
+                 use hashflow, flowradar or netflow"
+                .into())
+        }
+    })
+}
+
 /// Executes a parsed command and returns its rendered report.
 ///
 /// # Errors
@@ -41,7 +76,8 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             algorithm,
             threshold,
             top,
-        } => analyze(path, *memory_kib, *algorithm, *threshold, *top),
+            shards,
+        } => analyze(path, *memory_kib, *algorithm, *threshold, *top, *shards),
         Command::Generate {
             profile,
             flows,
@@ -125,10 +161,11 @@ fn analyze(
     algorithm: AlgorithmName,
     threshold: u32,
     top: usize,
+    shards: usize,
 ) -> Result<String, Box<dyn Error>> {
     let packets = read_pcap(BufReader::new(File::open(path)?))?;
     let budget = MemoryBudget::from_kib(memory_kib)?;
-    let mut monitor = build(algorithm, budget)?;
+    let mut monitor = build_sharded(algorithm, budget, shards)?;
     monitor.process_trace(&packets);
     let truth = GroundTruth::from_packets(&packets);
 
@@ -140,12 +177,23 @@ fn analyze(
         packets.len(),
         truth.flow_count()
     );
-    let _ = writeln!(
-        out,
-        "algorithm: {} ({} budget)\n",
-        monitor.name(),
-        budget
-    );
+    if shards > 1 {
+        let _ = writeln!(
+            out,
+            "algorithm: {} ({} budget over {} shards of {} each)\n",
+            monitor.name(),
+            budget,
+            shards,
+            budget.split(shards)?,
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "algorithm: {} ({} budget)\n",
+            monitor.name(),
+            budget
+        );
+    }
     let records = monitor.flow_records();
     let _ = writeln!(out, "records reported:    {}", records.len());
     let _ = writeln!(
@@ -321,5 +369,42 @@ mod tests {
     #[test]
     fn analyze_missing_file_errors() {
         assert!(run_line("analyze /definitely/not/here.pcap").is_err());
+    }
+
+    #[test]
+    fn analyze_sharded_matches_flow_universe() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("sharded.pcap");
+        run_line(&format!(
+            "generate --profile caida --flows 400 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        let out = run_line(&format!(
+            "analyze {} --memory-kib 256 --shards 4 --threshold 5",
+            pcap.display()
+        ))
+        .unwrap();
+        assert!(out.contains("4 shards"), "{out}");
+        assert!(out.contains("distinct flows: 400"), "{out}");
+        // Sharded analyze works for every merge-capable algorithm.
+        for alg in ["flowradar", "netflow"] {
+            let out = run_line(&format!(
+                "analyze {} --algorithm {alg} --memory-kib 256 --shards 2",
+                pcap.display()
+            ))
+            .unwrap();
+            assert!(out.contains("2 shards"), "{alg}: {out}");
+        }
+        // ... and reports a clear error for the rest.
+        for alg in ["elastic", "hashpipe"] {
+            let err = run_line(&format!(
+                "analyze {} --algorithm {alg} --shards 2",
+                pcap.display()
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("merge layer"), "{alg}: {err}");
+        }
     }
 }

@@ -124,6 +124,65 @@ impl AncillaryTable {
         self.counts.increment(slot) as u32
     }
 
+    /// Overwrites `slot` with `(digest, count)` — the merge-time variant of
+    /// [`Self::store`] for folding an already-accumulated summary in. The
+    /// count is clamped to `1..=max_count`.
+    pub fn store_counted(&mut self, slot: usize, digest: u32, count: u32) {
+        if self.counts.get(slot) == 0 {
+            self.occupied += 1;
+        }
+        self.digests.set(slot, u64::from(digest));
+        self.counts
+            .set(slot, u64::from(count.max(1)).min(self.max_count()));
+    }
+
+    /// Adds `delta` to the count at `slot`, saturating at
+    /// [`Self::max_count`].
+    pub fn add_count(&mut self, slot: usize, delta: u32) {
+        debug_assert!(self.counts.get(slot) > 0, "boosting an empty cell");
+        self.counts.add(slot, u64::from(delta));
+    }
+
+    /// The `(digest, count)` stored at `slot`, `None` when vacant.
+    pub fn entry(&self, slot: usize) -> Option<(u32, u32)> {
+        let count = self.counts.get(slot);
+        if count == 0 {
+            None
+        } else {
+            (self.digests.get(slot) as u32, count as u32).into()
+        }
+    }
+
+    /// Folds `other`'s summaries into `self` slot-wise. Both tables must
+    /// share geometry and seed (the [`crate::HashFlow`] merge contract):
+    /// matching digests add their counts, and a digest conflict keeps the
+    /// larger summary — the same "aggressive replacement" preference the
+    /// live update applies (Algorithm 1, lines 16–17).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables have different cell counts or digest widths.
+    pub fn merge_from(&mut self, other: &AncillaryTable) {
+        assert_eq!(
+            (self.len(), self.digest_bits),
+            (other.len(), other.digest_bits),
+            "cannot merge ancillary tables of different geometry"
+        );
+        for slot in 0..self.len() {
+            let Some((digest, count)) = other.entry(slot) else {
+                continue;
+            };
+            match self.entry(slot) {
+                None => self.store_counted(slot, digest, count),
+                Some((mine, _)) if mine == digest => self.add_count(slot, count),
+                Some((_, resident)) if resident < count => {
+                    self.store_counted(slot, digest, count)
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
     /// Number of non-empty buckets.
     pub const fn occupied(&self) -> usize {
         self.occupied

@@ -80,6 +80,21 @@ impl HashFlowConfig {
         HashFlowConfigBuilder::default()
     }
 
+    /// Starts a builder pre-populated with this configuration, for
+    /// deriving variants (a different seed per shard, an ablation toggle)
+    /// without restating the geometry.
+    pub fn rebuild(&self) -> HashFlowConfigBuilder {
+        HashFlowConfigBuilder {
+            scheme: self.scheme,
+            main_cells: self.main_cells,
+            ancillary_cells: Some(self.ancillary_cells),
+            digest_bits: self.digest_bits,
+            ancillary_counter_bits: self.ancillary_counter_bits,
+            seed: self.seed,
+            promotion_enabled: self.promotion_enabled,
+        }
+    }
+
     /// The main-table organization.
     pub const fn scheme(&self) -> TableScheme {
         self.scheme

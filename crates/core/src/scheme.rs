@@ -325,6 +325,49 @@ impl MainTable {
         *bucket = FlowRecord::new(key, count.max(1));
     }
 
+    /// Inserts a whole flow record (the collector-side merge counterpart
+    /// of [`Self::probe`]): first empty probed bucket takes the record, a
+    /// key match adds the counts, and on full collision the record with
+    /// the *smaller* count loses — exactly the preference order the
+    /// promotion rule enforces during live collection.
+    ///
+    /// Returns `None` when the record was fully absorbed, or
+    /// `Some(loser)` carrying the record that had to be dropped (either
+    /// the incoming one or an evicted sentinel), so the caller can fold
+    /// it into an ancillary summary instead of losing it silently.
+    pub fn insert_record(&mut self, record: FlowRecord) -> Option<FlowRecord> {
+        let key = record.key();
+        let h1 = self.first_hash(&key);
+        let mut min_count = u32::MAX;
+        let mut sentinel = usize::MAX;
+        for i in 0..self.scheme.depth() {
+            let idx = self.slot(i, &key, h1);
+            let resident = self.buckets[idx];
+            if resident.count() == 0 {
+                self.buckets[idx] = FlowRecord::new(key, record.count().max(1));
+                self.occupied += 1;
+                return None;
+            }
+            if resident.key() == key {
+                let mut updated = resident;
+                updated.set_count(resident.count().saturating_add(record.count()));
+                self.buckets[idx] = updated;
+                return None;
+            }
+            if resident.count() < min_count {
+                min_count = resident.count();
+                sentinel = idx;
+            }
+        }
+        if record.count() > min_count {
+            let evicted = self.buckets[sentinel];
+            self.buckets[sentinel] = record;
+            Some(evicted)
+        } else {
+            Some(record)
+        }
+    }
+
     /// Looks up the exact count recorded for `key`, if present.
     pub fn lookup(&self, key: &FlowKey) -> Option<u32> {
         let h1 = self.first_hash(key);
@@ -423,6 +466,25 @@ mod tests {
     fn replace_into_empty_panics() {
         let mut t = MainTable::new(TableScheme::MultiHash { depth: 1 }, 4, 0).unwrap();
         t.replace(0, key(1), 1);
+    }
+
+    #[test]
+    fn insert_record_absorbs_and_prefers_heavy() {
+        let mut t = MainTable::new(TableScheme::MultiHash { depth: 1 }, 1, 2).unwrap();
+        assert!(t.insert_record(FlowRecord::new(key(1), 5)).is_none());
+        // Key match adds counts.
+        assert!(t.insert_record(FlowRecord::new(key(1), 3)).is_none());
+        assert_eq!(t.lookup(&key(1)), Some(8));
+        // Lighter colliding record loses and is returned.
+        let loser = t.insert_record(FlowRecord::new(key(2), 2)).unwrap();
+        assert_eq!(loser.key(), key(2));
+        assert_eq!(t.lookup(&key(1)), Some(8));
+        // Heavier colliding record evicts the resident sentinel.
+        let evicted = t.insert_record(FlowRecord::new(key(3), 100)).unwrap();
+        assert_eq!(evicted.key(), key(1));
+        assert_eq!(evicted.count(), 8);
+        assert_eq!(t.lookup(&key(3)), Some(100));
+        assert_eq!(t.occupied(), 1);
     }
 
     #[test]

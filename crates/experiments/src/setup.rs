@@ -31,14 +31,8 @@ pub fn comparison_monitors(
         Box::new(
             HashFlow::new(
                 hashflow_core::HashFlowConfig::with_memory(budget)
-                    .and_then(|c| {
-                        // Re-derive with the experiment seed.
-                        hashflow_core::HashFlowConfig::builder()
-                            .main_cells(c.main_cells())
-                            .ancillary_cells(c.ancillary_cells())
-                            .seed(seed)
-                            .build()
-                    })
+                    // Re-derive with the experiment seed.
+                    .and_then(|c| c.rebuild().seed(seed).build())
                     .expect("standard budget fits HashFlow"),
             )
             .expect("valid HashFlow config"),

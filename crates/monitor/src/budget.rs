@@ -76,6 +76,28 @@ impl MemoryBudget {
         }
         MemoryBudget::from_bytes(self.bytes / parts)
     }
+
+    /// Splits the budget into `shards` equal per-shard budgets for an
+    /// RSS-partitioned monitor.
+    ///
+    /// The split must round-trip: the shard budgets **sum to at most the
+    /// parent budget** — never more. Each shard gets exactly
+    /// `bytes / shards` bytes (floor); the remainder (< `shards` bytes) is
+    /// left unassigned rather than silently inflating any shard, so an
+    /// N-shard deployment is never compared against the baselines with
+    /// more aggregate memory than the single-monitor budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `shards == 0` or the per-shard budget
+    /// would be empty.
+    pub fn split_shards(&self, shards: usize) -> Result<Vec<MemoryBudget>, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::new("cannot split a budget across zero shards"));
+        }
+        let per_shard = self.split(shards)?;
+        Ok(vec![per_shard; shards])
+    }
 }
 
 impl std::fmt::Display for MemoryBudget {
@@ -120,6 +142,44 @@ mod tests {
         assert_eq!(b.split(4).unwrap().bytes(), 250);
         assert!(b.split(0).is_err());
         assert!(b.split(2000).is_err());
+    }
+
+    #[test]
+    fn shard_split_round_trips_without_inflation() {
+        // The satellite contract: N shard budgets sum to <= the parent
+        // budget for every (bytes, N), with no per-shard rounding up.
+        for bytes in [1usize, 7, 256, 1000, 1 << 20, (1 << 20) + 3] {
+            let parent = MemoryBudget::from_bytes(bytes).unwrap();
+            for shards in 1..=8usize {
+                match parent.split_shards(shards) {
+                    Ok(split) => {
+                        assert_eq!(split.len(), shards);
+                        let total: usize = split.iter().map(MemoryBudget::bytes).sum();
+                        assert!(
+                            total <= parent.bytes(),
+                            "{shards} shards of {parent} sum to {total} bytes"
+                        );
+                        // No silent inflation: the loss is only the
+                        // integer-division remainder.
+                        assert!(parent.bytes() - total < shards);
+                        // Equal-memory rule: all shards identical.
+                        assert!(split.iter().all(|b| b == &split[0]));
+                    }
+                    Err(_) => {
+                        // Only legal when a shard would be empty.
+                        assert!(bytes / shards == 0, "{bytes} bytes / {shards}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_split_rejects_zero_and_empty() {
+        let b = MemoryBudget::from_bytes(4).unwrap();
+        assert!(b.split_shards(0).is_err());
+        assert!(b.split_shards(8).is_err());
+        assert_eq!(b.split_shards(4).unwrap().len(), 4);
     }
 
     #[test]

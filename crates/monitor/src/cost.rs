@@ -60,6 +60,16 @@ impl CostRecorder {
         self.writes += n;
     }
 
+    /// Folds a snapshot (e.g. another shard's drained counters) into this
+    /// recorder, so merged monitors account for every packet processed on
+    /// either side.
+    pub fn absorb(&mut self, other: &CostSnapshot) {
+        self.packets += other.packets;
+        self.hashes += other.hashes;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+
     /// Returns an immutable snapshot of the counters.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -93,6 +103,24 @@ impl CostSnapshot {
     /// Total memory accesses (reads + writes).
     pub fn memory_accesses(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Component-wise sum of `self` and `other` — the cost of a monitor
+    /// whose work was split across the two.
+    pub fn merged(&self, other: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            packets: self.packets + other.packets,
+            hashes: self.hashes + other.hashes,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+        }
+    }
+
+    /// Sums a collection of snapshots (per-shard costs into one view).
+    pub fn sum<'a>(parts: impl IntoIterator<Item = &'a CostSnapshot>) -> CostSnapshot {
+        parts
+            .into_iter()
+            .fold(CostSnapshot::default(), |acc, s| acc.merged(s))
     }
 
     /// Average hash operations per packet (Fig. 11(b)); `0` before any
@@ -162,6 +190,44 @@ mod tests {
         c.record_hashes(1);
         c.reset();
         assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn merged_and_sum_add_componentwise() {
+        let a = CostSnapshot {
+            packets: 1,
+            hashes: 2,
+            reads: 3,
+            writes: 4,
+        };
+        let b = CostSnapshot {
+            packets: 10,
+            hashes: 20,
+            reads: 30,
+            writes: 40,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.packets, 11);
+        assert_eq!(m.memory_accesses(), 77);
+        assert_eq!(CostSnapshot::sum([&a, &b, &m]), m.merged(&m));
+        assert_eq!(CostSnapshot::sum([]), CostSnapshot::default());
+    }
+
+    #[test]
+    fn absorb_folds_snapshot_into_recorder() {
+        let mut c = CostRecorder::new();
+        c.start_packet();
+        c.record_hashes(2);
+        c.absorb(&CostSnapshot {
+            packets: 4,
+            hashes: 8,
+            reads: 1,
+            writes: 1,
+        });
+        let s = c.snapshot();
+        assert_eq!(s.packets, 5);
+        assert_eq!(s.hashes, 10);
+        assert_eq!(s.memory_accesses(), 2);
     }
 
     #[test]

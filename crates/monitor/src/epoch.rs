@@ -28,6 +28,32 @@ pub struct EpochReport {
     pub cost: CostSnapshot,
 }
 
+impl EpochReport {
+    /// Folds per-shard reports of the *same* epoch into one collector-side
+    /// report: records concatenate (RSS partitions are disjoint, so no key
+    /// appears twice), costs sum, and the time span covers all shards.
+    ///
+    /// `cardinality` is supplied by the caller because combining per-shard
+    /// estimates is a property of the monitor
+    /// ([`crate::MergeableMonitor::combine_cardinality`]), not of the
+    /// report.
+    pub fn merged(reports: Vec<EpochReport>, cardinality: f64) -> EpochReport {
+        let epoch = reports.iter().map(|r| r.epoch).max().unwrap_or(0);
+        let start_ns = reports.iter().filter_map(|r| r.start_ns).min();
+        let end_ns = reports.iter().filter_map(|r| r.end_ns).max();
+        let cost = CostSnapshot::sum(reports.iter().map(|r| &r.cost));
+        let records = reports.into_iter().flat_map(|r| r.records).collect();
+        EpochReport {
+            epoch,
+            start_ns,
+            end_ns,
+            records,
+            cardinality,
+            cost,
+        }
+    }
+}
+
 /// Wraps any [`FlowMonitor`] with fixed-length measurement epochs.
 ///
 /// Packets are routed to the inner monitor; when a packet's timestamp
@@ -293,6 +319,30 @@ mod tests {
     #[should_panic(expected = "epoch length")]
     fn zero_epoch_rejected() {
         let _ = EpochRotator::new(Exact::default(), 0);
+    }
+
+    #[test]
+    fn merged_report_unions_shard_reports() {
+        let mut a = EpochRotator::new(Exact::default(), u64::MAX);
+        let mut b = EpochRotator::new(Exact::default(), u64::MAX);
+        a.process_packet(&pkt(1, 10));
+        a.process_packet(&pkt(1, 30));
+        b.process_packet(&pkt(2, 5));
+        let merged = EpochReport::merged(vec![a.rotate_now(), b.rotate_now()], 2.0);
+        assert_eq!(merged.records.len(), 2);
+        assert_eq!(merged.cost.packets, 3);
+        assert_eq!(merged.start_ns, Some(5));
+        assert_eq!(merged.end_ns, Some(30));
+        assert_eq!(merged.cardinality, 2.0);
+        assert_eq!(merged.epoch, 0);
+    }
+
+    #[test]
+    fn merged_report_of_nothing_is_empty() {
+        let merged = EpochReport::merged(Vec::new(), 0.0);
+        assert!(merged.records.is_empty());
+        assert_eq!(merged.start_ns, None);
+        assert_eq!(merged.cost, CostSnapshot::default());
     }
 
     #[test]

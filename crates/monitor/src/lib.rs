@@ -14,6 +14,10 @@
 //! [`CostRecorder`] counts hash operations and memory accesses per packet —
 //! the quantities Fig. 11(b)/(c) report and the input to the throughput model
 //! in the `simswitch` crate.
+//!
+//! [`MergeableMonitor`] extends the contract for multi-core deployments:
+//! monitors that observed disjoint RSS flow partitions can be folded back
+//! into one view (the `hashflow-shard` crate builds on it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,10 +25,12 @@
 mod budget;
 mod cost;
 mod epoch;
+mod merge;
 
 pub use budget::MemoryBudget;
 pub use cost::{CostRecorder, CostSnapshot};
 pub use epoch::{EpochReport, EpochRotator};
+pub use merge::MergeableMonitor;
 
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 

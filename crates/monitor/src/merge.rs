@@ -1,0 +1,135 @@
+//! The merge capability behind multi-core (sharded) collection.
+//!
+//! RSS-style scale-out pins every flow to exactly one worker shard by
+//! hashing its flow key, so shards observe *disjoint* flow partitions.
+//! Collector-side queries then need a way to fold per-shard state back
+//! into one view; [`MergeableMonitor`] is that contract. The paper's
+//! evaluation (§IV-D) runs each algorithm on a single bmv2 core — the
+//! merge layer is the workspace's extension beyond it.
+
+use crate::FlowMonitor;
+
+/// A [`FlowMonitor`] whose state from disjoint flow partitions can be
+/// folded together.
+///
+/// # Contract
+///
+/// `merge_from` is only meaningful when `self` and `other`:
+///
+/// 1. were constructed with an **identical configuration** (same table
+///    geometry and hash seeds), so cell indices and digests commute; and
+/// 2. observed **disjoint flow partitions** (RSS dispatch guarantees
+///    this: one flow's packets never split across shards).
+///
+/// Under that contract the merge must:
+///
+/// * union flow records — a record present in either side is present in
+///   the result (subject to the structure's own capacity pressure, which
+///   may demote records exactly as live insertion would);
+/// * sum cost counters — the merged monitor accounts for every packet
+///   either side processed;
+/// * combine auxiliary summaries the way the substrate dictates:
+///   register-wise max for HyperLogLog-style estimators, bitwise union
+///   for Bloom/linear-counting bitmaps, cell-wise add/XOR for
+///   FlowRadar-style invertible sketches, plain map union for exact
+///   stores.
+///
+/// # Cardinality combination
+///
+/// [`combine_cardinality`](Self::combine_cardinality) is an associated
+/// function over per-shard estimates rather than a method on merged
+/// state, because disjoint partitions make the sum of per-shard
+/// estimates the natural combined estimator — each shard's estimator
+/// only ever saw its own flows. Implementations whose substrate supports
+/// a tighter union (e.g. HyperLogLog register-max) may override it.
+pub trait MergeableMonitor: FlowMonitor {
+    /// Folds the state of `other` into `self`. See the trait-level
+    /// contract; merging monitors with differing configurations is a
+    /// logic error and may panic.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Combines per-shard cardinality estimates from disjoint flow
+    /// partitions into one estimate. The default sums them, which is
+    /// exact in expectation when no flow is counted by two shards.
+    fn combine_cardinality(estimates: &[f64]) -> f64 {
+        estimates.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostRecorder, CostSnapshot};
+    use hashflow_types::{FlowKey, FlowRecord, Packet};
+    use std::collections::HashMap;
+
+    #[derive(Default)]
+    struct Exact {
+        flows: HashMap<FlowKey, u32>,
+        cost: CostRecorder,
+    }
+
+    impl FlowMonitor for Exact {
+        fn process_packet(&mut self, packet: &Packet) {
+            self.cost.start_packet();
+            *self.flows.entry(packet.key()).or_insert(0) += 1;
+        }
+        fn flow_records(&self) -> Vec<FlowRecord> {
+            self.flows
+                .iter()
+                .map(|(k, c)| FlowRecord::new(*k, *c))
+                .collect()
+        }
+        fn estimate_size(&self, key: &FlowKey) -> u32 {
+            self.flows.get(key).copied().unwrap_or(0)
+        }
+        fn estimate_cardinality(&self) -> f64 {
+            self.flows.len() as f64
+        }
+        fn memory_bits(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+        fn cost(&self) -> CostSnapshot {
+            self.cost.snapshot()
+        }
+        fn reset(&mut self) {
+            self.flows.clear();
+            self.cost.reset();
+        }
+    }
+
+    impl MergeableMonitor for Exact {
+        fn merge_from(&mut self, other: &Self) {
+            for (k, c) in &other.flows {
+                *self.flows.entry(*k).or_insert(0) += c;
+            }
+            self.cost.absorb(&other.cost.snapshot());
+        }
+    }
+
+    fn pkt(i: u64) -> Packet {
+        Packet::new(FlowKey::from_index(i), 0, 64)
+    }
+
+    #[test]
+    fn exact_merge_unions_disjoint_partitions() {
+        let mut a = Exact::default();
+        let mut b = Exact::default();
+        a.process_packet(&pkt(1));
+        a.process_packet(&pkt(1));
+        b.process_packet(&pkt(2));
+        a.merge_from(&b);
+        assert_eq!(a.estimate_size(&FlowKey::from_index(1)), 2);
+        assert_eq!(a.estimate_size(&FlowKey::from_index(2)), 1);
+        assert_eq!(a.cost().packets, 3);
+    }
+
+    #[test]
+    fn default_cardinality_combination_sums() {
+        assert_eq!(Exact::combine_cardinality(&[2.0, 3.0, 5.0]), 10.0);
+        assert_eq!(Exact::combine_cardinality(&[]), 0.0);
+    }
+}

@@ -1,0 +1,856 @@
+//! Multi-core sharded ingestion for any mergeable flow monitor.
+//!
+//! The paper evaluates every algorithm on a single bmv2 core (§IV-D,
+//! ~20 Kpps bare forwarding). Real collectors scale out the way
+//! RSS-enabled NICs do: hash the flow key, pin each flow to one worker,
+//! and merge per-worker state at query and epoch boundaries. This crate
+//! provides that scale-out layer for the whole workspace:
+//!
+//! * [`ShardedMonitor<M>`] owns `N` inner monitors ("shards"). Packets are
+//!   dispatched by a dedicated RSS hash over the flow key, so **one flow
+//!   never splits across shards** — per-record exactness (the property
+//!   HashFlow's non-evicting main table guarantees) is preserved end to
+//!   end.
+//! * [`ShardedMonitor::ingest`] runs the shards on worker threads
+//!   (`std::thread::scope`, no unsafe) fed through bounded [`BatchQueue`]s,
+//!   so a slow shard back-pressures the dispatcher instead of buffering
+//!   the trace.
+//! * Queries merge: flow records concatenate across the disjoint
+//!   partitions, size queries route to the owning shard, cardinality
+//!   estimates combine via
+//!   [`MergeableMonitor::combine_cardinality`], and costs sum.
+//! * [`ShardedMonitor::seal_epoch`] drains all shards into **one**
+//!   [`EpochReport`], the collector-side epoch rotation.
+//! * The equal-memory discipline of §IV-A carries over:
+//!   [`ShardedMonitor::with_budget`] splits one budget into `N` equal
+//!   shard budgets that sum to at most the parent
+//!   ([`MemoryBudget::split_shards`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use hashflow_core::HashFlow;
+//! use hashflow_monitor::{FlowMonitor, MemoryBudget};
+//! use hashflow_shard::ShardedMonitor;
+//! use hashflow_types::{FlowKey, Packet};
+//!
+//! let budget = MemoryBudget::from_kib(256)?;
+//! // Each shard gets budget/4 and an identical configuration.
+//! let mut sharded =
+//!     ShardedMonitor::with_budget(4, budget, |_shard, b| HashFlow::with_memory(b))?;
+//! let packets: Vec<Packet> = (0..1000u64)
+//!     .map(|i| Packet::new(FlowKey::from_index(i % 100), i, 64))
+//!     .collect();
+//! let report = sharded.ingest(&packets);
+//! assert_eq!(report.packets, 1000);
+//! assert_eq!(sharded.flow_records().len(), 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+
+pub use queue::BatchQueue;
+
+use hashflow_hashing::fast_range;
+use hashflow_monitor::{
+    CostSnapshot, EpochReport, FlowMonitor, MemoryBudget, MergeableMonitor,
+};
+use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
+use std::time::Instant;
+
+/// Packets accumulated per shard before a batch is published to its queue
+/// (amortizes one lock round-trip over this many packets).
+pub const BATCH_PACKETS: usize = 1024;
+
+/// Batches that may be in flight per shard before the dispatcher blocks.
+pub const QUEUE_DEPTH: usize = 8;
+
+/// Seed of the dispatch hash. Deliberately distinct from every table seed
+/// in the workspace so shard placement is independent of in-shard bucket
+/// placement (the same independence RSS gives a NIC).
+const DISPATCH_SEED: u64 = 0xd15b_a7c4_0b5e_55ed;
+
+/// The RSS dispatch hash: a SplitMix64-style avalanche over the key's two
+/// machine words.
+///
+/// The dispatcher is the serial (Amdahl) term of the sharded pipeline —
+/// every packet pays it before any shard can work — so it is specialized
+/// rather than reusing the general [`hashflow_hashing`] families: the
+/// 13-byte flow key is read as two words and mixed with three multiplies,
+/// a fraction of a full xxhash pass, while still avalanching the high bits
+/// that [`fast_range`] consumes. It remains a pure function of the whole
+/// key, so one flow maps to exactly one shard.
+#[inline]
+fn dispatch_hash(key: &FlowKey) -> u64 {
+    let bytes = key.to_bytes();
+    let lo = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte slice"));
+    let hi = u64::from(u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice")))
+        | (u64::from(bytes[12]) << 32);
+    let mut x = lo ^ DISPATCH_SEED;
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= hi.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 29)
+}
+
+/// Result of one [`ShardedMonitor::ingest`] call.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Packets dispatched (and processed) in this call.
+    pub packets: u64,
+    /// Packets routed to each shard — the RSS load split.
+    pub per_shard_packets: Vec<u64>,
+    /// Wall-clock nanoseconds for the whole call (dispatch + workers).
+    pub elapsed_ns: u128,
+}
+
+impl IngestReport {
+    /// Load imbalance: the busiest shard's packet share divided by the
+    /// ideal equal share (`1.0` = perfectly balanced). By convention `1.0`
+    /// for an empty ingest.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_shard_packets.iter().copied().max().unwrap_or(0);
+        if self.packets == 0 {
+            return 1.0;
+        }
+        let ideal = self.packets as f64 / self.per_shard_packets.len() as f64;
+        max as f64 / ideal
+    }
+}
+
+/// One shard's serial timing from [`ShardedMonitor::lane_timings`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneTiming {
+    /// Packets this shard owned.
+    pub packets: u64,
+    /// Contention-free serial processing time for those packets.
+    pub elapsed_ns: u128,
+}
+
+/// Dispatch + per-shard serial timings from
+/// [`ShardedMonitor::lane_timings`].
+#[derive(Debug, Clone)]
+pub struct LaneTimings {
+    /// Time spent hashing and partitioning packets (the dispatcher's
+    /// serial work; zero for a single shard).
+    pub dispatch_ns: u128,
+    /// Per-shard serial processing timings.
+    pub lanes: Vec<LaneTiming>,
+}
+
+impl LaneTimings {
+    /// The modeled parallel wall clock: the dispatcher plus the slowest
+    /// lane — what `ingest` approaches when every shard has its own core.
+    pub fn critical_path_ns(&self) -> u128 {
+        self.dispatch_ns + self.lanes.iter().map(|l| l.elapsed_ns).max().unwrap_or(0)
+    }
+
+    /// The single-core wall clock: the dispatcher plus every lane.
+    pub fn serial_ns(&self) -> u128 {
+        self.dispatch_ns + self.lanes.iter().map(|l| l.elapsed_ns).sum::<u128>()
+    }
+
+    /// Component-wise minimum of two measurements of the *same* workload —
+    /// the standard noise-robust estimator for short serial timings (any
+    /// preemption or page-fault stall only ever inflates a component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane counts or per-lane packet counts differ (the
+    /// measurements would not be of the same workload).
+    pub fn min_with(mut self, other: &LaneTimings) -> LaneTimings {
+        assert_eq!(
+            self.lanes.len(),
+            other.lanes.len(),
+            "cannot combine timings of different lane counts"
+        );
+        self.dispatch_ns = self.dispatch_ns.min(other.dispatch_ns);
+        for (mine, theirs) in self.lanes.iter_mut().zip(&other.lanes) {
+            assert_eq!(mine.packets, theirs.packets, "lane workloads differ");
+            mine.elapsed_ns = mine.elapsed_ns.min(theirs.elapsed_ns);
+        }
+        self
+    }
+}
+
+/// `N` inner monitors behind an RSS-style flow dispatcher. See the crate
+/// docs for the full contract.
+#[derive(Debug, Clone)]
+pub struct ShardedMonitor<M> {
+    shards: Vec<M>,
+    dispatch_hashes: u64,
+    first_ns: Option<u64>,
+    last_ns: Option<u64>,
+    epoch: u64,
+}
+
+impl<M: MergeableMonitor> ShardedMonitor<M> {
+    /// Wraps pre-built shards. All shards must be configured identically —
+    /// same geometry, per-shard budget *and* seeds — so that per-shard
+    /// states commute under [`MergeableMonitor::merge_from`]. Identical
+    /// seeds across shards are safe: shards hold disjoint flow partitions,
+    /// and the dispatch hash is seeded independently of every table hash,
+    /// so shard placement never correlates with in-shard bucket placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `shards` is empty.
+    pub fn new(shards: Vec<M>) -> Result<Self, ConfigError> {
+        if shards.is_empty() {
+            return Err(ConfigError::new("sharded monitor needs at least one shard"));
+        }
+        Ok(ShardedMonitor {
+            shards,
+            dispatch_hashes: 0,
+            first_ns: None,
+            last_ns: None,
+            epoch: 0,
+        })
+    }
+
+    /// Builds `shards` monitors from one shared memory budget, split
+    /// equally with no rounding inflation (see
+    /// [`MemoryBudget::split_shards`]): the aggregate footprint never
+    /// exceeds what a single monitor would have been granted.
+    ///
+    /// `build` receives `(shard_index, per_shard_budget)`; the index is
+    /// for diagnostics and labels, **not** for seed derivation — every
+    /// shard must get an identical configuration, seeds included, per the
+    /// [`Self::new`] contract the merge layer depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `shards == 0`, the per-shard budget is
+    /// empty, or `build` fails.
+    pub fn with_budget(
+        shards: usize,
+        budget: MemoryBudget,
+        mut build: impl FnMut(usize, MemoryBudget) -> Result<M, ConfigError>,
+    ) -> Result<Self, ConfigError> {
+        let split = budget.split_shards(shards)?;
+        let monitors = split
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| build(i, b))
+            .collect::<Result<Vec<M>, ConfigError>>()?;
+        Self::new(monitors)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-only view of the shards.
+    pub fn shards(&self) -> &[M] {
+        &self.shards
+    }
+
+    /// The shard that owns `key` under RSS dispatch. Stable for the
+    /// lifetime of the monitor: every packet of a flow lands here.
+    #[inline]
+    pub fn shard_of(&self, key: &FlowKey) -> usize {
+        fast_range(dispatch_hash(key), self.shards.len())
+    }
+
+    /// Dispatch-hash evaluations performed so far. Tracked separately from
+    /// [`FlowMonitor::cost`], which reports only in-shard work (the
+    /// quantity comparable to the paper's single-core Fig. 11 numbers); a
+    /// single-shard monitor skips dispatch hashing entirely.
+    pub const fn dispatch_hashes(&self) -> u64 {
+        self.dispatch_hashes
+    }
+
+    fn note_timestamps(&mut self, packets: &[Packet]) {
+        if let Some(p) = packets.first() {
+            if self.first_ns.is_none() {
+                self.first_ns = Some(p.timestamp_ns());
+            }
+        }
+        if let Some(p) = packets.last() {
+            self.last_ns = Some(p.timestamp_ns());
+        }
+    }
+
+    /// Splits `packets` by owning shard, preserving arrival order within
+    /// each partition (the order-preservation RSS guarantees per flow).
+    /// Partitions are pre-sized for the expected equal split, so the
+    /// dispatch pass is hash + append with no rehashing or reallocation
+    /// in the common case.
+    pub fn partition(&self, packets: &[Packet]) -> Vec<Vec<Packet>> {
+        let n = self.shards.len();
+        // Equal share plus 25% headroom for hash-split jitter.
+        let headroom = packets.len() / n + packets.len() / (4 * n) + 16;
+        let mut parts: Vec<Vec<Packet>> =
+            (0..n).map(|_| Vec::with_capacity(headroom)).collect();
+        for p in packets {
+            parts[self.shard_of(&p.key())].push(*p);
+        }
+        parts
+    }
+
+    /// Replays `packets` through the shards **serially**, timing the
+    /// dispatch pass and each shard's processing separately.
+    ///
+    /// This is the measurement substrate for modeled multi-core
+    /// throughput: on a machine with at least one core per shard the wall
+    /// clock of [`Self::ingest`] approaches
+    /// `dispatch + max(lane)` (the critical path), while on a smaller
+    /// machine — like a 1-core CI runner — the serial lane timings are the
+    /// only contention-free signal available. State afterwards is
+    /// identical to an [`Self::ingest`] of the same packets.
+    pub fn lane_timings(&mut self, packets: &[Packet]) -> LaneTimings {
+        self.note_timestamps(packets);
+        if self.shards.len() == 1 {
+            // No dispatch work for a single shard (mirrors `ingest`).
+            let start = Instant::now();
+            for p in packets {
+                self.shards[0].process_packet(p);
+            }
+            return LaneTimings {
+                dispatch_ns: 0,
+                lanes: vec![LaneTiming {
+                    packets: packets.len() as u64,
+                    elapsed_ns: start.elapsed().as_nanos(),
+                }],
+            };
+        }
+        let start = Instant::now();
+        let parts = self.partition(packets);
+        let dispatch_ns = start.elapsed().as_nanos();
+        self.dispatch_hashes += packets.len() as u64;
+        let lanes = self
+            .shards
+            .iter_mut()
+            .zip(&parts)
+            .map(|(shard, part)| {
+                let start = Instant::now();
+                for p in part {
+                    shard.process_packet(p);
+                }
+                LaneTiming {
+                    packets: part.len() as u64,
+                    elapsed_ns: start.elapsed().as_nanos(),
+                }
+            })
+            .collect();
+        LaneTimings { dispatch_ns, lanes }
+    }
+
+    /// Drains every shard into one collector-side [`EpochReport`] and
+    /// resets the shards for the next epoch: records concatenate (disjoint
+    /// partitions — no key appears twice), costs sum, and the cardinality
+    /// estimates combine via [`MergeableMonitor::combine_cardinality`].
+    pub fn seal_epoch(&mut self) -> EpochReport {
+        let estimates: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.estimate_cardinality())
+            .collect();
+        let cardinality = M::combine_cardinality(&estimates);
+        let reports = self
+            .shards
+            .iter_mut()
+            .zip(&estimates)
+            .map(|(shard, &estimate)| {
+                let report = EpochReport {
+                    epoch: self.epoch,
+                    start_ns: self.first_ns,
+                    end_ns: self.last_ns,
+                    records: shard.flow_records(),
+                    cardinality: estimate,
+                    cost: shard.cost(),
+                };
+                shard.reset();
+                report
+            })
+            .collect();
+        self.epoch += 1;
+        self.first_ns = None;
+        self.last_ns = None;
+        EpochReport::merged(reports, cardinality)
+    }
+
+    /// Collapses the sharded monitor into a single instance by folding
+    /// every shard into the first via [`MergeableMonitor::merge_from`].
+    /// Note the result keeps shard 0's (per-shard) table sizes: under
+    /// memory pressure the fold demotes records exactly as live insertion
+    /// would. Use the merged *query* surface when lossless reporting
+    /// matters.
+    pub fn collapse(mut self) -> M {
+        let mut iter = self.shards.drain(..);
+        let mut first = iter.next().expect("constructor guarantees >= 1 shard");
+        for shard in iter {
+            first.merge_from(&shard);
+        }
+        first
+    }
+}
+
+impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
+    /// Feeds `packets` through all shards in parallel: one scoped worker
+    /// thread per shard, each owning its inner monitor, fed through a
+    /// bounded [`BatchQueue`] by the dispatcher running on the calling
+    /// thread. Equivalent to calling
+    /// [`process_packet`](FlowMonitor::process_packet) for every packet in
+    /// order — per-flow packet order is preserved because a flow has
+    /// exactly one queue and queues are FIFO.
+    pub fn ingest(&mut self, packets: &[Packet]) -> IngestReport {
+        let shard_count = self.shards.len();
+        let start = Instant::now();
+        self.note_timestamps(packets);
+        let mut per_shard = vec![0u64; shard_count];
+
+        if shard_count == 1 {
+            // Single shard: no dispatch hash, no threads — identical to
+            // running the inner monitor directly.
+            let only = &mut self.shards[0];
+            for p in packets {
+                only.process_packet(p);
+            }
+            per_shard[0] = packets.len() as u64;
+            return IngestReport {
+                packets: packets.len() as u64,
+                per_shard_packets: per_shard,
+                elapsed_ns: start.elapsed().as_nanos(),
+            };
+        }
+
+        let queues: Vec<BatchQueue<Packet>> =
+            (0..shard_count).map(|_| BatchQueue::new(QUEUE_DEPTH)).collect();
+        std::thread::scope(|scope| {
+            for (shard, queue) in self.shards.iter_mut().zip(&queues) {
+                scope.spawn(move || {
+                    // If the monitor panics, close the queue first so the
+                    // dispatcher's pushes drain as no-ops instead of
+                    // blocking forever; the panic then propagates when
+                    // the scope joins this thread.
+                    let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        while let Some(batch) = queue.pop() {
+                            for p in &batch {
+                                shard.process_packet(p);
+                            }
+                        }
+                    }));
+                    if let Err(payload) = worked {
+                        queue.close();
+                        std::panic::resume_unwind(payload);
+                    }
+                });
+            }
+            // Dispatcher: RSS split into per-shard batches. A false push
+            // means that shard's worker died; keep going so the scope can
+            // join and surface its panic.
+            let mut pending: Vec<Vec<Packet>> = (0..shard_count)
+                .map(|_| Vec::with_capacity(BATCH_PACKETS))
+                .collect();
+            for p in packets {
+                let s = fast_range(dispatch_hash(&p.key()), shard_count);
+                per_shard[s] += 1;
+                pending[s].push(*p);
+                if pending[s].len() == BATCH_PACKETS {
+                    let full = std::mem::replace(
+                        &mut pending[s],
+                        Vec::with_capacity(BATCH_PACKETS),
+                    );
+                    let _ = queues[s].push(full);
+                }
+            }
+            for (queue, rest) in queues.iter().zip(pending) {
+                if !rest.is_empty() {
+                    let _ = queue.push(rest);
+                }
+                queue.close();
+            }
+        });
+        self.dispatch_hashes += packets.len() as u64;
+
+        IngestReport {
+            packets: packets.len() as u64,
+            per_shard_packets: per_shard,
+            elapsed_ns: start.elapsed().as_nanos(),
+        }
+    }
+}
+
+impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
+    fn process_packet(&mut self, packet: &Packet) {
+        self.note_timestamps(std::slice::from_ref(packet));
+        if self.shards.len() == 1 {
+            // Mirror `ingest`: a single shard pays no dispatch work.
+            self.shards[0].process_packet(packet);
+            return;
+        }
+        let s = self.shard_of(&packet.key());
+        self.dispatch_hashes += 1;
+        self.shards[s].process_packet(packet);
+    }
+
+    /// The parallel path: trait-level replay (e.g.
+    /// `simswitch::SoftwareSwitch::replay`) automatically runs sharded.
+    fn process_trace(&mut self, packets: &[Packet]) {
+        let _ = self.ingest(packets);
+    }
+
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        // Disjoint partitions: concatenation *is* the merge.
+        self.shards.iter().flat_map(|s| s.flow_records()).collect()
+    }
+
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        self.shards[self.shard_of(key)].estimate_size(key)
+    }
+
+    fn estimate_cardinality(&self) -> f64 {
+        let estimates: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.estimate_cardinality())
+            .collect();
+        M::combine_cardinality(&estimates)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bits()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    fn cost(&self) -> CostSnapshot {
+        self.shards
+            .iter()
+            .fold(CostSnapshot::default(), |acc, s| acc.merged(&s.cost()))
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.reset();
+        }
+        self.dispatch_hashes = 0;
+        self.first_ns = None;
+        self.last_ns = None;
+        self.epoch = 0;
+    }
+}
+
+impl<M: MergeableMonitor + Send> MergeableMonitor for ShardedMonitor<M> {
+    /// Merges shard-wise: shard `i` absorbs the peer's shard `i`. Both
+    /// monitors share the dispatch hash, so shard `i` holds the same key
+    /// partition on both sides — useful for collector trees that fold
+    /// sharded monitors from several vantage points.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.shards.len(),
+            other.shards.len(),
+            "cannot merge sharded monitors with different shard counts"
+        );
+        for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
+            mine.merge_from(theirs);
+        }
+        self.dispatch_hashes += other.dispatch_hashes;
+        self.first_ns = match (self.first_ns, other.first_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_ns = match (self.last_ns, other.last_ns) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    fn combine_cardinality(estimates: &[f64]) -> f64 {
+        M::combine_cardinality(estimates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowradar::FlowRadar;
+    use hashflow_core::HashFlow;
+    use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    fn sharded_hashflow(shards: usize, kib: usize) -> ShardedMonitor<HashFlow> {
+        let budget = MemoryBudget::from_kib(kib).unwrap();
+        ShardedMonitor::with_budget(shards, budget, |_, b| HashFlow::with_memory(b)).unwrap()
+    }
+
+    fn pkt(flow: u64, ts: u64) -> Packet {
+        Packet::new(FlowKey::from_index(flow), ts, 64)
+    }
+
+    #[test]
+    fn flows_never_split_across_shards() {
+        let mut m = sharded_hashflow(4, 256);
+        let trace = TraceGenerator::new(TraceProfile::Caida, 3).generate(2_000);
+        m.ingest(trace.packets());
+        // Every reported record lives in exactly one shard — the shard the
+        // dispatcher owns it to.
+        for rec in m.flow_records() {
+            let owner = m.shard_of(&rec.key());
+            for (i, shard) in m.shards().iter().enumerate() {
+                if i != owner {
+                    assert!(
+                        !shard.flow_records().iter().any(|r| r.key() == rec.key()),
+                        "flow found in shard {i} but owned by {owner}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_matches_sequential_process_packet() {
+        // The threaded path must be *observationally identical* to the
+        // sequential dispatch path: same records, same counts, same costs.
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 7).generate(1_500);
+        let mut threaded = sharded_hashflow(4, 128);
+        let mut sequential = sharded_hashflow(4, 128);
+        let report = threaded.ingest(trace.packets());
+        for p in trace.packets() {
+            sequential.process_packet(p);
+        }
+        assert_eq!(report.packets, trace.packets().len() as u64);
+        assert_eq!(
+            report.per_shard_packets.iter().sum::<u64>(),
+            report.packets
+        );
+        let mut a = threaded.flow_records();
+        let mut b = sequential.flow_records();
+        a.sort_by_key(|r| r.key());
+        b.sort_by_key(|r| r.key());
+        assert_eq!(a, b);
+        assert_eq!(threaded.cost(), sequential.cost());
+        assert_eq!(threaded.dispatch_hashes(), sequential.dispatch_hashes());
+    }
+
+    #[test]
+    fn queries_merge_across_shards() {
+        let mut m = sharded_hashflow(4, 512);
+        for flow in 0..500u64 {
+            for _ in 0..=(flow % 3) {
+                m.process_packet(&pkt(flow, flow));
+            }
+        }
+        // Size queries route to the owning shard.
+        for flow in 0..500u64 {
+            assert_eq!(
+                m.estimate_size(&FlowKey::from_index(flow)),
+                (flow % 3 + 1) as u32
+            );
+        }
+        assert_eq!(m.flow_records().len(), 500);
+        let card = m.estimate_cardinality();
+        assert!(
+            (card - 500.0).abs() / 500.0 < 0.15,
+            "combined cardinality {card}"
+        );
+        let heavy = m.heavy_hitters(3);
+        assert!(heavy.iter().all(|r| r.count() >= 3));
+        assert_eq!(m.cost().packets, (0..500u64).map(|f| f % 3 + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn single_shard_is_transparent() {
+        // N = 1 must behave exactly like the bare monitor: no dispatch
+        // hashes, identical records.
+        let trace = TraceGenerator::new(TraceProfile::Campus, 1).generate(800);
+        let budget = MemoryBudget::from_kib(64).unwrap();
+        let mut bare = HashFlow::with_memory(budget).unwrap();
+        let mut sharded = sharded_hashflow(1, 64);
+        bare.process_trace(trace.packets());
+        sharded.ingest(trace.packets());
+        assert_eq!(sharded.dispatch_hashes(), 0);
+        let mut a = bare.flow_records();
+        let mut b = sharded.flow_records();
+        a.sort_by_key(|r| r.key());
+        b.sort_by_key(|r| r.key());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seal_epoch_drains_all_shards_into_one_report() {
+        let mut m = sharded_hashflow(4, 256);
+        for flow in 0..300u64 {
+            m.process_packet(&pkt(flow, 10 + flow));
+        }
+        let report = m.seal_epoch();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.records.len(), 300);
+        assert_eq!(report.cost.packets, 300);
+        assert_eq!(report.start_ns, Some(10));
+        assert_eq!(report.end_ns, Some(10 + 299));
+        assert!((report.cardinality - 300.0).abs() / 300.0 < 0.2);
+        // Shards are reset; the next epoch starts clean and numbered.
+        assert_eq!(m.flow_records().len(), 0);
+        m.process_packet(&pkt(1, 1000));
+        let next = m.seal_epoch();
+        assert_eq!(next.epoch, 1);
+        assert_eq!(next.records.len(), 1);
+    }
+
+    #[test]
+    fn collapse_folds_into_single_monitor() {
+        let mut m = sharded_hashflow(2, 512);
+        for flow in 0..100u64 {
+            m.process_packet(&pkt(flow, flow));
+        }
+        let total_packets = m.cost().packets;
+        let single = m.collapse();
+        assert_eq!(single.cost().packets, total_packets);
+        assert_eq!(single.flow_records().len(), 100);
+    }
+
+    #[test]
+    fn sharded_monitors_merge_shard_wise() {
+        let mut a = sharded_hashflow(4, 256);
+        let mut b = sharded_hashflow(4, 256);
+        for flow in 0..100u64 {
+            a.process_packet(&pkt(flow, flow));
+            b.process_packet(&pkt(1000 + flow, flow));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.flow_records().len(), 200);
+        assert_eq!(a.cost().packets, 200);
+    }
+
+    #[test]
+    fn works_for_flowradar_too() {
+        // The merge layer is generic: FlowRadar shards decode their own
+        // partitions and the union reports every flow.
+        let mut m = ShardedMonitor::new(
+            (0..4)
+                .map(|_| FlowRadar::new(500, 0xf1).unwrap())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 5).generate(600);
+        m.ingest(trace.packets());
+        let records = m.flow_records();
+        assert_eq!(records.len(), 600, "all flows decode under sharded load");
+    }
+
+    #[test]
+    fn imbalance_reports_load_split() {
+        let mut m = sharded_hashflow(4, 128);
+        let trace = TraceGenerator::new(TraceProfile::Caida, 11).generate(3_000);
+        let report = m.ingest(trace.packets());
+        let imb = report.imbalance();
+        assert!(imb >= 1.0);
+        assert!(
+            imb < 2.5,
+            "hash dispatch should spread heavy-tailed load, got {imb}"
+        );
+        assert_eq!(IngestReport {
+            packets: 0,
+            per_shard_packets: vec![0, 0],
+            elapsed_ns: 0,
+        }
+        .imbalance(), 1.0);
+    }
+
+    #[test]
+    fn lane_timings_match_ingest_state() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 13).generate(1_000);
+        let mut timed = sharded_hashflow(4, 128);
+        let mut threaded = sharded_hashflow(4, 128);
+        let timings = timed.lane_timings(trace.packets());
+        threaded.ingest(trace.packets());
+        assert_eq!(timings.lanes.len(), 4);
+        assert_eq!(
+            timings.lanes.iter().map(|l| l.packets).sum::<u64>(),
+            trace.packets().len() as u64
+        );
+        assert!(timings.critical_path_ns() <= timings.serial_ns());
+        let mut a = timed.flow_records();
+        let mut b = threaded.flow_records();
+        a.sort_by_key(|r| r.key());
+        b.sort_by_key(|r| r.key());
+        assert_eq!(a, b);
+        assert_eq!(timed.cost(), threaded.cost());
+        // Single shard: no dispatch cost by construction.
+        let mut one = sharded_hashflow(1, 64);
+        let t = one.lane_timings(trace.packets());
+        assert_eq!(t.dispatch_ns, 0);
+        assert_eq!(one.dispatch_hashes(), 0);
+    }
+
+    #[test]
+    fn empty_shard_vector_rejected() {
+        assert!(ShardedMonitor::<HashFlow>::new(Vec::new()).is_err());
+        let budget = MemoryBudget::from_bytes(64).unwrap();
+        assert!(
+            ShardedMonitor::<HashFlow>::with_budget(0, budget, |_, b| HashFlow::with_memory(b))
+                .is_err()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        use hashflow_monitor::CostRecorder;
+
+        // A monitor that blows up on its first packet: the worker must
+        // close its queue so the dispatcher never blocks, and the panic
+        // must surface from `ingest` (a deadlock here would hang CI).
+        #[derive(Default)]
+        struct Bomb {
+            cost: CostRecorder,
+        }
+        impl FlowMonitor for Bomb {
+            fn process_packet(&mut self, _p: &Packet) {
+                panic!("bomb in shard");
+            }
+            fn flow_records(&self) -> Vec<FlowRecord> {
+                Vec::new()
+            }
+            fn estimate_size(&self, _k: &FlowKey) -> u32 {
+                0
+            }
+            fn estimate_cardinality(&self) -> f64 {
+                0.0
+            }
+            fn memory_bits(&self) -> usize {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "Bomb"
+            }
+            fn cost(&self) -> CostSnapshot {
+                self.cost.snapshot()
+            }
+            fn reset(&mut self) {}
+        }
+        impl MergeableMonitor for Bomb {
+            fn merge_from(&mut self, _other: &Self) {}
+        }
+
+        let mut m =
+            ShardedMonitor::new((0..2).map(|_| Bomb::default()).collect::<Vec<_>>()).unwrap();
+        // Far more than QUEUE_DEPTH * BATCH_PACKETS per shard: without the
+        // close-on-panic path the dispatcher would block forever.
+        let packets: Vec<Packet> = (0..40_000u64).map(|i| pkt(i, i)).collect();
+        let _ = m.ingest(&packets);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut m = sharded_hashflow(2, 64);
+        m.process_packet(&pkt(1, 5));
+        m.seal_epoch();
+        m.process_packet(&pkt(2, 6));
+        m.reset();
+        assert_eq!(m.flow_records().len(), 0);
+        assert_eq!(m.cost().packets, 0);
+        assert_eq!(m.dispatch_hashes(), 0);
+        let report = m.seal_epoch();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.start_ns, None);
+    }
+}

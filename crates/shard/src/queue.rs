@@ -1,0 +1,193 @@
+//! A bounded multi-producer/multi-consumer queue of *batches*, built on
+//! `Mutex` + `Condvar` only (no unsafe, no external crates).
+//!
+//! The sharded ingestion path moves packets from one dispatcher thread to
+//! `N` worker threads. Handing packets over one at a time would spend more
+//! time on lock traffic than on measurement, so the unit of transfer is a
+//! batch (a `Vec` of items): the dispatcher accumulates
+//! [`crate::BATCH_PACKETS`] packets per shard before publishing them, and
+//! the queue bounds how many batches may be in flight so a slow shard
+//! back-pressures the dispatcher instead of buffering the whole trace.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded blocking queue of `Vec<T>` batches with explicit shutdown.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_shard::BatchQueue;
+///
+/// let q: BatchQueue<u32> = BatchQueue::new(2);
+/// assert!(q.push(vec![1, 2, 3]));
+/// q.close();
+/// assert_eq!(q.pop(), Some(vec![1, 2, 3]));
+/// assert_eq!(q.pop(), None); // closed and drained
+/// ```
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    batches: VecDeque<Vec<T>>,
+    closed: bool,
+}
+
+impl<T> BatchQueue<T> {
+    /// Creates a queue holding at most `capacity` in-flight batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (a zero-capacity queue deadlocks by
+    /// construction).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch queue capacity must be positive");
+        BatchQueue {
+            state: Mutex::new(State {
+                batches: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of in-flight batches.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a batch, blocking while the queue is full. Returns `true`
+    /// on success; `false` if the queue is (or becomes) closed, in which
+    /// case the batch is dropped — the consumer is gone, so blocking the
+    /// producer forever would deadlock the pipeline (this is how a
+    /// dispatcher survives a panicking worker: the dying worker closes
+    /// its queue and the dispatcher's pushes turn into no-ops until the
+    /// panic propagates at scope exit).
+    #[must_use = "a false return means the consumer is gone and the batch was dropped"]
+    pub fn push(&self, batch: Vec<T>) -> bool {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        while state.batches.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue mutex poisoned");
+        }
+        if state.closed {
+            return false;
+        }
+        state.batches.push_back(batch);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the next batch, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<Vec<T>> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Marks the queue closed: blocked and future `pop`s return `None`
+    /// once the backlog drains, and blocked and future `push`es return
+    /// `false`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_and_across_batches() {
+        let q = BatchQueue::new(4);
+        assert!(q.push(vec![1, 2]));
+        assert!(q.push(vec![3]));
+        q.close();
+        assert_eq!(q.pop(), Some(vec![1, 2]));
+        assert_eq!(q.pop(), Some(vec![3]));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "pop after drain stays None");
+    }
+
+    #[test]
+    fn bounded_push_backpressures_until_pop() {
+        let q = BatchQueue::new(1);
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(q.push(vec![1u32]));
+                assert!(q.push(vec![2])); // must block until the consumer pops
+                q.close();
+            });
+            scope.spawn(|| {
+                while let Some(batch) = q.pop() {
+                    popped.fetch_add(batch.len(), Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(popped.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: BatchQueue<u8> = BatchQueue::new(2);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(handle.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn push_after_close_drops_batch() {
+        let q = BatchQueue::new(1);
+        q.close();
+        assert!(!q.push(vec![1u8]));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_unblocks_a_full_queue_producer() {
+        // The panicking-worker scenario: the producer is blocked on a
+        // full queue when the consumer dies and closes it. The push must
+        // return false instead of waiting forever.
+        let q = BatchQueue::new(1);
+        assert!(q.push(vec![1u8]));
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| q.push(vec![2]));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert!(!blocked.join().unwrap());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BatchQueue::<u8>::new(0);
+    }
+}

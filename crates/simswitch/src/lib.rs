@@ -40,7 +40,8 @@ mod port;
 pub use pipeline::Pipeline;
 pub use port::{Port, PortStats};
 
-use hashflow_monitor::{CostSnapshot, FlowMonitor};
+use hashflow_monitor::{CostSnapshot, FlowMonitor, MergeableMonitor};
+use hashflow_shard::ShardedMonitor;
 use hashflow_trace::Trace;
 use std::time::Instant;
 
@@ -111,6 +112,55 @@ pub struct ReplayReport {
     pub cost: CostSnapshot,
 }
 
+/// Serial lane-timing repetitions inside
+/// [`SoftwareSwitch::replay_sharded`]; the component-wise minimum is kept.
+pub const LANE_TRIALS: usize = 3;
+
+/// Result of replaying one trace through a [`ShardedMonitor`]: the
+/// multi-core counterpart of [`ReplayReport`].
+#[derive(Debug, Clone)]
+pub struct ShardedReplayReport {
+    /// Packets forwarded.
+    pub packets: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Packets routed to each shard (RSS load split).
+    pub per_shard_packets: Vec<u64>,
+    /// Busiest shard's share over the ideal equal share (1.0 = balanced).
+    pub imbalance: f64,
+    /// Wall clock of the threaded ingest on this machine.
+    pub native_elapsed_ns: u128,
+    /// Threaded packets per second on this machine.
+    pub native_pps: f64,
+    /// Dispatch + every lane run back-to-back (one-core time).
+    pub serial_elapsed_ns: u128,
+    /// Packets per second of the serial path.
+    pub serial_pps: f64,
+    /// Modeled critical path: dispatch + slowest lane (one core per
+    /// shard).
+    pub modeled_parallel_elapsed_ns: u128,
+    /// Modeled packets per second with one core per shard.
+    pub modeled_parallel_pps: f64,
+    /// Dispatcher-only time within the serial pass.
+    pub dispatch_elapsed_ns: u128,
+    /// Modeled single-core bmv2 Kpps from merged in-shard costs
+    /// (comparable to Fig. 11(a)).
+    pub modeled_kpps: f64,
+    /// Merged in-shard cost counters.
+    pub cost: CostSnapshot,
+}
+
+impl ShardedReplayReport {
+    /// Modeled speedup of the critical path over the serial path — what
+    /// `shards` cores buy at this shard count.
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.modeled_parallel_elapsed_ns == 0 {
+            return 1.0;
+        }
+        self.serial_elapsed_ns as f64 / self.modeled_parallel_elapsed_ns as f64
+    }
+}
+
 /// The software switch: replays traces through monitors under a
 /// [`ThroughputModel`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -127,6 +177,69 @@ impl SoftwareSwitch {
     /// The active cost model.
     pub const fn model(&self) -> &ThroughputModel {
         &self.model
+    }
+
+    /// Replays `trace` through a sharded monitor and reports the
+    /// multi-core scaling picture alongside the usual modeled single-core
+    /// numbers.
+    ///
+    /// Two kinds of passes over the trace:
+    ///
+    /// 1. **serial lane passes** ([`ShardedMonitor::lane_timings`], run
+    ///    [`LANE_TRIALS`] times, component-wise minimum) time the
+    ///    dispatcher and each shard without thread contention — the
+    ///    critical path (`dispatch + slowest lane`) is the modeled wall
+    ///    clock on a machine with one core per shard;
+    /// 2. a **threaded pass** ([`ShardedMonitor::ingest`]) measures the
+    ///    real wall clock on *this* machine (which may have fewer cores
+    ///    than shards).
+    ///
+    /// The modeled bmv2 Kpps uses the merged in-shard cost counters, i.e.
+    /// it stays comparable to the paper's single-core Fig. 11 numbers.
+    pub fn replay_sharded<M: MergeableMonitor + Send>(
+        &self,
+        monitor: &mut ShardedMonitor<M>,
+        trace: &Trace,
+    ) -> ShardedReplayReport {
+        // Serial lane passes: min over trials rejects preemption noise.
+        let mut timings: Option<hashflow_shard::LaneTimings> = None;
+        for _ in 0..LANE_TRIALS {
+            monitor.reset();
+            let t = monitor.lane_timings(trace.packets());
+            timings = Some(match timings {
+                None => t,
+                Some(best) => t.min_with(&best),
+            });
+        }
+        let timings = timings.expect("at least one lane trial");
+        // Final pass: the real threaded path (leaves the monitor holding
+        // exactly one replay's state).
+        monitor.reset();
+        let ingest = monitor.ingest(trace.packets());
+        let cost = monitor.cost();
+        let packets = cost.packets;
+        let pps = |ns: u128| {
+            if ns == 0 {
+                f64::INFINITY
+            } else {
+                packets as f64 * 1e9 / ns as f64
+            }
+        };
+        ShardedReplayReport {
+            packets,
+            shards: monitor.shard_count(),
+            per_shard_packets: ingest.per_shard_packets.clone(),
+            imbalance: ingest.imbalance(),
+            native_elapsed_ns: ingest.elapsed_ns,
+            native_pps: pps(ingest.elapsed_ns),
+            serial_elapsed_ns: timings.serial_ns(),
+            serial_pps: pps(timings.serial_ns()),
+            modeled_parallel_elapsed_ns: timings.critical_path_ns(),
+            modeled_parallel_pps: pps(timings.critical_path_ns()),
+            dispatch_elapsed_ns: timings.dispatch_ns,
+            modeled_kpps: self.model.kpps(&cost),
+            cost,
+        }
     }
 
     /// Resets `monitor`, replays every packet of `trace` through it, and
@@ -207,6 +320,37 @@ mod tests {
         let second = sw.replay(&mut hf, &trace);
         assert_eq!(first.packets, second.packets);
         assert_eq!(first.avg_hashes, second.avg_hashes);
+    }
+
+    #[test]
+    fn sharded_replay_reports_scaling_picture() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 3).generate(4_000);
+        let budget = MemoryBudget::from_kib(256).unwrap();
+        let mut sharded =
+            ShardedMonitor::with_budget(4, budget, |_, b| HashFlow::with_memory(b)).unwrap();
+        let report = SoftwareSwitch::default().replay_sharded(&mut sharded, &trace);
+        assert_eq!(report.packets, trace.packets().len() as u64);
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.per_shard_packets.iter().sum::<u64>(), report.packets);
+        // Critical path can never exceed the serial path.
+        assert!(report.modeled_parallel_elapsed_ns <= report.serial_elapsed_ns);
+        assert!(report.modeled_speedup() >= 1.0);
+        assert!(report.native_pps > 0.0);
+        // Merged in-shard costs stay in the paper's per-packet band, so the
+        // modeled bmv2 number remains comparable to Fig. 11(a).
+        assert!((1.0..=4.0).contains(&report.cost.avg_hashes_per_packet()));
+        assert!(report.modeled_kpps < 20.0);
+    }
+
+    #[test]
+    fn sharded_replay_single_shard_has_no_dispatch_cost() {
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 9).generate(1_000);
+        let budget = MemoryBudget::from_kib(64).unwrap();
+        let mut one =
+            ShardedMonitor::with_budget(1, budget, |_, b| HashFlow::with_memory(b)).unwrap();
+        let report = SoftwareSwitch::default().replay_sharded(&mut one, &trace);
+        assert_eq!(report.dispatch_elapsed_ns, 0);
+        assert_eq!(report.serial_elapsed_ns, report.modeled_parallel_elapsed_ns);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub use hashflow_hashing as hashing;
 pub use hashflow_metrics as metrics;
 pub use hashflow_monitor as monitor;
 pub use hashflow_primitives as primitives;
+pub use hashflow_shard as shard;
 pub use hashflow_trace as trace;
 pub use hashflow_types as types;
 pub use hashpipe;
@@ -41,7 +42,10 @@ pub mod prelude {
     pub use hashflow_core::adaptive::{AdaptiveController, AdaptiveHashFlow};
     pub use hashflow_core::{model, HashFlow, HashFlowConfig, TableScheme};
     pub use hashflow_metrics::{evaluate, EvaluationReport, GroundTruth};
-    pub use hashflow_monitor::{CostSnapshot, EpochReport, EpochRotator, FlowMonitor, MemoryBudget};
+    pub use hashflow_monitor::{
+        CostSnapshot, EpochReport, EpochRotator, FlowMonitor, MemoryBudget, MergeableMonitor,
+    };
+    pub use hashflow_shard::ShardedMonitor;
     pub use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
     pub use hashflow_types::{FlowKey, FlowRecord, Packet};
     pub use hashpipe::HashPipe;
@@ -62,5 +66,10 @@ mod tests {
         assert_monitor::<ElasticSketch>();
         assert_monitor::<FlowRadar>();
         assert_monitor::<SampledNetFlow>();
+        assert_monitor::<ShardedMonitor<HashFlow>>();
+        fn assert_mergeable<T: MergeableMonitor>() {}
+        assert_mergeable::<HashFlow>();
+        assert_mergeable::<FlowRadar>();
+        assert_mergeable::<SampledNetFlow>();
     }
 }
