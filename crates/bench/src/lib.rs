@@ -13,7 +13,10 @@
 //! * `query_latency` — per-flow size queries for each algorithm;
 //! * `shard_scaling` — threaded `ShardedMonitor<HashFlow>` ingestion at
 //!   N = 1/2/4/8 shards (beyond the paper; the modeled one-core-per-shard
-//!   numbers come from `cargo run -p experiments --bin scaling_shards`).
+//!   numbers come from `cargo run -p experiments --bin scaling_shards`);
+//! * `hotpath` — scalar `process_packet` loop vs the batched
+//!   `process_batch` ingestion path, per main-table scheme (the JSON
+//!   counterpart comes from `cargo run -p experiments --bin hotpath`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -29,7 +29,11 @@ fn build(algorithm: AlgorithmName, budget: MemoryBudget) -> Result<Box<dyn FlowM
 }
 
 /// Builds an N-shard monitor for the algorithms implementing the merge
-/// layer; `process_trace` on the result runs the threaded ingest path.
+/// layer; `process_trace` on the result runs the threaded ingest path
+/// (hash-once dispatch, workers draining whole batches). At `shards = 1`
+/// the bare monitor's `process_trace` runs the single-core batched hot
+/// path — precomputed hash lanes, software prefetch, amortized cost
+/// flushes — with costs identical to scalar ingestion by contract.
 fn build_sharded(
     algorithm: AlgorithmName,
     budget: MemoryBudget,

@@ -1,10 +1,16 @@
 use crate::ancillary::AncillaryTable;
 use crate::config::HashFlowConfig;
-use crate::scheme::{MainTable, ProbeOutcome};
+use crate::scheme::{MainTable, OpCount, ProbeOutcome};
+use hashflow_hashing::{compute_lanes, HashLanes};
 use hashflow_monitor::{
     CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor,
 };
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
+
+/// How many packets ahead of the update cursor the batched path issues
+/// its main-table prefetches: far enough that the lines arrive before
+/// the probe, near enough that they are not evicted again first.
+const PREFETCH_AHEAD: usize = 8;
 
 /// The HashFlow algorithm (Algorithm 1 of the paper).
 ///
@@ -48,6 +54,9 @@ pub struct HashFlow {
     cost: CostRecorder,
     promotions: u64,
     ancillary_replacements: u64,
+    // Reusable hash-lane scratch for `process_batch`; carries no
+    // observable state (cleared and refilled per batch).
+    lanes: HashLanes,
 }
 
 impl HashFlow {
@@ -70,6 +79,7 @@ impl HashFlow {
             cost: CostRecorder::new(),
             promotions: 0,
             ancillary_replacements: 0,
+            lanes: HashLanes::default(),
         })
     }
 
@@ -112,6 +122,59 @@ impl HashFlow {
     pub const fn ancillary_table(&self) -> &AncillaryTable {
         &self.ancillary
     }
+
+    /// The ancillary coordinates of `key`: its `g_1` slot and the digest
+    /// derived from its `h_1` hash (Algorithm 1, lines 14–15). The single
+    /// source of that derivation for the scalar update, size queries and
+    /// the merge path; the batched path computes the same pair from its
+    /// precomputed lanes.
+    fn ancillary_coords(&self, key: &FlowKey) -> (usize, u32) {
+        (
+            self.ancillary.slot_of(key),
+            self.ancillary.digest_of(self.main.first_hash(key)),
+        )
+    }
+
+    /// Ancillary update + record promotion (Algorithm 1, lines 14–23) for
+    /// a packet of `key` that lost the main-table collision carrying
+    /// `(sentinel, min_count)`. Every branch performs exactly one
+    /// ancillary (or promotion) write; the caller accounts the phase's
+    /// fixed cost of 1 hash, 1 read and 1 write.
+    fn ancillary_update(
+        &mut self,
+        key: FlowKey,
+        slot: usize,
+        digest: u32,
+        sentinel: usize,
+        min_count: u32,
+    ) {
+        match self.ancillary.count_if_match(slot, digest) {
+            None => {
+                if !self.ancillary.is_vacant(slot) {
+                    self.ancillary_replacements += 1;
+                }
+                self.ancillary.store(slot, digest);
+            }
+            Some(count)
+                if u64::from(count) < u64::from(min_count).min(self.ancillary.max_count()) =>
+            {
+                self.ancillary.increment(slot);
+            }
+            Some(count) => {
+                if self.config.promotion_enabled() {
+                    // Phase 3: record promotion (lines 21-23). The flow's
+                    // count caught up with the sentinel: re-insert it into
+                    // the main table with count + 1 (the current packet),
+                    // evicting the sentinel record.
+                    self.main.replace(sentinel, key, count.saturating_add(1));
+                    self.promotions += 1;
+                } else {
+                    // Ablation: keep counting in place, saturating.
+                    self.ancillary.increment(slot);
+                }
+            }
+        }
+    }
 }
 
 impl FlowMonitor for HashFlow {
@@ -132,53 +195,89 @@ impl FlowMonitor for HashFlow {
             } => (sentinel, min_count),
         };
 
-        // Phase 2: ancillary table (lines 14-19). g1 is one extra hash; the
-        // digest reuses h1's value (line 15), costing nothing new.
-        let slot = self.ancillary.slot_of(&key);
-        let digest = self.ancillary.digest_of(self.main.first_hash(&key));
+        // Phase 2+3: ancillary table and promotion (lines 14-23). g1 is
+        // one extra hash; the digest reuses h1's value (line 15), costing
+        // nothing new, and every branch writes exactly one cell.
+        let (slot, digest) = self.ancillary_coords(&key);
         self.cost.record_hashes(1);
         self.cost.record_reads(1);
-        match self.ancillary.count_if_match(slot, digest) {
-            None => {
-                if !self.ancillary.is_vacant(slot) {
-                    self.ancillary_replacements += 1;
-                }
-                self.ancillary.store(slot, digest);
-                self.cost.record_writes(1);
+        self.ancillary_update(key, slot, digest, sentinel, min_count);
+        self.cost.record_writes(1);
+    }
+
+    /// The batched hot path: two passes over the batch.
+    ///
+    /// Pass 1 evaluates every hash lane the batch will need — `h_1..h_d`
+    /// plus `g_1` per packet, bit-identical to the scalar members — in one
+    /// sweep with no table accesses. Pass 2 runs Algorithm 1 against
+    /// cache lines the prefetch window pulled in ahead of the update
+    /// cursor, folding all operation counts into a single cost flush.
+    /// State transitions are identical to the scalar loop (pass 1 is
+    /// pure), and so is the recorded [`CostSnapshot`]: the accounting
+    /// stays at the algorithmic level of Fig. 11 — batching changes when
+    /// costs are recorded, never what.
+    fn process_batch(&mut self, packets: &[Packet]) {
+        if packets.is_empty() {
+            return;
+        }
+        let mut lanes = std::mem::take(&mut self.lanes);
+        compute_lanes(
+            &[self.main.hash_family(), self.ancillary.hash_family()],
+            packets.iter().map(|p| p.key()),
+            &mut lanes,
+        );
+        let depth = self.main.scheme().depth();
+        let prefetch = |main: &MainTable, ancillary: &AncillaryTable, row: &[u64]| {
+            main.prefetch_prehashed(&row[..depth]);
+            ancillary.prefetch_slot(ancillary.slot_from_hash(row[depth]));
+        };
+        for i in 0..PREFETCH_AHEAD.min(packets.len()) {
+            prefetch(&self.main, &self.ancillary, lanes.row(i));
+        }
+        let mut ops = OpCount::default();
+        for (i, packet) in packets.iter().enumerate() {
+            if i + PREFETCH_AHEAD < packets.len() {
+                prefetch(&self.main, &self.ancillary, lanes.row(i + PREFETCH_AHEAD));
             }
-            Some(count) if u64::from(count) < u64::from(min_count).min(self.ancillary.max_count())
-            => {
-                self.ancillary.increment(slot);
-                self.cost.record_writes(1);
-            }
-            Some(count) => {
-                if self.config.promotion_enabled() {
-                    // Phase 3: record promotion (lines 21-23). The flow's
-                    // count caught up with the sentinel: re-insert it into
-                    // the main table with count + 1 (the current packet),
-                    // evicting the sentinel record.
-                    self.main.replace(sentinel, key, count.saturating_add(1));
-                    self.cost.record_writes(1);
-                    self.promotions += 1;
-                } else {
-                    // Ablation: keep counting in place, saturating.
-                    self.ancillary.increment(slot);
-                    self.cost.record_writes(1);
-                }
+            let key = packet.key();
+            let row = lanes.row(i);
+            let (outcome, probe_ops) = self.main.probe_prehashed(&key, &row[..depth]);
+            ops += probe_ops;
+            if let ProbeOutcome::Collision {
+                sentinel,
+                min_count,
+            } = outcome
+            {
+                let slot = self.ancillary.slot_from_hash(row[depth]);
+                let digest = self.ancillary.digest_of(row[0]);
+                self.ancillary_update(key, slot, digest, sentinel, min_count);
+                ops += OpCount {
+                    hashes: 1,
+                    reads: 1,
+                    writes: 1,
+                };
             }
         }
+        self.cost.absorb(&CostSnapshot {
+            packets: packets.len() as u64,
+            hashes: ops.hashes,
+            reads: ops.reads,
+            writes: ops.writes,
+        });
+        self.lanes = lanes;
     }
 
     fn flow_records(&self) -> Vec<FlowRecord> {
-        self.main.records().collect()
+        let mut records = Vec::with_capacity(self.main.occupied());
+        records.extend(self.main.records());
+        records
     }
 
     fn estimate_size(&self, key: &FlowKey) -> u32 {
         if let Some(count) = self.main.lookup(key) {
             return count;
         }
-        let slot = self.ancillary.slot_of(key);
-        let digest = self.ancillary.digest_of(self.main.first_hash(key));
+        let (slot, digest) = self.ancillary_coords(key);
         self.ancillary.count_if_match(slot, digest).unwrap_or(0)
     }
 
@@ -234,9 +333,7 @@ impl MergeableMonitor for HashFlow {
         self.ancillary.merge_from(&other.ancillary);
         for record in other.main.records() {
             if let Some(loser) = self.main.insert_record(record) {
-                let key = loser.key();
-                let slot = self.ancillary.slot_of(&key);
-                let digest = self.ancillary.digest_of(self.main.first_hash(&key));
+                let (slot, digest) = self.ancillary_coords(&loser.key());
                 match self.ancillary.entry(slot) {
                     Some((resident, _)) if resident == digest => {
                         self.ancillary.add_count(slot, loser.count());
@@ -497,6 +594,54 @@ mod tests {
     fn merged_cardinality_combines_by_sum() {
         let estimates = [100.0, 120.0, 80.0, 95.0];
         assert_eq!(HashFlow::combine_cardinality(&estimates), 395.0);
+    }
+
+    #[test]
+    fn batched_ingest_is_state_identical_to_scalar() {
+        for scheme in [
+            TableScheme::MultiHash { depth: 3 },
+            TableScheme::Pipelined {
+                depth: 3,
+                alpha: 0.7,
+            },
+        ] {
+            let build = || {
+                HashFlow::new(
+                    HashFlowConfig::builder()
+                        .main_cells(64)
+                        .scheme(scheme)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap()
+            };
+            // Heavy collision pressure so the ancillary and promotion
+            // phases are exercised, not just clean inserts.
+            let packets: Vec<Packet> = (0..2_000u64).map(|i| pkt(i % 300)).collect();
+            let mut scalar = build();
+            for p in &packets {
+                scalar.process_packet(p);
+            }
+            let mut batched = build();
+            // Mixed batch sizes: empty, singleton, odd tail.
+            batched.process_batch(&[]);
+            let (head, rest) = packets.split_at(1);
+            batched.process_batch(head);
+            for chunk in rest.chunks(77) {
+                batched.process_batch(chunk);
+            }
+            assert_eq!(batched.flow_records(), scalar.flow_records());
+            assert_eq!(batched.cost(), scalar.cost());
+            assert_eq!(batched.promotions(), scalar.promotions());
+            assert_eq!(
+                batched.ancillary_replacements(),
+                scalar.ancillary_replacements()
+            );
+            for flow in 0..300u64 {
+                let k = FlowKey::from_index(flow);
+                assert_eq!(batched.estimate_size(&k), scalar.estimate_size(&k));
+            }
+        }
     }
 
     #[test]

@@ -80,7 +80,28 @@ impl AncillaryTable {
 
     /// The bucket `g_1` maps `key` to (Algorithm 1, line 14).
     pub fn slot_of(&self, key: &FlowKey) -> usize {
-        fast_range(self.hash.hash(0, key), self.len())
+        self.slot_from_hash(self.hash.hash(0, key))
+    }
+
+    /// The bucket for an already-computed `g_1` hash value — the batched
+    /// counterpart of [`Self::slot_of`].
+    #[inline]
+    pub fn slot_from_hash(&self, g1_hash: u64) -> usize {
+        fast_range(g1_hash, self.len())
+    }
+
+    /// The `g_1` hash family; batched callers feed it to
+    /// [`hashflow_hashing::compute_lanes`] alongside the main table's.
+    pub(crate) const fn hash_family(&self) -> &HashFamily<XxHash64> {
+        &self.hash
+    }
+
+    /// Hints the CPU to pull `slot`'s digest and count words toward L1
+    /// for a future access (advisory; see the batched ingestion path).
+    #[inline]
+    pub fn prefetch_slot(&self, slot: usize) {
+        self.digests.prefetch(slot);
+        self.counts.prefetch(slot);
     }
 
     /// Derives the digest of a flow from its `h_1` hash value (Algorithm 1,

@@ -157,6 +157,14 @@ pub struct OpCount {
     pub writes: u64,
 }
 
+impl std::ops::AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        self.hashes += rhs.hashes;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
 /// The main table `M`: exact flow records under non-evicting collision
 /// resolution, in either [`TableScheme`] organization.
 ///
@@ -252,9 +260,22 @@ impl MainTable {
         self.hashes.hash(0, key)
     }
 
+    /// The hash family probing this table (`h_1 .. h_d`); batched callers
+    /// feed it to [`hashflow_hashing::compute_lanes`].
+    pub(crate) const fn hash_family(&self) -> &HashFamily<XxHash64> {
+        &self.hashes
+    }
+
     /// Bucket index probed by `h_i` for `key`, flattened.
     fn slot(&self, i: usize, key: &FlowKey, h1: u64) -> usize {
         let hash = if i == 0 { h1 } else { self.hashes.hash(i, key) };
+        self.slot_from_hash(i, hash)
+    }
+
+    /// Flattened bucket index of probe `i` given that probe's
+    /// already-computed hash value.
+    #[inline]
+    fn slot_from_hash(&self, i: usize, hash: u64) -> usize {
         match self.scheme {
             TableScheme::MultiHash { .. } => hashflow_hashing::fast_range(hash, self.buckets.len()),
             TableScheme::Pipelined { .. } => {
@@ -263,11 +284,56 @@ impl MainTable {
         }
     }
 
+    /// Hints the CPU to pull every bucket the probe path of `hashes`
+    /// will read toward L1. `hashes[i]` must be the `h_{i+1}` value of
+    /// the key (the layout [`hashflow_hashing::compute_lanes`] produces
+    /// for this table's [`Self::hash_family`]).
+    #[inline]
+    pub fn prefetch_prehashed(&self, hashes: &[u64]) {
+        for (i, &h) in hashes.iter().enumerate().take(self.scheme.depth()) {
+            hashflow_hashing::prefetch_read(&self.buckets, self.slot_from_hash(i, h));
+        }
+    }
+
     /// Runs the collision-resolution probe of Algorithm 1 (lines 2–13) for
     /// one packet of `key`: insert on the first empty bucket, increment on a
     /// key match, otherwise report the sentinel.
     pub fn probe(&mut self, key: &FlowKey) -> (ProbeOutcome, OpCount) {
-        let h1 = self.first_hash(key);
+        self.probe_with(key, None)
+    }
+
+    /// [`Self::probe`] with the key's hash lanes already computed:
+    /// `hashes[i]` must equal `h_{i+1}(key)` (member `i` of
+    /// [`Self::hash_family`]). The batched ingestion path evaluates all
+    /// lanes up front (one key serialization, independent hash chains,
+    /// prefetchable slots) and probes against warm cache lines here.
+    ///
+    /// The returned [`OpCount`] reports the *algorithmic* cost — exactly
+    /// what the lazy scalar probe of Algorithm 1 would have recorded for
+    /// the same outcome — so Fig. 11 accounting is independent of which
+    /// path ingested the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` has fewer lanes than the scheme's depth.
+    pub fn probe_prehashed(&mut self, key: &FlowKey, hashes: &[u64]) -> (ProbeOutcome, OpCount) {
+        assert!(
+            hashes.len() >= self.scheme.depth(),
+            "need one hash lane per probe"
+        );
+        self.probe_with(key, Some(hashes))
+    }
+
+    /// The one collision-resolution loop behind both probe entry points:
+    /// `lanes` supplies precomputed hash values, `None` evaluates family
+    /// members lazily as the scalar path always has. Op accounting is the
+    /// lazy schedule's in both modes, keeping the two paths identical by
+    /// construction.
+    fn probe_with(&mut self, key: &FlowKey, lanes: Option<&[u64]>) -> (ProbeOutcome, OpCount) {
+        let lazy_h1 = match lanes {
+            Some(hashes) => hashes[0],
+            None => self.first_hash(key),
+        };
         let mut ops = OpCount {
             hashes: 1,
             ..OpCount::default()
@@ -278,7 +344,12 @@ impl MainTable {
             if i > 0 {
                 ops.hashes += 1;
             }
-            let idx = self.slot(i, key, h1);
+            let hash = match lanes {
+                Some(hashes) => hashes[i],
+                None if i == 0 => lazy_h1,
+                None => self.hashes.hash(i, key),
+            };
+            let idx = self.slot_from_hash(i, hash);
             ops.reads += 1;
             let record = self.buckets[idx];
             if record.count() == 0 {
@@ -598,6 +669,43 @@ mod tests {
         }
         .to_string()
         .contains("alpha=0.7"));
+    }
+
+    #[test]
+    fn prehashed_probe_matches_scalar_probe() {
+        for scheme in [
+            TableScheme::MultiHash { depth: 3 },
+            TableScheme::Pipelined {
+                depth: 3,
+                alpha: 0.7,
+            },
+        ] {
+            let mut scalar = MainTable::new(scheme, 64, 11).unwrap();
+            let mut batched = MainTable::new(scheme, 64, 11).unwrap();
+            let mut lanes = [0u64; 3];
+            for i in 0..500 {
+                let k = key(i % 120);
+                for (m, lane) in lanes.iter_mut().enumerate() {
+                    *lane = batched.hash_family().hash(m, &k);
+                }
+                batched.prefetch_prehashed(&lanes);
+                let (a, ops_a) = scalar.probe(&k);
+                let (b, ops_b) = batched.probe_prehashed(&k, &lanes);
+                assert_eq!(a, b, "outcome diverged at packet {i}");
+                assert_eq!(ops_a, ops_b, "op accounting diverged at packet {i}");
+            }
+            let a: Vec<FlowRecord> = scalar.records().collect();
+            let b: Vec<FlowRecord> = batched.records().collect();
+            assert_eq!(a, b);
+            assert_eq!(scalar.occupied(), batched.occupied());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one hash lane per probe")]
+    fn prehashed_probe_rejects_short_lanes() {
+        let mut t = MainTable::new(TableScheme::MultiHash { depth: 3 }, 16, 0).unwrap();
+        let _ = t.probe_prehashed(&key(1), &[1, 2]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn main() {
         ("fig09+fig10", run_fig09_and_10),
         ("fig11", figs::fig11_throughput::run),
         ("scaling_shards", figs::scaling_shards::run),
+        ("hotpath", figs::hotpath::run),
         ("ablation_digest", figs::ablation_digest::run),
         ("ablation_promotion", figs::ablation_promotion::run),
         ("ablation_sampling", figs::ablation_sampling::run),

@@ -16,5 +16,6 @@ pub mod fig08_size_are;
 pub mod fig09_hh_f1;
 pub mod fig10_hh_are;
 pub mod fig11_throughput;
+pub mod hotpath;
 pub mod scaling_shards;
 pub mod table01_traces;

@@ -33,7 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hashflow_hashing::{fast_range, HashFamily, XxHash64};
+use hashflow_hashing::{fast_range, prefetch_read, HashFamily, XxHash64};
 use hashflow_monitor::{
     CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor,
 };
@@ -83,6 +83,9 @@ pub struct FlowRadar {
     // cache it so estimate_size over many flows decodes once. Invalidated
     // on every update.
     decoded: RefCell<Option<HashMap<FlowKey, u32>>>,
+    // Reusable counting-cell index scratch for `process_batch`; carries
+    // no observable state (cleared and refilled per batch).
+    scratch: Vec<usize>,
 }
 
 impl Clone for FlowRadar {
@@ -94,6 +97,7 @@ impl Clone for FlowRadar {
             seed: self.seed,
             cost: self.cost.clone(),
             decoded: RefCell::new(self.decoded.borrow().clone()),
+            scratch: Vec::new(),
         }
     }
 }
@@ -120,6 +124,7 @@ impl FlowRadar {
             seed,
             cost: CostRecorder::new(),
             decoded: RefCell::new(None),
+            scratch: Vec::new(),
         })
     }
 
@@ -222,6 +227,74 @@ impl FlowMonitor for FlowRadar {
         self.cost.record_hashes(COUNTING_HASHES as u64);
         self.cost.record_reads(COUNTING_HASHES as u64);
         self.cost.record_writes(COUNTING_HASHES as u64);
+    }
+
+    /// The batched hot path: FlowRadar's update is Bloom + `k_c` blind
+    /// counter bumps per packet, so it batches naturally. Pass 1 computes
+    /// every counting-table index for the batch (pure); pass 2 replays
+    /// the per-packet updates against prefetched cells, invalidating the
+    /// decode cache and flushing costs once per batch. State and recorded
+    /// costs are identical to the scalar loop.
+    fn process_batch(&mut self, packets: &[Packet]) {
+        const PREFETCH_AHEAD: usize = 8;
+        if packets.is_empty() {
+            return;
+        }
+        self.decoded.borrow_mut().take();
+        let mut cell_idx = std::mem::take(&mut self.scratch);
+        cell_idx.clear();
+        cell_idx.reserve(packets.len() * COUNTING_HASHES);
+        for p in packets {
+            let bytes = p.key().to_bytes();
+            for j in 0..COUNTING_HASHES {
+                cell_idx.push(fast_range(self.hashes.hash_bytes(j, &bytes), self.cells.len()));
+            }
+        }
+        let prefetch_row = |cells: &[CountingCell], row: &[usize]| {
+            for &idx in row {
+                prefetch_read(cells, idx);
+            }
+        };
+        for i in 0..PREFETCH_AHEAD.min(packets.len()) {
+            prefetch_row(&self.cells, &cell_idx[i * COUNTING_HASHES..(i + 1) * COUNTING_HASHES]);
+        }
+        let mut hashes = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (i, p) in packets.iter().enumerate() {
+            if i + PREFETCH_AHEAD < packets.len() {
+                let ahead = i + PREFETCH_AHEAD;
+                prefetch_row(
+                    &self.cells,
+                    &cell_idx[ahead * COUNTING_HASHES..(ahead + 1) * COUNTING_HASHES],
+                );
+            }
+            let key = p.key();
+            let seen = self.bloom.insert(&key);
+            hashes += BLOOM_HASHES as u64;
+            reads += BLOOM_HASHES as u64;
+            if !seen {
+                writes += BLOOM_HASHES as u64;
+            }
+            for &idx in &cell_idx[i * COUNTING_HASHES..(i + 1) * COUNTING_HASHES] {
+                let cell = &mut self.cells[idx];
+                if !seen {
+                    cell.flow_xor = cell.flow_xor.xor(&key);
+                    cell.flow_count = cell.flow_count.saturating_add(1);
+                }
+                cell.packet_count = cell.packet_count.saturating_add(1);
+            }
+            hashes += COUNTING_HASHES as u64;
+            reads += COUNTING_HASHES as u64;
+            writes += COUNTING_HASHES as u64;
+        }
+        self.cost.absorb(&CostSnapshot {
+            packets: packets.len() as u64,
+            hashes,
+            reads,
+            writes,
+        });
+        self.scratch = cell_idx;
     }
 
     fn flow_records(&self) -> Vec<FlowRecord> {

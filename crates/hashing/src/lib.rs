@@ -24,16 +24,22 @@
 //! assert_eq!(h0, family.hash(0, &key), "hashing is deterministic");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `prefetch` module scopes one allow
+// around the (side-effect-free) prefetch intrinsic.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod family;
+mod lanes;
 mod murmur3;
+mod prefetch;
 mod tabulation;
 mod xxhash;
 
 pub use family::{digest_from_hash, DigestFn, HashFamily};
+pub use lanes::{compute_lanes, HashLanes};
 pub use murmur3::Murmur3;
+pub use prefetch::prefetch_read;
 pub use tabulation::TabulationHash;
 pub use xxhash::XxHash64;
 

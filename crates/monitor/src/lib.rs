@@ -34,6 +34,14 @@ pub use merge::MergeableMonitor;
 
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
+/// Packets per batch on the default [`FlowMonitor::process_trace`] path.
+///
+/// Large enough to amortize per-batch bookkeeping (hash-lane fills, one
+/// cost flush) and give prefetches time to land, small enough that a
+/// batch's scratch state stays resident in L1/L2 while the second pass
+/// walks it.
+pub const INGEST_BATCH: usize = 256;
+
 /// A streaming flow-record collector: the interface shared by HashFlow,
 /// HashPipe, ElasticSketch and FlowRadar.
 ///
@@ -81,6 +89,20 @@ pub trait FlowMonitor {
     /// Ingests one packet (the per-packet update of each algorithm).
     fn process_packet(&mut self, packet: &Packet);
 
+    /// Ingests a batch of packets.
+    ///
+    /// **Contract:** observationally identical to calling
+    /// [`Self::process_packet`] on each packet in order — same final
+    /// state, same query answers, same [`CostSnapshot`]. The default does
+    /// exactly that; implementations with a batched hot path (precomputed
+    /// hash lanes, software prefetch, amortized cost flushes) override it,
+    /// changing *when* work happens but never *what* is recorded.
+    fn process_batch(&mut self, packets: &[Packet]) {
+        for p in packets {
+            self.process_packet(p);
+        }
+    }
+
     /// Reports every flow record the structure can reconstruct, with the
     /// flow ID it believes and the packet count it recorded.
     ///
@@ -123,10 +145,12 @@ pub trait FlowMonitor {
     /// Clears all state (tables and cost counters) for a fresh epoch.
     fn reset(&mut self);
 
-    /// Convenience: processes every packet of a slice in order.
+    /// Convenience: processes every packet of a slice in order, feeding
+    /// [`Self::process_batch`] in [`INGEST_BATCH`]-sized chunks so
+    /// monitors with a batched hot path get it automatically.
     fn process_trace(&mut self, packets: &[Packet]) {
-        for p in packets {
-            self.process_packet(p);
+        for chunk in packets.chunks(INGEST_BATCH) {
+            self.process_batch(chunk);
         }
     }
 }
@@ -204,6 +228,23 @@ mod tests {
         m.process_trace(&trace);
         assert_eq!(m.estimate_size(&FlowKey::from_index(0)), 5);
         assert_eq!(m.cost().packets, 10);
+    }
+
+    #[test]
+    fn default_batch_matches_scalar_loop() {
+        let trace: Vec<Packet> = (0..37).map(|i| pkt(i % 5)).collect();
+        let mut scalar = Exact::default();
+        for p in &trace {
+            scalar.process_packet(p);
+        }
+        let mut batched = Exact::default();
+        batched.process_batch(&trace);
+        batched.process_batch(&[]); // empty batches are no-ops
+        assert_eq!(batched.cost(), scalar.cost());
+        assert_eq!(
+            batched.estimate_size(&FlowKey::from_index(0)),
+            scalar.estimate_size(&FlowKey::from_index(0))
+        );
     }
 
     #[test]

@@ -87,6 +87,17 @@ impl CounterArray {
         }
     }
 
+    /// Hints the CPU to pull the word backing counter `index` toward L1
+    /// for a future access ([`hashflow_hashing::prefetch_read`]).
+    /// Out-of-range indices are ignored — a prefetch is advisory.
+    #[inline]
+    pub fn prefetch(&self, index: usize) {
+        if index < self.len {
+            let bit = index * self.width as usize;
+            hashflow_hashing::prefetch_read(&self.words, bit / 64);
+        }
+    }
+
     /// Reads counter `index`.
     ///
     /// # Panics

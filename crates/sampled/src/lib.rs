@@ -48,6 +48,9 @@ pub struct SampledNetFlow {
     sampled_packets: u64,
     evictions: u64,
     cost: CostRecorder,
+    // Reusable sampling-flag scratch for `process_batch`; carries no
+    // observable state (cleared and refilled per batch).
+    scratch: Vec<bool>,
 }
 
 impl SampledNetFlow {
@@ -73,6 +76,7 @@ impl SampledNetFlow {
             sampled_packets: 0,
             evictions: 0,
             cost: CostRecorder::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -112,21 +116,14 @@ impl SampledNetFlow {
         bytes[13..].copy_from_slice(&packet.timestamp_ns().to_le_bytes());
         fast_range(self.hash.hash_bytes(0, &bytes), self.sampling_n as usize) == 0
     }
-}
 
-impl FlowMonitor for SampledNetFlow {
-    fn process_packet(&mut self, packet: &Packet) {
-        self.cost.start_packet();
-        self.cost.record_hashes(1);
-        if !self.sampled(packet) {
-            return;
-        }
+    /// Flow-cache update for a packet that passed the sampler: one cache
+    /// read and one cache write in every branch (the caller accounts 1
+    /// read + 1 write per sampled packet).
+    fn ingest_sampled(&mut self, key: FlowKey) {
         self.sampled_packets += 1;
-        self.cost.record_reads(1);
-        let key = packet.key();
         if let Some(&slot) = self.index.get(&key) {
             self.slots[slot].1 = self.slots[slot].1.saturating_add(1);
-            self.cost.record_writes(1);
             return;
         }
         if self.slots.len() >= self.capacity {
@@ -145,7 +142,50 @@ impl FlowMonitor for SampledNetFlow {
         }
         self.index.insert(key, self.slots.len());
         self.slots.push((key, 1));
+    }
+}
+
+impl FlowMonitor for SampledNetFlow {
+    fn process_packet(&mut self, packet: &Packet) {
+        self.cost.start_packet();
+        self.cost.record_hashes(1);
+        if !self.sampled(packet) {
+            return;
+        }
+        self.cost.record_reads(1);
+        self.ingest_sampled(packet.key());
         self.cost.record_writes(1);
+    }
+
+    /// The batched hot path: the 1-in-N sampling decision is a pure
+    /// function of the packet, so pass 1 evaluates the sampler for the
+    /// whole batch in one sweep; pass 2 runs the flow cache in arrival
+    /// order for the survivors and flushes one cost record per batch.
+    /// State and recorded costs are identical to the scalar loop.
+    fn process_batch(&mut self, packets: &[Packet]) {
+        if packets.is_empty() {
+            return;
+        }
+        let mut flags = std::mem::take(&mut self.scratch);
+        flags.clear();
+        flags.reserve(packets.len());
+        for p in packets {
+            flags.push(self.sampled(p));
+        }
+        let mut sampled = 0u64;
+        for (p, &take) in packets.iter().zip(&flags) {
+            if take {
+                sampled += 1;
+                self.ingest_sampled(p.key());
+            }
+        }
+        self.cost.absorb(&CostSnapshot {
+            packets: packets.len() as u64,
+            hashes: packets.len() as u64,
+            reads: sampled,
+            writes: sampled,
+        });
+        self.scratch = flags;
     }
 
     fn flow_records(&self) -> Vec<FlowRecord> {

@@ -14,7 +14,10 @@
 //! * [`ShardedMonitor::ingest`] runs the shards on worker threads
 //!   (`std::thread::scope`, no unsafe) fed through bounded [`BatchQueue`]s,
 //!   so a slow shard back-pressures the dispatcher instead of buffering
-//!   the trace.
+//!   the trace. The dispatcher hashes each key exactly once and workers
+//!   drain whole batches through the monitors' batched hot path
+//!   ([`FlowMonitor::process_batch`]); drained batch buffers recycle
+//!   through a free-list so steady-state dispatch allocates nothing.
 //! * Queries merge: flow records concatenate across the disjoint
 //!   partitions, size queries route to the owning shard, cardinality
 //!   estimates combine via
@@ -79,16 +82,17 @@ const DISPATCH_SEED: u64 = 0xd15b_a7c4_0b5e_55ed;
 /// The dispatcher is the serial (Amdahl) term of the sharded pipeline —
 /// every packet pays it before any shard can work — so it is specialized
 /// rather than reusing the general [`hashflow_hashing`] families: the
-/// 13-byte flow key is read as two words and mixed with three multiplies,
-/// a fraction of a full xxhash pass, while still avalanching the high bits
+/// 13-byte flow key is read as two words ([`FlowKey::to_words`], no
+/// serialize-then-reload round trip) and mixed with three multiplies, a
+/// fraction of a full xxhash pass, while still avalanching the high bits
 /// that [`fast_range`] consumes. It remains a pure function of the whole
-/// key, so one flow maps to exactly one shard.
+/// key, so one flow maps to exactly one shard, and each key is hashed
+/// **exactly once** per ingested packet: the dispatch passes derive the
+/// owning shard from this value and carry that ownership alongside the
+/// batch, so no later stage re-hashes for routing.
 #[inline]
 fn dispatch_hash(key: &FlowKey) -> u64 {
-    let bytes = key.to_bytes();
-    let lo = u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte slice"));
-    let hi = u64::from(u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice")))
-        | (u64::from(bytes[12]) << 32);
+    let (lo, hi) = key.to_words();
     let mut x = lo ^ DISPATCH_SEED;
     x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     x ^= hi.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -177,6 +181,44 @@ impl LaneTimings {
     }
 }
 
+/// Reusable dispatch buffers: one dispatch-hash-derived owner per packet
+/// plus the per-shard partitions. Holding these on the monitor keeps the
+/// serial dispatch pass allocation-free (and, after the first batch,
+/// page-fault-free) in steady state — the Amdahl term every packet pays.
+#[derive(Debug, Clone, Default)]
+struct DispatchScratch {
+    owners: Vec<u32>,
+    counts: Vec<usize>,
+    parts: Vec<Vec<Packet>>,
+}
+
+impl DispatchScratch {
+    /// Splits `packets` by owning shard, preserving arrival order within
+    /// each partition. Two passes, one dispatch hash per key: pass A
+    /// evaluates the hash for every packet exactly once and keeps the
+    /// derived owner alongside the batch; pass B scatters into
+    /// exactly-sized partitions without re-hashing anything.
+    fn split(&mut self, shards: usize, packets: &[Packet]) {
+        self.counts.clear();
+        self.counts.resize(shards, 0);
+        self.owners.clear();
+        self.owners.reserve(packets.len());
+        for p in packets {
+            let s = fast_range(dispatch_hash(&p.key()), shards);
+            self.counts[s] += 1;
+            self.owners.push(s as u32);
+        }
+        self.parts.resize_with(shards, Vec::new);
+        for (part, &count) in self.parts.iter_mut().zip(&self.counts) {
+            part.clear();
+            part.reserve(count);
+        }
+        for (p, &s) in packets.iter().zip(&self.owners) {
+            self.parts[s as usize].push(*p);
+        }
+    }
+}
+
 /// `N` inner monitors behind an RSS-style flow dispatcher. See the crate
 /// docs for the full contract.
 #[derive(Debug, Clone)]
@@ -186,6 +228,7 @@ pub struct ShardedMonitor<M> {
     first_ns: Option<u64>,
     last_ns: Option<u64>,
     epoch: u64,
+    scratch: DispatchScratch,
 }
 
 impl<M: MergeableMonitor> ShardedMonitor<M> {
@@ -209,6 +252,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             first_ns: None,
             last_ns: None,
             epoch: 0,
+            scratch: DispatchScratch::default(),
         })
     }
 
@@ -278,19 +322,17 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
 
     /// Splits `packets` by owning shard, preserving arrival order within
     /// each partition (the order-preservation RSS guarantees per flow).
-    /// Partitions are pre-sized for the expected equal split, so the
-    /// dispatch pass is hash + append with no rehashing or reallocation
-    /// in the common case.
+    ///
+    /// Two passes, one hash per key: pass A evaluates the dispatch hash
+    /// for every packet exactly once and keeps the derived owner
+    /// alongside the batch; pass B scatters into exactly-sized partitions
+    /// (no growth checks, no headroom waste) without re-hashing anything.
+    /// The mutable ingestion paths run the same split against reusable
+    /// monitor-owned buffers instead of fresh allocations.
     pub fn partition(&self, packets: &[Packet]) -> Vec<Vec<Packet>> {
-        let n = self.shards.len();
-        // Equal share plus 25% headroom for hash-split jitter.
-        let headroom = packets.len() / n + packets.len() / (4 * n) + 16;
-        let mut parts: Vec<Vec<Packet>> =
-            (0..n).map(|_| Vec::with_capacity(headroom)).collect();
-        for p in packets {
-            parts[self.shard_of(&p.key())].push(*p);
-        }
-        parts
+        let mut scratch = DispatchScratch::default();
+        scratch.split(self.shards.len(), packets);
+        scratch.parts
     }
 
     /// Replays `packets` through the shards **serially**, timing the
@@ -308,9 +350,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
         if self.shards.len() == 1 {
             // No dispatch work for a single shard (mirrors `ingest`).
             let start = Instant::now();
-            for p in packets {
-                self.shards[0].process_packet(p);
-            }
+            self.shards[0].process_trace(packets);
             return LaneTimings {
                 dispatch_ns: 0,
                 lanes: vec![LaneTiming {
@@ -319,25 +359,27 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
                 }],
             };
         }
+        let mut scratch = std::mem::take(&mut self.scratch);
         let start = Instant::now();
-        let parts = self.partition(packets);
+        scratch.split(self.shards.len(), packets);
         let dispatch_ns = start.elapsed().as_nanos();
         self.dispatch_hashes += packets.len() as u64;
         let lanes = self
             .shards
             .iter_mut()
-            .zip(&parts)
+            .zip(&scratch.parts)
             .map(|(shard, part)| {
+                // The batched hot path, exactly as a dedicated worker
+                // core would run it on its drained batches.
                 let start = Instant::now();
-                for p in part {
-                    shard.process_packet(p);
-                }
+                shard.process_trace(part);
                 LaneTiming {
                     packets: part.len() as u64,
                     elapsed_ns: start.elapsed().as_nanos(),
                 }
             })
             .collect();
+        self.scratch = scratch;
         LaneTimings { dispatch_ns, lanes }
     }
 
@@ -408,10 +450,7 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
         if shard_count == 1 {
             // Single shard: no dispatch hash, no threads — identical to
             // running the inner monitor directly.
-            let only = &mut self.shards[0];
-            for p in packets {
-                only.process_packet(p);
-            }
+            self.shards[0].process_trace(packets);
             per_shard[0] = packets.len() as u64;
             return IngestReport {
                 packets: packets.len() as u64,
@@ -422,18 +461,24 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
 
         let queues: Vec<BatchQueue<Packet>> =
             (0..shard_count).map(|_| BatchQueue::new(QUEUE_DEPTH)).collect();
+        // Free-list of drained batch buffers: workers clear and return
+        // their batches here, the dispatcher reuses them instead of
+        // allocating a fresh `Vec` per published batch. Best-effort on
+        // both sides (`try_*`): losing a buffer only costs an allocation.
+        let free: BatchQueue<Packet> = BatchQueue::new(shard_count * QUEUE_DEPTH);
         std::thread::scope(|scope| {
             for (shard, queue) in self.shards.iter_mut().zip(&queues) {
+                let free = &free;
                 scope.spawn(move || {
                     // If the monitor panics, close the queue first so the
                     // dispatcher's pushes drain as no-ops instead of
                     // blocking forever; the panic then propagates when
                     // the scope joins this thread.
                     let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        while let Some(batch) = queue.pop() {
-                            for p in &batch {
-                                shard.process_packet(p);
-                            }
+                        while let Some(mut batch) = queue.pop() {
+                            shard.process_batch(&batch);
+                            batch.clear();
+                            let _ = free.try_push(batch);
                         }
                     }));
                     if let Err(payload) = worked {
@@ -442,21 +487,22 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                     }
                 });
             }
-            // Dispatcher: RSS split into per-shard batches. A false push
-            // means that shard's worker died; keep going so the scope can
-            // join and surface its panic.
-            let mut pending: Vec<Vec<Packet>> = (0..shard_count)
-                .map(|_| Vec::with_capacity(BATCH_PACKETS))
-                .collect();
+            // Dispatcher: RSS split into per-shard batches, one dispatch
+            // hash per packet. A false push means that shard's worker
+            // died; keep going so the scope can join and surface its
+            // panic.
+            let fresh_batch = || {
+                free.try_pop()
+                    .unwrap_or_else(|| Vec::with_capacity(BATCH_PACKETS))
+            };
+            let mut pending: Vec<Vec<Packet>> =
+                (0..shard_count).map(|_| fresh_batch()).collect();
             for p in packets {
                 let s = fast_range(dispatch_hash(&p.key()), shard_count);
                 per_shard[s] += 1;
                 pending[s].push(*p);
-                if pending[s].len() == BATCH_PACKETS {
-                    let full = std::mem::replace(
-                        &mut pending[s],
-                        Vec::with_capacity(BATCH_PACKETS),
-                    );
+                if pending[s].len() >= BATCH_PACKETS {
+                    let full = std::mem::replace(&mut pending[s], fresh_batch());
                     let _ = queues[s].push(full);
                 }
             }
@@ -488,6 +534,26 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         let s = self.shard_of(&packet.key());
         self.dispatch_hashes += 1;
         self.shards[s].process_packet(packet);
+    }
+
+    /// The serial batched path: partition once (one dispatch hash per
+    /// packet) and feed each shard its slice through the shard's own
+    /// batched hot path. Observationally identical to per-packet
+    /// dispatch — per-flow order is preserved because a flow has exactly
+    /// one partition.
+    fn process_batch(&mut self, packets: &[Packet]) {
+        self.note_timestamps(packets);
+        if self.shards.len() == 1 {
+            self.shards[0].process_batch(packets);
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.split(self.shards.len(), packets);
+        self.dispatch_hashes += packets.len() as u64;
+        for (shard, part) in self.shards.iter_mut().zip(&scratch.parts) {
+            shard.process_batch(part);
+        }
+        self.scratch = scratch;
     }
 
     /// The parallel path: trait-level replay (e.g.
@@ -654,6 +720,29 @@ mod tests {
         let heavy = m.heavy_hitters(3);
         assert!(heavy.iter().all(|r| r.count() >= 3));
         assert_eq!(m.cost().packets, (0..500u64).map(|f| f % 3 + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn batched_dispatch_matches_sequential_dispatch() {
+        // The serial batched path (partition + per-shard process_batch)
+        // must be observationally identical to per-packet dispatch.
+        let trace = TraceGenerator::new(TraceProfile::Caida, 21).generate(1_200);
+        let mut batched = sharded_hashflow(4, 128);
+        let mut sequential = sharded_hashflow(4, 128);
+        for chunk in trace.packets().chunks(171) {
+            batched.process_batch(chunk);
+        }
+        batched.process_batch(&[]);
+        for p in trace.packets() {
+            sequential.process_packet(p);
+        }
+        let mut a = batched.flow_records();
+        let mut b = sequential.flow_records();
+        a.sort_by_key(|r| r.key());
+        b.sort_by_key(|r| r.key());
+        assert_eq!(a, b);
+        assert_eq!(batched.cost(), sequential.cost());
+        assert_eq!(batched.dispatch_hashes(), sequential.dispatch_hashes());
     }
 
     #[test]

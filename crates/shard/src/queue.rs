@@ -103,6 +103,33 @@ impl<T> BatchQueue<T> {
         }
     }
 
+    /// Non-blocking [`Self::push`]: enqueues only if there is room right
+    /// now. Returns `false` — dropping the batch — when the queue is full
+    /// or closed. This is what a best-effort recycling path wants: losing
+    /// a spare buffer only costs a future allocation.
+    pub fn try_push(&self, batch: Vec<T>) -> bool {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed || state.batches.len() >= self.capacity {
+            return false;
+        }
+        state.batches.push_back(batch);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Non-blocking [`Self::pop`]: returns `None` immediately when the
+    /// queue is currently empty (whether or not it is closed).
+    pub fn try_pop(&self) -> Option<Vec<T>> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let batch = state.batches.pop_front();
+        if batch.is_some() {
+            drop(state);
+            self.not_full.notify_one();
+        }
+        batch
+    }
+
     /// Marks the queue closed: blocked and future `pop`s return `None`
     /// once the backlog drains, and blocked and future `push`es return
     /// `false`.
@@ -183,6 +210,18 @@ mod tests {
             q.close();
             assert!(!blocked.join().unwrap());
         });
+    }
+
+    #[test]
+    fn try_ops_never_block() {
+        let q = BatchQueue::new(1);
+        assert_eq!(q.try_pop(), None, "empty queue pops nothing");
+        assert!(q.try_push(vec![1u8]));
+        assert!(!q.try_push(vec![2]), "full queue drops the batch");
+        assert_eq!(q.try_pop(), Some(vec![1]));
+        q.close();
+        assert!(!q.try_push(vec![3]), "closed queue drops the batch");
+        assert_eq!(q.try_pop(), None);
     }
 
     #[test]

@@ -244,10 +244,42 @@ impl SoftwareSwitch {
 
     /// Resets `monitor`, replays every packet of `trace` through it, and
     /// reports native and modeled throughput.
+    ///
+    /// Ingestion goes through [`FlowMonitor::process_trace`], i.e. the
+    /// monitor's **batched hot path** where one exists (precomputed hash
+    /// lanes, software prefetch, amortized cost flushes). Recorded costs
+    /// — and therefore the modeled bmv2 numbers — are identical to the
+    /// scalar path by the `process_batch` contract; only `native_*`
+    /// improves. Use [`Self::replay_scalar`] to measure the per-packet
+    /// baseline.
     pub fn replay<M: FlowMonitor + ?Sized>(&self, monitor: &mut M, trace: &Trace) -> ReplayReport {
+        self.replay_with(monitor, trace, |m, packets| m.process_trace(packets))
+    }
+
+    /// [`Self::replay`] forced down the scalar one-packet-at-a-time
+    /// path, bypassing any batched override — the baseline the `hotpath`
+    /// bench and exhibit compare against.
+    pub fn replay_scalar<M: FlowMonitor + ?Sized>(
+        &self,
+        monitor: &mut M,
+        trace: &Trace,
+    ) -> ReplayReport {
+        self.replay_with(monitor, trace, |m, packets| {
+            for p in packets {
+                m.process_packet(p);
+            }
+        })
+    }
+
+    fn replay_with<M: FlowMonitor + ?Sized>(
+        &self,
+        monitor: &mut M,
+        trace: &Trace,
+        ingest: impl Fn(&mut M, &[hashflow_types::Packet]),
+    ) -> ReplayReport {
         monitor.reset();
         let start = Instant::now();
-        monitor.process_trace(trace.packets());
+        ingest(monitor, trace.packets());
         let elapsed = start.elapsed();
         let cost = monitor.cost();
         let packets = cost.packets;
@@ -309,6 +341,23 @@ mod tests {
         assert!(report.native_pps > 0.0);
         assert!(report.avg_hashes >= 1.0);
         assert!(report.modeled_kpps < 20.0);
+    }
+
+    #[test]
+    fn batched_and_scalar_replay_agree_on_costs() {
+        // The batched default and the forced-scalar path must report the
+        // same packets, per-packet averages and modeled throughput — the
+        // process_batch contract seen from the switch.
+        let trace = TraceGenerator::new(TraceProfile::Caida, 5).generate(1_000);
+        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let sw = SoftwareSwitch::default();
+        let batched = sw.replay(&mut hf, &trace);
+        let records_batched = hf.flow_records().len();
+        let scalar = sw.replay_scalar(&mut hf, &trace);
+        assert_eq!(batched.packets, scalar.packets);
+        assert_eq!(batched.cost, scalar.cost);
+        assert_eq!(batched.modeled_kpps, scalar.modeled_kpps);
+        assert_eq!(records_batched, hf.flow_records().len());
     }
 
     #[test]

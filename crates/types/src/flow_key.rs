@@ -183,6 +183,35 @@ impl FlowKey {
         }
     }
 
+    /// The canonical 13 bytes viewed as two little-endian machine words:
+    /// `lo` is bytes 0–7 and `hi` is bytes 8–12 (zero-extended).
+    ///
+    /// Hot paths that mix the whole key with word-wide arithmetic (the
+    /// shard dispatch hash) use this instead of [`Self::to_bytes`]: it is
+    /// the same pure function of every field, computed with two byte
+    /// swaps instead of a serialize-then-reload round trip.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hashflow_types::FlowKey;
+    /// let k = FlowKey::from_index(9);
+    /// let bytes = k.to_bytes();
+    /// let (lo, hi) = k.to_words();
+    /// assert_eq!(lo, u64::from_le_bytes(bytes[0..8].try_into().unwrap()));
+    /// assert_eq!(hi & 0xff, u64::from(bytes[8]));
+    /// ```
+    pub const fn to_words(&self) -> (u64, u64) {
+        // to_bytes lays out big-endian fields; reading those bytes
+        // little-endian is one swap per 32/16-bit field.
+        let lo = self.src_ip.to_bits().swap_bytes() as u64
+            | ((self.dst_ip.to_bits().swap_bytes() as u64) << 32);
+        let hi = self.src_port.swap_bytes() as u64
+            | ((self.dst_port.swap_bytes() as u64) << 16)
+            | ((self.protocol as u64) << 32);
+        (lo, hi)
+    }
+
     /// XORs another key into this one, byte-wise.
     ///
     /// FlowRadar's counting table stores the XOR of all flow IDs hashed into
@@ -271,6 +300,19 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u64 {
             assert!(seen.insert(FlowKey::from_index(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn words_match_canonical_bytes() {
+        for i in [0u64, 1, 7, 0xffff, u64::MAX / 3, u64::MAX] {
+            let k = FlowKey::from_index(i);
+            let b = k.to_bytes();
+            let (lo, hi) = k.to_words();
+            assert_eq!(lo, u64::from_le_bytes(b[0..8].try_into().unwrap()));
+            let expect_hi = u64::from(u32::from_le_bytes(b[8..12].try_into().unwrap()))
+                | (u64::from(b[12]) << 32);
+            assert_eq!(hi, expect_hi);
         }
     }
 

@@ -1,0 +1,182 @@
+//! Cross-monitor property suite for the batched ingestion contract:
+//! [`FlowMonitor::process_batch`] must be **observationally identical**
+//! to the scalar `process_packet` loop — same flow records, same size
+//! estimates, same cardinality estimate, same `CostSnapshot` — for every
+//! monitor in the workspace, both main-table schemes, and adversarial
+//! batch shapes (size 1, odd tails, empty batches in the middle).
+//!
+//! HashFlow and FlowRadar override `process_batch` with a real batched
+//! hot path (precomputed hash lanes, software prefetch, one cost flush
+//! per batch), SampledNetFlow batches its sampler pass, and HashPipe and
+//! ElasticSketch ride the default scalar-loop implementation — the suite
+//! pins the contract for all five so a future override cannot silently
+//! diverge.
+
+use hashflow_suite::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A packet stream over `flows` distinct flows with arbitrary
+/// interleaving and multiplicities, timestamped in arrival order.
+fn stream(flows: u64, max_packets: usize) -> impl Strategy<Value = Vec<Packet>> {
+    prop::collection::vec(0..flows, 1..max_packets).prop_map(|ids| {
+        ids.into_iter()
+            .enumerate()
+            .map(|(t, f)| Packet::new(FlowKey::from_index(f), t as u64, 64))
+            .collect()
+    })
+}
+
+/// Splits `packets` into batches of cycling sizes, so one replay
+/// exercises singletons, odd tails and interleaved empty batches.
+fn batch_plan(packets: &[Packet]) -> Vec<&[Packet]> {
+    let sizes = [1usize, 7, 0, 64, 3, 0, 129];
+    let mut batches = Vec::new();
+    let mut rest = packets;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = sizes[i % sizes.len()].min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        batches.push(head);
+        rest = tail;
+        i += 1;
+    }
+    batches
+}
+
+/// Drives `scalar` packet-by-packet and `batched` through the batch
+/// plan, then asserts the two are observationally identical.
+fn assert_equivalent<M: FlowMonitor>(mut scalar: M, mut batched: M, packets: &[Packet]) {
+    for p in packets {
+        scalar.process_packet(p);
+    }
+    for batch in batch_plan(packets) {
+        batched.process_batch(batch);
+    }
+
+    prop_assert_eq!(batched.cost(), scalar.cost(), "cost snapshots diverge");
+
+    let mut a = scalar.flow_records();
+    let mut b = batched.flow_records();
+    a.sort_by_key(|r| (r.key(), r.count()));
+    b.sort_by_key(|r| (r.key(), r.count()));
+    prop_assert_eq!(a, b, "flow records diverge");
+
+    let keys: BTreeSet<FlowKey> = packets.iter().map(|p| p.key()).collect();
+    for key in keys {
+        prop_assert_eq!(
+            batched.estimate_size(&key),
+            scalar.estimate_size(&key),
+            "size estimate diverges for {key:?}"
+        );
+    }
+    let (ca, cb) = (scalar.estimate_cardinality(), batched.estimate_cardinality());
+    prop_assert!(
+        (ca - cb).abs() < 1e-9,
+        "cardinality estimates diverge: {ca} vs {cb}"
+    );
+}
+
+fn hashflow_with(scheme: TableScheme) -> HashFlow {
+    HashFlow::new(
+        HashFlowConfig::builder()
+            .main_cells(256)
+            .ancillary_cells(256)
+            .scheme(scheme)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("valid geometry")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// HashFlow's real batched hot path, multi-hash scheme. Small tables
+    /// so collisions, ancillary churn and promotions all trigger.
+    #[test]
+    fn hashflow_multihash_batches_equivalently(packets in stream(500, 900)) {
+        let scheme = TableScheme::MultiHash { depth: 3 };
+        assert_equivalent(hashflow_with(scheme), hashflow_with(scheme), &packets);
+    }
+
+    /// HashFlow's real batched hot path, pipelined scheme.
+    #[test]
+    fn hashflow_pipelined_batches_equivalently(packets in stream(500, 900)) {
+        let scheme = TableScheme::Pipelined { depth: 3, alpha: 0.7 };
+        assert_equivalent(hashflow_with(scheme), hashflow_with(scheme), &packets);
+    }
+
+    /// FlowRadar's batched Bloom+counter path, including decode output
+    /// (flow_records triggers the peeling decode on both sides).
+    #[test]
+    fn flowradar_batches_equivalently(packets in stream(300, 700)) {
+        assert_equivalent(
+            FlowRadar::new(600, 0xf1).expect("valid"),
+            FlowRadar::new(600, 0xf1).expect("valid"),
+            &packets,
+        );
+    }
+
+    /// SampledNetFlow's batched sampler pass, with eviction pressure
+    /// (capacity far below the flow count) and N > 1 sampling.
+    #[test]
+    fn sampled_netflow_batches_equivalently(packets in stream(400, 800)) {
+        let make = || SampledNetFlow::new(64, 4, 0x5a).expect("valid");
+        assert_equivalent(make(), make(), &packets);
+    }
+
+    /// HashPipe rides the default scalar-loop process_batch; the contract
+    /// must hold regardless.
+    #[test]
+    fn hashpipe_batches_equivalently(packets in stream(400, 700)) {
+        let budget = MemoryBudget::from_kib(8).expect("positive");
+        let make = || HashPipe::with_memory(budget).expect("fits");
+        assert_equivalent(make(), make(), &packets);
+    }
+
+    /// ElasticSketch rides the default scalar-loop process_batch; the
+    /// contract must hold regardless.
+    #[test]
+    fn elastic_sketch_batches_equivalently(packets in stream(400, 700)) {
+        let budget = MemoryBudget::from_kib(8).expect("positive");
+        let make = || ElasticSketch::with_memory(budget).expect("fits");
+        assert_equivalent(make(), make(), &packets);
+    }
+
+    /// The chunked process_trace default is just another batch plan, and
+    /// the sharded monitor's batched dispatch composes with HashFlow's
+    /// batched hot path: both must match the scalar loop end to end.
+    #[test]
+    fn process_trace_and_sharded_batches_equivalently(packets in stream(300, 600)) {
+        let budget = MemoryBudget::from_kib(64).expect("positive");
+        let mut scalar = HashFlow::with_memory(budget).expect("fits");
+        let mut traced = HashFlow::with_memory(budget).expect("fits");
+        for p in &packets {
+            scalar.process_packet(p);
+        }
+        traced.process_trace(&packets);
+        prop_assert_eq!(traced.cost(), scalar.cost());
+        prop_assert_eq!(traced.flow_records(), scalar.flow_records());
+
+        let sharded_budget = MemoryBudget::from_kib(64).expect("positive");
+        let make_sharded = || {
+            ShardedMonitor::with_budget(4, sharded_budget, |_, b| HashFlow::with_memory(b))
+                .expect("split fits")
+        };
+        let mut shard_scalar = make_sharded();
+        let mut shard_batched = make_sharded();
+        for p in &packets {
+            shard_scalar.process_packet(p);
+        }
+        for batch in batch_plan(&packets) {
+            shard_batched.process_batch(batch);
+        }
+        prop_assert_eq!(shard_batched.cost(), shard_scalar.cost());
+        let mut a = shard_scalar.flow_records();
+        let mut b = shard_batched.flow_records();
+        a.sort_by_key(|r| r.key());
+        b.sort_by_key(|r| r.key());
+        prop_assert_eq!(a, b);
+    }
+}
