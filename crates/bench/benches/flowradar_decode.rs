@@ -23,7 +23,11 @@ fn decode(c: &mut Criterion) {
 
     // Load factors straddling the peeling threshold (~1.2 flows/cell for
     // k = 3): 0.5 decodes fully, 2.0 collapses.
-    for (label, flows) in [("underloaded_0.5", 8_192), ("critical_1.1", 18_022), ("overloaded_2.0", 32_768)] {
+    for (label, flows) in [
+        ("underloaded_0.5", 8_192),
+        ("critical_1.1", 18_022),
+        ("overloaded_2.0", 32_768),
+    ] {
         let fr = loaded_radar(16_384, flows);
         group.bench_with_input(BenchmarkId::from_parameter(label), &fr, |b, fr| {
             b.iter(|| {

@@ -21,13 +21,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use elastic_sketch::ElasticSketch;
-use flowradar::FlowRadar;
+use hashflow_collector::{AlgorithmKind, MonitorBuilder};
 use hashflow_core::HashFlow;
 use hashflow_monitor::{FlowMonitor, MemoryBudget};
 use hashflow_shard::ShardedMonitor;
 use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
-use hashpipe::HashPipe;
 
 /// Benchmark memory budget: 256 KiB keeps construction cheap while
 /// preserving realistic table sizes (~15K records).
@@ -40,27 +38,20 @@ pub fn bench_trace(profile: TraceProfile, flows: usize) -> Trace {
     TraceGenerator::new(profile, 0xbe7c).generate(flows)
 }
 
-/// The four comparison algorithms at the benchmark budget.
-pub fn bench_monitors() -> Vec<(&'static str, Box<dyn FlowMonitor>)> {
+/// The four comparison algorithms at the benchmark budget, built through
+/// the registry (the workspace's single construction path).
+pub fn bench_monitors() -> Vec<(&'static str, Box<dyn FlowMonitor + Send>)> {
     let budget = bench_budget();
-    vec![
-        (
-            "HashFlow",
-            Box::new(HashFlow::with_memory(budget).expect("fits")) as Box<dyn FlowMonitor>,
-        ),
-        (
-            "HashPipe",
-            Box::new(HashPipe::with_memory(budget).expect("fits")),
-        ),
-        (
-            "ElasticSketch",
-            Box::new(ElasticSketch::with_memory(budget).expect("fits")),
-        ),
-        (
-            "FlowRadar",
-            Box::new(FlowRadar::with_memory(budget).expect("fits")),
-        ),
-    ]
+    AlgorithmKind::COMPARISON
+        .into_iter()
+        .map(|kind| {
+            let monitor = MonitorBuilder::new(kind)
+                .budget(budget)
+                .build()
+                .expect("bench budget fits every algorithm");
+            (monitor.name(), monitor)
+        })
+        .collect()
 }
 
 /// A sharded HashFlow at the benchmark budget: `shards` equal sub-budgets

@@ -1,5 +1,10 @@
 //! Hand-rolled argument parsing (no external parser dependency).
+//!
+//! Algorithm names resolve through the registry
+//! ([`hashflow_collector::AlgorithmKind`]) — the CLI holds no
+//! name→algorithm table of its own.
 
+use hashflow_collector::AlgorithmKind;
 use hashflow_trace::TraceProfile;
 use std::error::Error;
 use std::fmt;
@@ -36,8 +41,12 @@ commands:
       --load <m/n>          traffic load                [default: 1.0]
       --depth <d>           hash functions              [default: 3]
       --alpha <a>           pipeline weight (omit for multi-hash)
-  export <capture.pcap>     collect records and write NetFlow v5 datagrams
+  export <capture.pcap>     collect records and stream them to an export sink
       --memory-kib <N>      memory budget in KiB        [default: 256]
+      --algorithm <name>    hashflow|hashpipe|elastic|flowradar|netflow
+                                                        [default: hashflow]
+      --format <name>       nf5 (NetFlow v5 datagrams) or jsonl (JSON lines)
+                                                        [default: nf5]
       --out <file>          output path                 (required)
 ";
 
@@ -59,30 +68,29 @@ impl fmt::Display for ArgError {
 
 impl Error for ArgError {}
 
-/// The selected algorithm for `analyze`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlgorithmName {
-    /// The paper's algorithm.
-    HashFlow,
-    /// HashPipe baseline.
-    HashPipe,
-    /// ElasticSketch baseline.
-    Elastic,
-    /// FlowRadar baseline.
-    FlowRadar,
-    /// Sampled NetFlow reference.
-    NetFlow,
+/// Resolves `--algorithm` through the registry; unknown names report the
+/// registry's full list of valid algorithms.
+fn parse_algorithm(s: &str) -> Result<AlgorithmKind, ArgError> {
+    AlgorithmKind::parse(s).map_err(|e| ArgError::new(e.to_string()))
 }
 
-impl AlgorithmName {
+/// Export serialization format for the `export` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// NetFlow v5 datagrams (`NetFlowV5Sink`).
+    NetFlowV5,
+    /// JSON lines, one record per line (`JsonLinesSink`).
+    JsonLines,
+}
+
+impl ExportFormat {
     fn parse(s: &str) -> Result<Self, ArgError> {
         match s.to_ascii_lowercase().as_str() {
-            "hashflow" => Ok(AlgorithmName::HashFlow),
-            "hashpipe" => Ok(AlgorithmName::HashPipe),
-            "elastic" | "elasticsketch" => Ok(AlgorithmName::Elastic),
-            "flowradar" => Ok(AlgorithmName::FlowRadar),
-            "netflow" | "sampled" => Ok(AlgorithmName::NetFlow),
-            other => Err(ArgError::new(format!("unknown algorithm '{other}'"))),
+            "nf5" | "netflow" | "netflowv5" => Ok(ExportFormat::NetFlowV5),
+            "jsonl" | "json-lines" => Ok(ExportFormat::JsonLines),
+            other => Err(ArgError::new(format!(
+                "unknown export format '{other}'; valid formats: nf5, jsonl"
+            ))),
         }
     }
 }
@@ -104,7 +112,7 @@ pub enum Command {
         /// Memory budget in KiB.
         memory_kib: usize,
         /// Which algorithm to run.
-        algorithm: AlgorithmName,
+        algorithm: AlgorithmKind,
         /// Heavy-hitter threshold in packets.
         threshold: u32,
         /// How many top flows to list.
@@ -134,13 +142,17 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
-    /// Collect flow records from a capture and export them as NetFlow v5.
+    /// Collect flow records from a capture and stream them to a sink.
     Export {
         /// Path to the capture.
         path: String,
         /// Memory budget in KiB.
         memory_kib: usize,
-        /// Output file receiving concatenated v5 datagrams.
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Serialization format of the sink.
+        format: ExportFormat,
+        /// Output file receiving the serialized epochs.
         out: String,
     },
     /// Print utilization-model predictions.
@@ -260,8 +272,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 path,
                 memory_kib: opts.parse_or("memory-kib", 256)?,
                 algorithm: match opts.get("algorithm") {
-                    Some(v) => AlgorithmName::parse(v)?,
-                    None => AlgorithmName::HashFlow,
+                    Some(v) => parse_algorithm(v)?,
+                    None => AlgorithmKind::HashFlow,
                 },
                 threshold: opts.parse_or("threshold", 100)?,
                 top: opts.parse_or("top", 10)?,
@@ -307,13 +319,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
             let alpha = match opts.get("alpha") {
                 None => None,
                 Some(v) => {
-                    let a: f64 = v.parse().map_err(|_| {
-                        ArgError::new(format!("invalid value '{v}' for --alpha"))
-                    })?;
+                    let a: f64 = v
+                        .parse()
+                        .map_err(|_| ArgError::new(format!("invalid value '{v}' for --alpha")))?;
                     if !a.is_finite() || a <= 0.0 || a > 1.0 {
-                        return Err(ArgError::new(format!(
-                            "--alpha must be in (0, 1], got {a}"
-                        )));
+                        return Err(ArgError::new(format!("--alpha must be in (0, 1], got {a}")));
                     }
                     Some(a)
                 }
@@ -322,7 +332,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
         }
         "export" => {
             let opts = split_options(rest)?;
-            opts.reject_unknown(&["memory-kib", "out"])?;
+            opts.reject_unknown(&["memory-kib", "algorithm", "format", "out"])?;
             Command::Export {
                 path: opts
                     .positional
@@ -330,6 +340,14 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                     .ok_or_else(|| ArgError::new("export needs a capture path"))?
                     .to_string(),
                 memory_kib: opts.parse_or("memory-kib", 256)?,
+                algorithm: match opts.get("algorithm") {
+                    Some(v) => parse_algorithm(v)?,
+                    None => AlgorithmKind::HashFlow,
+                },
+                format: match opts.get("format") {
+                    Some(v) => ExportFormat::parse(v)?,
+                    None => ExportFormat::NetFlowV5,
+                },
                 out: opts
                     .get("out")
                     .ok_or_else(|| ArgError::new("export needs --out <file>"))?
@@ -369,7 +387,7 @@ mod tests {
             } => {
                 assert_eq!(path, "cap.pcap");
                 assert_eq!(memory_kib, 256);
-                assert_eq!(algorithm, AlgorithmName::HashFlow);
+                assert_eq!(algorithm, AlgorithmKind::HashFlow);
                 assert_eq!(threshold, 100);
                 assert_eq!(top, 10);
                 assert_eq!(shards, 1);
@@ -389,7 +407,7 @@ mod tests {
                 ..
             } => {
                 assert_eq!(memory_kib, 64);
-                assert_eq!(algorithm, AlgorithmName::Elastic);
+                assert_eq!(algorithm, AlgorithmKind::Elastic);
                 assert_eq!(threshold, 7);
                 assert_eq!(top, 3);
             }
@@ -480,13 +498,31 @@ mod tests {
             Command::Export {
                 path,
                 memory_kib,
+                algorithm,
+                format,
                 out,
             } => {
                 assert_eq!(path, "cap.pcap");
                 assert_eq!(memory_kib, 32);
+                assert_eq!(algorithm, AlgorithmKind::HashFlow);
+                assert_eq!(format, ExportFormat::NetFlowV5);
                 assert_eq!(out, "flows.nf5");
             }
             other => panic!("{other:?}"),
         }
+        let p = parse(&argv(
+            "export cap.pcap --algorithm flowradar --format jsonl --out flows.jsonl",
+        ))
+        .unwrap();
+        match p.command {
+            Command::Export {
+                algorithm, format, ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::FlowRadar);
+                assert_eq!(format, ExportFormat::JsonLines);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("export cap.pcap --format xml --out x")).is_err());
     }
 }

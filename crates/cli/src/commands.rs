@@ -1,70 +1,18 @@
 //! Command execution: each subcommand renders its report into a `String`
 //! so the logic is unit-testable without capturing stdout.
 
-use crate::args::{AlgorithmName, Command, ParsedArgs, USAGE};
-use elastic_sketch::ElasticSketch;
-use flowradar::FlowRadar;
-use hashflow_core::{model, HashFlow};
+use crate::args::{Command, ExportFormat, ParsedArgs, USAGE};
+use hashflow_collector::{AlgorithmKind, MonitorBuilder};
+use hashflow_core::model;
 use hashflow_metrics::{evaluate, GroundTruth};
-use hashflow_monitor::{FlowMonitor, MemoryBudget};
-use hashflow_shard::ShardedMonitor;
+use hashflow_monitor::{FlowMonitor, JsonLinesSink, MemoryBudget, RecordSink};
 use hashflow_trace::{read_pcap, write_pcap, TraceGenerator};
-use netflow_export::{ExportMeta, Exporter};
-use hashpipe::HashPipe;
-use sampled_netflow::SampledNetFlow;
+use netflow_export::NetFlowV5Sink;
 use simswitch::SoftwareSwitch;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::BufReader;
-
-fn build(algorithm: AlgorithmName, budget: MemoryBudget) -> Result<Box<dyn FlowMonitor>, Box<dyn Error>> {
-    Ok(match algorithm {
-        AlgorithmName::HashFlow => Box::new(HashFlow::with_memory(budget)?),
-        AlgorithmName::HashPipe => Box::new(HashPipe::with_memory(budget)?),
-        AlgorithmName::Elastic => Box::new(ElasticSketch::with_memory(budget)?),
-        AlgorithmName::FlowRadar => Box::new(FlowRadar::with_memory(budget)?),
-        AlgorithmName::NetFlow => Box::new(SampledNetFlow::with_memory(budget, 1)?),
-    })
-}
-
-/// Builds an N-shard monitor for the algorithms implementing the merge
-/// layer; `process_trace` on the result runs the threaded ingest path
-/// (hash-once dispatch, workers draining whole batches). At `shards = 1`
-/// the bare monitor's `process_trace` runs the single-core batched hot
-/// path — precomputed hash lanes, software prefetch, amortized cost
-/// flushes — with costs identical to scalar ingestion by contract.
-fn build_sharded(
-    algorithm: AlgorithmName,
-    budget: MemoryBudget,
-    shards: usize,
-) -> Result<Box<dyn FlowMonitor>, Box<dyn Error>> {
-    if shards == 1 {
-        return build(algorithm, budget);
-    }
-    Ok(match algorithm {
-        AlgorithmName::HashFlow => Box::new(ShardedMonitor::with_budget(
-            shards,
-            budget,
-            |_, b| HashFlow::with_memory(b),
-        )?),
-        AlgorithmName::FlowRadar => Box::new(ShardedMonitor::with_budget(
-            shards,
-            budget,
-            |_, b| FlowRadar::with_memory(b),
-        )?),
-        AlgorithmName::NetFlow => Box::new(ShardedMonitor::with_budget(
-            shards,
-            budget,
-            |_, b| SampledNetFlow::with_memory(b, 1),
-        )?),
-        AlgorithmName::HashPipe | AlgorithmName::Elastic => {
-            return Err("--shards: this algorithm does not implement the merge layer; \
-                 use hashflow, flowradar or netflow"
-                .into())
-        }
-    })
-}
 
 /// Executes a parsed command and returns its rendered report.
 ///
@@ -107,8 +55,10 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         Command::Export {
             path,
             memory_kib,
+            algorithm,
+            format,
             out,
-        } => export(path, *memory_kib, out),
+        } => export(path, *memory_kib, *algorithm, *format, out),
         Command::Model { load, depth, alpha } => {
             let mut out = String::new();
             match alpha {
@@ -136,40 +86,53 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     }
 }
 
-fn export(path: &str, memory_kib: usize, out: &str) -> Result<String, Box<dyn Error>> {
+fn export(
+    path: &str,
+    memory_kib: usize,
+    algorithm: AlgorithmKind,
+    format: ExportFormat,
+    out: &str,
+) -> Result<String, Box<dyn Error>> {
     let packets = read_pcap(BufReader::new(File::open(path)?))?;
     let budget = MemoryBudget::from_kib(memory_kib)?;
-    let mut monitor = HashFlow::with_memory(budget)?;
+    let mut monitor = MonitorBuilder::new(algorithm).budget(budget).build()?;
     monitor.process_trace(&packets);
-    let records = monitor.flow_records();
+    let snapshot = monitor.seal();
+    let file = File::create(out)?;
 
-    let mut exporter = Exporter::new(ExportMeta::default());
-    let datagrams = exporter.export(&records);
-    let mut bytes = 0usize;
-    let mut file = File::create(out)?;
-    for d in &datagrams {
-        use std::io::Write as _;
-        file.write_all(d)?;
-        bytes += d.len();
-    }
+    // One sealed epoch through the chosen sink; the same loop a
+    // continuously-rotating deployment runs per epoch.
+    let (mut sink, unit): (Box<dyn RecordSink>, &str) = match format {
+        ExportFormat::NetFlowV5 => (Box::new(NetFlowV5Sink::new(file)), "netflow v5 datagrams"),
+        ExportFormat::JsonLines => (Box::new(JsonLinesSink::new(file)), "json lines"),
+    };
+    sink.export_epoch(&snapshot)?;
+    sink.finish()?;
+    let bytes = std::fs::metadata(out)?.len();
     Ok(format!(
-        "exported {} flow records in {} netflow v5 datagrams ({bytes} bytes) to {out}\n",
-        records.len(),
-        datagrams.len()
+        "exported {} {} flow records as {unit} ({bytes} bytes) to {out}\n",
+        snapshot.len(),
+        monitor.name(),
     ))
 }
 
 fn analyze(
     path: &str,
     memory_kib: usize,
-    algorithm: AlgorithmName,
+    algorithm: AlgorithmKind,
     threshold: u32,
     top: usize,
     shards: usize,
 ) -> Result<String, Box<dyn Error>> {
     let packets = read_pcap(BufReader::new(File::open(path)?))?;
     let budget = MemoryBudget::from_kib(memory_kib)?;
-    let mut monitor = build_sharded(algorithm, budget, shards)?;
+    // The registry is the single construction path: shards > 1 wraps the
+    // monitor in the threaded RSS dispatch layer, shards == 1 runs the
+    // bare single-core batched hot path.
+    let mut monitor = MonitorBuilder::new(algorithm)
+        .budget(budget)
+        .shards(shards)
+        .build()?;
     monitor.process_trace(&packets);
     let truth = GroundTruth::from_packets(&packets);
 
@@ -191,12 +154,7 @@ fn analyze(
             budget.split(shards)?,
         );
     } else {
-        let _ = writeln!(
-            out,
-            "algorithm: {} ({} budget)\n",
-            monitor.name(),
-            budget
-        );
+        let _ = writeln!(out, "algorithm: {} ({} budget)\n", monitor.name(), budget);
     }
     let records = monitor.flow_records();
     let _ = writeln!(out, "records reported:    {}", records.len());
@@ -218,7 +176,12 @@ fn analyze(
             .size_of(&rec.key())
             .map(|s| s.to_string())
             .unwrap_or_else(|| "?".to_owned());
-        let _ = writeln!(out, "  {:>8} pkts (true {true_size:>6})  {}", rec.count(), rec.key());
+        let _ = writeln!(
+            out,
+            "  {:>8} pkts (true {true_size:>6})  {}",
+            rec.count(),
+            rec.key()
+        );
     }
     let _ = writeln!(out, "\nper-packet cost: {}", monitor.cost());
     Ok(out)
@@ -248,14 +211,8 @@ fn compare(
         "{:>14}  {:>7}  {:>9}  {:>8}  {:>11}  {:>10}",
         "algorithm", "fsc", "size_are", "card_re", "kpps(model)", "hashes/pkt"
     );
-    for algorithm in [
-        AlgorithmName::HashFlow,
-        AlgorithmName::HashPipe,
-        AlgorithmName::Elastic,
-        AlgorithmName::FlowRadar,
-        AlgorithmName::NetFlow,
-    ] {
-        let mut monitor = build(algorithm, budget)?;
+    for algorithm in AlgorithmKind::ALL {
+        let mut monitor = MonitorBuilder::new(algorithm).budget(budget).build()?;
         let report = evaluate(monitor.as_mut(), &trace, &[]);
         let _ = writeln!(
             out,
@@ -341,7 +298,13 @@ mod tests {
     #[test]
     fn compare_renders_all_rows() {
         let out = run_line("compare --profile isp2 --flows 2000 --memory-kib 64").unwrap();
-        for name in ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar", "SampledNetFlow"] {
+        for name in [
+            "HashFlow",
+            "HashPipe",
+            "ElasticSketch",
+            "FlowRadar",
+            "SampledNetFlow",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }

@@ -1,0 +1,294 @@
+//! The `Collector` facade: a registry-built monitor behind an epoch
+//! rotator with export sinks — the whole pipeline in one handle.
+
+use crate::registry::{AlgorithmKind, MonitorBuilder};
+use hashflow_monitor::{
+    CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, MemoryBudget, RecordSink,
+};
+use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
+use std::io;
+
+/// A running collection pipeline: `monitor → rotator → sinks`.
+///
+/// Built by [`Collector::builder`]. Ingestion goes through the monitor's
+/// batched hot path; when a packet's timestamp crosses the epoch edge
+/// (or [`Collector::seal`] is called) the epoch is sealed into an
+/// immutable [`EpochSnapshot`], streamed to every attached sink, and
+/// retained in [`Collector::completed_epochs`], while the live side keeps
+/// ingesting into fresh tables.
+///
+/// `Collector` itself implements [`FlowMonitor`], so anything that drives
+/// a monitor — the software switch, the evaluation harness — can drive a
+/// whole pipeline unchanged.
+pub struct Collector {
+    rotator: EpochRotator<Box<dyn FlowMonitor + Send>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("algorithm", &self.name())
+            .field("epoch_len_ns", &self.rotator.epoch_len_ns())
+            .field("completed", &self.rotator.completed_epochs().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    /// Starts building a pipeline around `kind`.
+    pub fn builder(kind: AlgorithmKind) -> CollectorBuilder {
+        CollectorBuilder {
+            monitor: MonitorBuilder::new(kind),
+            epoch_len_ns: u64::MAX,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Wraps an already-built monitor (e.g. one with a hand-tuned
+    /// configuration) in the rotation + sink pipeline.
+    pub fn from_monitor(monitor: Box<dyn FlowMonitor + Send>, epoch_len_ns: u64) -> Self {
+        Collector {
+            rotator: EpochRotator::new(monitor, epoch_len_ns),
+        }
+    }
+
+    /// Attaches a sink; every epoch sealed from now on streams to it.
+    pub fn add_sink(&mut self, sink: Box<dyn RecordSink + Send>) {
+        self.rotator.add_sink(sink);
+    }
+
+    /// Seals the running epoch into an immutable [`EpochSnapshot`]
+    /// (streaming it to the sinks) and resets the live side for the next
+    /// epoch.
+    pub fn seal(&mut self) -> EpochSnapshot {
+        self.rotator.seal()
+    }
+
+    /// Reports of all epochs sealed so far.
+    pub fn completed_epochs(&self) -> &[EpochReport] {
+        self.rotator.completed_epochs()
+    }
+
+    /// Drains completed epoch reports, leaving the current epoch running.
+    pub fn drain_completed(&mut self) -> Vec<EpochReport> {
+        self.rotator.drain_completed()
+    }
+
+    /// The live monitor (current-epoch state).
+    pub fn monitor(&self) -> &dyn FlowMonitor {
+        self.rotator.inner()
+    }
+
+    /// Takes the first sink I/O error observed since the last call.
+    pub fn take_sink_error(&mut self) -> Option<io::Error> {
+        self.rotator.take_sink_error()
+    }
+
+    /// Ends the collection run: flushes every sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink I/O error, including errors parked from
+    /// earlier rotations.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.rotator.finish_sinks()
+    }
+}
+
+impl FlowMonitor for Collector {
+    fn process_packet(&mut self, packet: &Packet) {
+        self.rotator.process_packet(packet);
+    }
+
+    fn process_batch(&mut self, packets: &[Packet]) {
+        self.rotator.process_batch(packets);
+    }
+
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        self.rotator.flow_records()
+    }
+
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        self.rotator.estimate_size(key)
+    }
+
+    fn estimate_cardinality(&self) -> f64 {
+        self.rotator.estimate_cardinality()
+    }
+
+    fn heavy_hitters(&self, threshold: u32) -> Vec<FlowRecord> {
+        self.rotator.heavy_hitters(threshold)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.rotator.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        self.rotator.name()
+    }
+
+    fn cost(&self) -> CostSnapshot {
+        self.rotator.cost()
+    }
+
+    fn reset(&mut self) {
+        self.rotator.reset();
+    }
+
+    fn seal(&mut self) -> EpochSnapshot {
+        Collector::seal(self)
+    }
+}
+
+/// Builder for [`Collector`]: the registry's monitor knobs plus the
+/// pipeline's epoch length and sinks.
+pub struct CollectorBuilder {
+    monitor: MonitorBuilder,
+    epoch_len_ns: u64,
+    sinks: Vec<Box<dyn RecordSink + Send>>,
+}
+
+impl CollectorBuilder {
+    /// Sets the memory budget (required).
+    #[must_use]
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.monitor = self.monitor.budget(budget);
+        self
+    }
+
+    /// Sets an explicit master hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.monitor = self.monitor.seed(seed);
+        self
+    }
+
+    /// Sets the shard count (merge-layer algorithms only).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.monitor = self.monitor.shards(shards);
+        self
+    }
+
+    /// Sets NetFlow's 1-in-N sampling rate.
+    #[must_use]
+    pub fn sampling(mut self, n: u32) -> Self {
+        self.monitor = self.monitor.sampling(n);
+        self
+    }
+
+    /// Sets the epoch length in nanoseconds. The default (`u64::MAX`)
+    /// never rotates on time — the paper's single-epoch mode, sealed
+    /// explicitly via [`Collector::seal`].
+    #[must_use]
+    pub fn epoch_ns(mut self, epoch_len_ns: u64) -> Self {
+        self.epoch_len_ns = epoch_len_ns;
+        self
+    }
+
+    /// Attaches a sink.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn RecordSink + Send>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every registry error ([`MonitorBuilder::build`]).
+    pub fn build(self) -> Result<Collector, ConfigError> {
+        let mut collector = Collector::from_monitor(self.monitor.build()?, self.epoch_len_ns);
+        for sink in self.sinks {
+            collector.add_sink(sink);
+        }
+        Ok(collector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_monitor::MemorySink;
+    use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    fn budget() -> MemoryBudget {
+        MemoryBudget::from_kib(128).unwrap()
+    }
+
+    #[test]
+    fn pipeline_rotates_and_streams() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Counting(Arc<AtomicUsize>);
+        impl RecordSink for Counting {
+            fn export_epoch(&mut self, s: &EpochSnapshot) -> io::Result<()> {
+                self.0.fetch_add(s.len(), Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        let exported = Arc::new(AtomicUsize::new(0));
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 3).generate(2_000);
+        let mut collector = Collector::builder(AlgorithmKind::HashFlow)
+            .budget(budget())
+            .epoch_ns(500_000) // 0.5 ms: the ~1 us packet spacing spans several epochs
+            .sink(Box::new(MemorySink::new()))
+            .sink(Box::new(Counting(Arc::clone(&exported))))
+            .build()
+            .unwrap();
+        collector.process_trace(trace.packets());
+        collector.seal();
+        assert!(collector.completed_epochs().len() >= 2);
+        let retained: usize = collector
+            .completed_epochs()
+            .iter()
+            .map(|e| e.records.len())
+            .sum();
+        assert_eq!(exported.load(Ordering::Relaxed), retained);
+        assert!(collector.take_sink_error().is_none());
+        collector.finish().unwrap();
+    }
+
+    #[test]
+    fn collector_is_a_flow_monitor() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 5).generate(500);
+        let mut collector = Collector::builder(AlgorithmKind::FlowRadar)
+            .budget(budget())
+            .build()
+            .unwrap();
+        let monitor: &mut dyn FlowMonitor = &mut collector;
+        monitor.process_trace(trace.packets());
+        assert_eq!(monitor.name(), "FlowRadar");
+        assert!(monitor.cost().packets > 0);
+        let snapshot = monitor.seal();
+        assert_eq!(snapshot.epoch(), 0);
+        assert!(!snapshot.is_empty());
+        assert_eq!(collector.completed_epochs().len(), 1);
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_registry() {
+        // Sharded + seeded through the facade.
+        let collector = Collector::builder(AlgorithmKind::HashFlow)
+            .budget(budget())
+            .seed(11)
+            .shards(2)
+            .build()
+            .unwrap();
+        assert!(collector.monitor().memory_bits() <= budget().bits());
+        // Registry errors surface unchanged.
+        let err = match Collector::builder(AlgorithmKind::Elastic)
+            .budget(budget())
+            .shards(2)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("expected a merge-layer error"),
+        };
+        assert!(err.to_string().contains("merge layer"));
+    }
+}

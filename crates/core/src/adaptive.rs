@@ -71,8 +71,7 @@ impl AdaptiveController {
     /// Recommends a resize given the epoch's main-table utilization and
     /// the ancillary replacement rate (replacements / ancillary cells).
     pub fn recommend(&self, utilization: f64, replacement_rate: f64) -> Resize {
-        if utilization >= self.grow_utilization || replacement_rate >= self.grow_replacement_rate
-        {
+        if utilization >= self.grow_utilization || replacement_rate >= self.grow_replacement_rate {
             Resize::Grow
         } else if utilization <= self.shrink_utilization {
             Resize::Shrink
@@ -285,7 +284,9 @@ mod tests {
         // grow threshold.
         for epoch in 0..6u64 {
             for i in 0..4000u64 {
-                adaptive.monitor_mut().process_packet(&pkt(epoch * 10_000 + i));
+                adaptive
+                    .monitor_mut()
+                    .process_packet(&pkt(epoch * 10_000 + i));
             }
             let report = adaptive.end_epoch().unwrap();
             sizes.push(report.next_main_cells);
@@ -294,7 +295,10 @@ mod tests {
             sizes.last().unwrap() > &2_000,
             "table should have grown: {sizes:?}"
         );
-        assert!(sizes.windows(2).all(|w| w[1] >= w[0]), "monotone growth {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[1] >= w[0]),
+            "monotone growth {sizes:?}"
+        );
         assert_eq!(adaptive.epochs(), 6);
     }
 

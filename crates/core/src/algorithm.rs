@@ -2,9 +2,7 @@ use crate::ancillary::AncillaryTable;
 use crate::config::HashFlowConfig;
 use crate::scheme::{MainTable, OpCount, ProbeOutcome};
 use hashflow_hashing::{compute_lanes, HashLanes};
-use hashflow_monitor::{
-    CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor,
-};
+use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 
 /// How many packets ahead of the update cursor the batched path issues
@@ -546,7 +544,10 @@ mod tests {
                 "flow {flow}"
             );
         }
-        assert_eq!(a.cost().packets, (0..200u64).map(|f| f % 5 + 1).sum::<u64>());
+        assert_eq!(
+            a.cost().packets,
+            (0..200u64).map(|f| f % 5 + 1).sum::<u64>()
+        );
     }
 
     #[test]

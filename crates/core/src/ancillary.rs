@@ -196,9 +196,7 @@ impl AncillaryTable {
             match self.entry(slot) {
                 None => self.store_counted(slot, digest, count),
                 Some((mine, _)) if mine == digest => self.add_count(slot, count),
-                Some((_, resident)) if resident < count => {
-                    self.store_counted(slot, digest, count)
-                }
+                Some((_, resident)) if resident < count => self.store_counted(slot, digest, count),
                 Some(_) => {}
             }
         }

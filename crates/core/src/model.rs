@@ -124,9 +124,7 @@ pub fn predicted_records(scheme: crate::TableScheme, m: usize, n: usize) -> f64 
     let load = m as f64 / n as f64;
     let u = match scheme {
         crate::TableScheme::MultiHash { depth } => multi_hash_utilization(load, depth),
-        crate::TableScheme::Pipelined { depth, alpha } => {
-            pipelined_utilization(load, depth, alpha)
-        }
+        crate::TableScheme::Pipelined { depth, alpha } => pipelined_utilization(load, depth, alpha),
     };
     u * n as f64
 }

@@ -287,7 +287,7 @@ impl MainTable {
     /// Hints the CPU to pull every bucket the probe path of `hashes`
     /// will read toward L1. `hashes[i]` must be the `h_{i+1}` value of
     /// the key (the layout [`hashflow_hashing::compute_lanes`] produces
-    /// for this table's [`Self::hash_family`]).
+    /// for this table's hash family).
     #[inline]
     pub fn prefetch_prehashed(&self, hashes: &[u64]) {
         for (i, &h) in hashes.iter().enumerate().take(self.scheme.depth()) {
@@ -303,8 +303,8 @@ impl MainTable {
     }
 
     /// [`Self::probe`] with the key's hash lanes already computed:
-    /// `hashes[i]` must equal `h_{i+1}(key)` (member `i` of
-    /// [`Self::hash_family`]). The batched ingestion path evaluates all
+    /// `hashes[i]` must equal `h_{i+1}(key)` (member `i` of the table's
+    /// hash family). The batched ingestion path evaluates all
     /// lanes up front (one key serialization, independent hash chains,
     /// prefetchable slots) and probes against warm cache lines here.
     ///
@@ -631,7 +631,9 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(TableScheme::MultiHash { depth: 2 }.segment_sizes(1).is_err());
+        assert!(TableScheme::MultiHash { depth: 2 }
+            .segment_sizes(1)
+            .is_err());
     }
 
     #[test]

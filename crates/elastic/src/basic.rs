@@ -267,7 +267,10 @@ mod tests {
             es.estimate_size(&FlowKey::from_index(1)) >= 3,
             "evicted flow's count must survive in the light part"
         );
-        assert!(es.flow_records().iter().any(|r| r.key() == FlowKey::from_index(2)));
+        assert!(es
+            .flow_records()
+            .iter()
+            .any(|r| r.key() == FlowKey::from_index(2)));
     }
 
     #[test]

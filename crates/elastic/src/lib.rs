@@ -65,7 +65,13 @@ struct HeavyBucket {
 
 impl HeavyBucket {
     const EMPTY: HeavyBucket = HeavyBucket {
-        key: FlowKey::new(hashflow_types::Ipv4Addr::new(0), hashflow_types::Ipv4Addr::new(0), 0, 0, 0),
+        key: FlowKey::new(
+            hashflow_types::Ipv4Addr::new(0),
+            hashflow_types::Ipv4Addr::new(0),
+            0,
+            0,
+            0,
+        ),
         vote_pos: 0,
         vote_neg: 0,
         flag: false,
@@ -196,7 +202,10 @@ impl FlowMonitor for ElasticSketch {
         };
 
         for stage in 0..self.heavy.len() {
-            let idx = fast_range(self.hashes.hash(stage, &item.key), self.heavy_cells_per_table);
+            let idx = fast_range(
+                self.hashes.hash(stage, &item.key),
+                self.heavy_cells_per_table,
+            );
             self.cost.record_hashes(1);
             self.cost.record_reads(1);
             let bucket = self.heavy[stage][idx];
@@ -264,7 +273,8 @@ impl FlowMonitor for ElasticSketch {
 
     fn estimate_size(&self, key: &FlowKey) -> u32 {
         for (stage, table) in self.heavy.iter().enumerate() {
-            let bucket = table[fast_range(self.hashes.hash(stage, key), self.heavy_cells_per_table)];
+            let bucket =
+                table[fast_range(self.hashes.hash(stage, key), self.heavy_cells_per_table)];
             if !bucket.is_empty() && bucket.key == *key {
                 let light = if bucket.flag {
                     self.light.query(key) as u32
@@ -294,8 +304,7 @@ impl FlowMonitor for ElasticSketch {
     }
 
     fn memory_bits(&self) -> usize {
-        self.heavy.len() * self.heavy_cells_per_table * HEAVY_CELL_BITS
-            + self.light.logical_bits()
+        self.heavy.len() * self.heavy_cells_per_table * HEAVY_CELL_BITS + self.light.logical_bits()
     }
 
     fn name(&self) -> &'static str {
@@ -356,11 +365,20 @@ mod tests {
             es.process_packet(&pkt(2));
         }
         // Flow 1 still owns the bucket.
-        assert!(es.flow_records().iter().any(|r| r.key() == FlowKey::from_index(1)));
+        assert!(es
+            .flow_records()
+            .iter()
+            .any(|r| r.key() == FlowKey::from_index(1)));
         es.process_packet(&pkt(2));
         // Now flow 2 owns it; flow 1 was folded into the light part.
-        assert!(es.flow_records().iter().any(|r| r.key() == FlowKey::from_index(2)));
-        assert!(es.estimate_size(&FlowKey::from_index(1)) >= 1, "light part remembers");
+        assert!(es
+            .flow_records()
+            .iter()
+            .any(|r| r.key() == FlowKey::from_index(2)));
+        assert!(
+            es.estimate_size(&FlowKey::from_index(1)) >= 1,
+            "light part remembers"
+        );
     }
 
     #[test]

@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running ablation_ordering (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running ablation_ordering (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::ablation_ordering::run(&cfg), &cfg.out_dir);
 }

@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running fig05_weights (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running fig05_weights (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::fig05_weights::run(&cfg), &cfg.out_dir);
 }

@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running fig06_fsc (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running fig06_fsc (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::fig06_fsc::run(&cfg), &cfg.out_dir);
 }

@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running fig08_size_are (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running fig08_size_are (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::fig08_size_are::run(&cfg), &cfg.out_dir);
 }

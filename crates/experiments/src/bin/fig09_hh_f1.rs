@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running fig09_hh_f1 (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running fig09_hh_f1 (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::fig09_hh_f1::run(&cfg), &cfg.out_dir);
 }

@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running fig11_throughput (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running fig11_throughput (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::fig11_throughput::run(&cfg), &cfg.out_dir);
 }

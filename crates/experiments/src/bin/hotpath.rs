@@ -4,10 +4,7 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!(
-        "running hotpath (scale {}, seed {})\n",
-        cfg.scale, cfg.seed
-    );
+    println!("running hotpath (scale {}, seed {})\n", cfg.scale, cfg.seed);
     output::emit(&figs::hotpath::run(&cfg), &cfg.out_dir);
     // Extend the repository-level perf trajectory next to the sources.
     let emitted = cfg.out_dir.join("BENCH_hotpath.json");

@@ -28,6 +28,7 @@ fn main() {
         ("fig11", figs::fig11_throughput::run),
         ("scaling_shards", figs::scaling_shards::run),
         ("hotpath", figs::hotpath::run),
+        ("query", figs::query::run),
         ("ablation_digest", figs::ablation_digest::run),
         ("ablation_promotion", figs::ablation_promotion::run),
         ("ablation_sampling", figs::ablation_sampling::run),

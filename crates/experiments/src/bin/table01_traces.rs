@@ -3,6 +3,9 @@ use experiments::{figs, output, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    println!("running table01_traces (scale {}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "running table01_traces (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     output::emit(&figs::table01_traces::run(&cfg), &cfg.out_dir);
 }

@@ -156,7 +156,12 @@ mod tests {
 
     #[test]
     fn extreme_corners_are_plotted() {
-        let chart = render_chart("c", &[Series::new("S", vec![(0.0, 0.0), (1.0, 1.0)])], 20, 5);
+        let chart = render_chart(
+            "c",
+            &[Series::new("S", vec![(0.0, 0.0), (1.0, 1.0)])],
+            20,
+            5,
+        );
         let lines: Vec<&str> = chart.lines().collect();
         // Top row (y max) has a glyph at the right edge; bottom data row at
         // the left edge.
@@ -176,7 +181,12 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let chart = render_chart("flat", &[Series::new("S", vec![(1.0, 5.0), (2.0, 5.0)])], 20, 5);
+        let chart = render_chart(
+            "flat",
+            &[Series::new("S", vec![(1.0, 5.0), (2.0, 5.0)])],
+            20,
+            5,
+        );
         assert!(chart.contains('o'));
     }
 

@@ -23,7 +23,13 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
 
     let mut table = Table::new(
         "ablation_digest_width",
-        &["digest_bits", "main_cells", "fsc", "size_are", "cardinality_re"],
+        &[
+            "digest_bits",
+            "main_cells",
+            "fsc",
+            "size_are",
+            "cardinality_re",
+        ],
     );
     for bits in DIGEST_WIDTHS {
         // Keep main and ancillary cell counts equal (paper invariant) and

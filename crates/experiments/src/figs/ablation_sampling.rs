@@ -58,8 +58,7 @@ mod tests {
         let tables = run(cfg);
         let mut out = HashMap::new();
         for row in tables[0].rows() {
-            if let (Cell::Text(a), Cell::Float(fsc), Cell::Float(are)) =
-                (&row[0], &row[1], &row[2])
+            if let (Cell::Text(a), Cell::Float(fsc), Cell::Float(are)) = (&row[0], &row[1], &row[2])
             {
                 out.insert(a.clone(), (*fsc, *are));
             }
@@ -73,8 +72,14 @@ mod tests {
         let m = metrics(&cfg);
         let (hf_fsc, hf_are) = m["HashFlow"];
         let (nf_fsc, nf_are) = m["NetFlow 1:100"];
-        assert!(hf_fsc > nf_fsc, "fsc: HashFlow {hf_fsc} vs NetFlow {nf_fsc}");
-        assert!(hf_are < nf_are, "are: HashFlow {hf_are} vs NetFlow {nf_are}");
+        assert!(
+            hf_fsc > nf_fsc,
+            "fsc: HashFlow {hf_fsc} vs NetFlow {nf_fsc}"
+        );
+        assert!(
+            hf_are < nf_are,
+            "are: HashFlow {hf_are} vs NetFlow {nf_are}"
+        );
     }
 
     #[test]

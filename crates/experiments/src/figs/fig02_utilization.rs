@@ -37,7 +37,12 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         let m = (load * n as f64) as usize;
         for d in DEPTHS {
             let theory = model::multi_hash_utilization(load, d);
-            let sim = simulate(TableScheme::MultiHash { depth: d }, m, n, cfg.seed + d as u64);
+            let sim = simulate(
+                TableScheme::MultiHash { depth: d },
+                m,
+                n,
+                cfg.seed + d as u64,
+            );
             panel_a.push_row(vec![
                 Cell::Float(load),
                 Cell::Int(d as i64),

@@ -41,9 +41,7 @@ fn variants() -> Vec<(&'static str, TableScheme)> {
 pub fn run(cfg: &RunConfig) -> Vec<Table> {
     let budget = setup::standard_budget(cfg);
     let base = HashFlowConfig::with_memory(budget).expect("standard budget fits");
-    let sweep: Vec<usize> = (1..=6)
-        .map(|i| cfg.scaled(10_000 * i, 200 * i))
-        .collect();
+    let sweep: Vec<usize> = (1..=6).map(|i| cfg.scaled(10_000 * i, 200 * i)).collect();
 
     let mut fsc_table = Table::new("fig05a_scheme_fsc", &["scheme", "flows", "fsc"]);
     let mut are_table = Table::new("fig05b_scheme_are", &["scheme", "flows", "are"]);

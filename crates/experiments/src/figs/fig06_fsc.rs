@@ -9,7 +9,10 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
     let sweep = setup::flow_sweep(cfg);
     let results = setup::comparison_sweep(cfg, &sweep, |r| r.fsc);
 
-    let mut table = Table::new("fig06_flow_record_fsc", &["trace", "flows", "algorithm", "fsc"]);
+    let mut table = Table::new(
+        "fig06_flow_record_fsc",
+        &["trace", "flows", "algorithm", "fsc"],
+    );
     for (profile, rows) in results {
         for (flows, algorithm, fsc) in rows {
             table.push_row(vec![
@@ -79,7 +82,10 @@ mod tests {
         let fr = &s[&("CAIDA".to_owned(), "FlowRadar".to_owned())];
         let first = fr.iter().min_by_key(|(f, _)| *f).unwrap().1;
         let last = fr.iter().max_by_key(|(f, _)| *f).unwrap().1;
-        assert!(first > 0.95, "light-load decode should be near-perfect, got {first}");
+        assert!(
+            first > 0.95,
+            "light-load decode should be near-perfect, got {first}"
+        );
         assert!(last < 0.3, "heavy-load decode should collapse, got {last}");
     }
 }

@@ -62,7 +62,11 @@ mod tests {
                 avg["HashFlow"],
                 avg["HashPipe"]
             );
-            assert!(avg["FlowRadar"] < 0.2, "{trace}: FlowRadar {}", avg["FlowRadar"]);
+            assert!(
+                avg["FlowRadar"] < 0.2,
+                "{trace}: FlowRadar {}",
+                avg["FlowRadar"]
+            );
         }
     }
 

@@ -31,11 +31,7 @@ mod tests {
     use super::*;
     use std::collections::HashMap;
 
-    fn at_flow_count(
-        table: &Table,
-        trace: &str,
-        flows: usize,
-    ) -> HashMap<String, f64> {
+    fn at_flow_count(table: &Table, trace: &str, flows: usize) -> HashMap<String, f64> {
         let mut out = HashMap::new();
         for row in table.rows() {
             if let (Cell::Text(t), Cell::Int(f), Cell::Text(a), Cell::Float(v)) =

@@ -26,7 +26,15 @@ pub fn run_both(cfg: &RunConfig) -> (Table, Table) {
 
     let mut f1_table = Table::new(
         "fig09_heavy_hitter_f1",
-        &["trace", "threshold", "algorithm", "precision", "recall", "f1", "true_hh"],
+        &[
+            "trace",
+            "threshold",
+            "algorithm",
+            "precision",
+            "recall",
+            "f1",
+            "true_hh",
+        ],
     );
     let mut are_table = Table::new(
         "fig10_heavy_hitter_are",
@@ -92,8 +100,7 @@ mod tests {
         // non-empty true heavy-hitter set.
         let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
         for row in f1.rows() {
-            if let (Cell::Text(a), Cell::Float(v), Cell::Int(actual)) =
-                (&row[2], &row[5], &row[6])
+            if let (Cell::Text(a), Cell::Float(v), Cell::Int(actual)) = (&row[2], &row[5], &row[6])
             {
                 if *actual > 0 {
                     let e = sums.entry(a.clone()).or_insert((0.0, 0));

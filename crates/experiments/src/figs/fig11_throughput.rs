@@ -75,7 +75,10 @@ mod tests {
         for trace in ["CAIDA", "Campus", "ISP1", "ISP2"] {
             let kpps = by_algorithm(&tables[0], trace, 2);
             let hashes = by_algorithm(&tables[0], trace, 3);
-            assert!((hashes["FlowRadar"] - 7.0).abs() < 1e-9, "FlowRadar 7 hashes");
+            assert!(
+                (hashes["FlowRadar"] - 7.0).abs() < 1e-9,
+                "FlowRadar 7 hashes"
+            );
             for alg in ["HashFlow", "HashPipe", "ElasticSketch"] {
                 assert!(
                     kpps[alg] > kpps["FlowRadar"],

@@ -93,7 +93,8 @@ fn measure(
         // The process_batch contract, enforced at measurement time:
         // batching may change the schedule, never the recorded costs.
         assert_eq!(
-            s.cost, b.cost,
+            s.cost,
+            b.cost,
             "{}: batched cost diverged from scalar",
             monitor.name()
         );
@@ -116,8 +117,8 @@ fn measure(
 /// Runs the scalar-vs-batched sweep on the CAIDA profile.
 pub fn run(cfg: &RunConfig) -> Vec<Table> {
     let paper_budget = setup::standard_budget(cfg);
-    let production_budget = MemoryBudget::from_bytes(paper_budget.bytes() * 8)
-        .expect("8x standard budget is positive");
+    let production_budget =
+        MemoryBudget::from_bytes(paper_budget.bytes() * 8).expect("8x standard budget is positive");
     let paper_flows = cfg.scaled(100_000, 2_000);
     let production_flows = cfg.scaled(800_000, 4_000);
 
@@ -144,9 +145,16 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
                 &trace,
             ));
         }
-        let mut fr = flowradar::FlowRadar::with_memory(budget)
-            .expect("exhibit budget fits FlowRadar");
-        rows.push(measure(workload, &mut fr, String::new(), budget, flows, &trace));
+        let mut fr =
+            flowradar::FlowRadar::with_memory(budget).expect("exhibit budget fits FlowRadar");
+        rows.push(measure(
+            workload,
+            &mut fr,
+            String::new(),
+            budget,
+            flows,
+            &trace,
+        ));
     }
 
     let mut table = Table::new(

@@ -5,8 +5,8 @@
 pub mod ablation_digest;
 pub mod ablation_elastic;
 pub mod ablation_ordering;
-pub mod ablation_sampling;
 pub mod ablation_promotion;
+pub mod ablation_sampling;
 pub mod fig02_utilization;
 pub mod fig04_depth;
 pub mod fig05_weights;
@@ -17,5 +17,6 @@ pub mod fig09_hh_f1;
 pub mod fig10_hh_are;
 pub mod fig11_throughput;
 pub mod hotpath;
+pub mod query;
 pub mod scaling_shards;
 pub mod table01_traces;

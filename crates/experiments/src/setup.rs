@@ -2,12 +2,9 @@
 //! and the standard sweeps of the evaluation figures.
 
 use crate::RunConfig;
-use elastic_sketch::ElasticSketch;
-use flowradar::FlowRadar;
-use hashflow_core::HashFlow;
+use hashflow_collector::{AlgorithmKind, MonitorBuilder};
 use hashflow_monitor::{FlowMonitor, MemoryBudget};
 use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
-use hashpipe::HashPipe;
 
 /// The paper's standard memory budget: 1 MB (§IV-A), scaled by the run
 /// configuration.
@@ -17,40 +14,30 @@ pub fn standard_budget(cfg: &RunConfig) -> MemoryBudget {
         .expect("scaled standard budget is always positive")
 }
 
-/// Builds the four §IV comparison algorithms at the same memory budget.
+/// Builds the four §IV comparison algorithms at the same memory budget,
+/// re-seeded with the experiment seed, via the registry
+/// ([`AlgorithmKind::COMPARISON`] × [`MonitorBuilder`]).
 ///
 /// # Panics
 ///
 /// Panics if the budget is too small for any algorithm's minimum geometry
 /// (the standard budget never is).
-pub fn comparison_monitors(
-    budget: MemoryBudget,
-    seed: u64,
-) -> Vec<Box<dyn FlowMonitor + Send>> {
-    vec![
-        Box::new(
-            HashFlow::new(
-                hashflow_core::HashFlowConfig::with_memory(budget)
-                    // Re-derive with the experiment seed.
-                    .and_then(|c| c.rebuild().seed(seed).build())
-                    .expect("standard budget fits HashFlow"),
-            )
-            .expect("valid HashFlow config"),
-        ),
-        Box::new(HashPipe::with_memory_seeded(budget, seed).expect("standard budget fits HashPipe")),
-        Box::new(
-            ElasticSketch::with_memory_seeded(budget, seed)
-                .expect("standard budget fits ElasticSketch"),
-        ),
-        Box::new(FlowRadar::with_memory_seeded(budget, seed).expect("standard budget fits FlowRadar")),
-    ]
+pub fn comparison_monitors(budget: MemoryBudget, seed: u64) -> Vec<Box<dyn FlowMonitor + Send>> {
+    AlgorithmKind::COMPARISON
+        .into_iter()
+        .map(|kind| {
+            MonitorBuilder::new(kind)
+                .budget(budget)
+                .seed(seed)
+                .build()
+                .unwrap_or_else(|e| panic!("standard budget fits {kind}: {e}"))
+        })
+        .collect()
 }
 
 /// The flow-count sweep of Fig. 6/7 (x-axis 0..250 K), scaled.
 pub fn flow_sweep(cfg: &RunConfig) -> Vec<usize> {
-    (1..=10)
-        .map(|i| cfg.scaled(25_000 * i, 100 * i))
-        .collect()
+    (1..=10).map(|i| cfg.scaled(25_000 * i, 100 * i)).collect()
 }
 
 /// The flow-count sweep of Fig. 8 (20 K..100 K), scaled.
@@ -85,7 +72,9 @@ where
             out[i] = Some(h.join().expect("experiment worker panicked"));
         }
     });
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// One `(flow_count, algorithm_name, metric_value)` row per run of a
@@ -144,11 +133,7 @@ mod tests {
         assert_eq!(monitors.len(), 4);
         for m in &monitors {
             let bits = m.memory_bits();
-            assert!(
-                bits <= budget.bits(),
-                "{} exceeds budget: {bits}",
-                m.name()
-            );
+            assert!(bits <= budget.bits(), "{} exceeds budget: {bits}", m.name());
             assert!(
                 bits > budget.bits() * 9 / 10,
                 "{} underuses budget: {bits}",

@@ -34,9 +34,7 @@
 #![warn(missing_docs)]
 
 use hashflow_hashing::{fast_range, prefetch_read, HashFamily, XxHash64};
-use hashflow_monitor::{
-    CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor,
-};
+use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
 use hashflow_primitives::BloomFilter;
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, FLOW_KEY_BITS};
 use std::cell::RefCell;
@@ -247,7 +245,10 @@ impl FlowMonitor for FlowRadar {
         for p in packets {
             let bytes = p.key().to_bytes();
             for j in 0..COUNTING_HASHES {
-                cell_idx.push(fast_range(self.hashes.hash_bytes(j, &bytes), self.cells.len()));
+                cell_idx.push(fast_range(
+                    self.hashes.hash_bytes(j, &bytes),
+                    self.cells.len(),
+                ));
             }
         }
         let prefetch_row = |cells: &[CountingCell], row: &[usize]| {
@@ -256,7 +257,10 @@ impl FlowMonitor for FlowRadar {
             }
         };
         for i in 0..PREFETCH_AHEAD.min(packets.len()) {
-            prefetch_row(&self.cells, &cell_idx[i * COUNTING_HASHES..(i + 1) * COUNTING_HASHES]);
+            prefetch_row(
+                &self.cells,
+                &cell_idx[i * COUNTING_HASHES..(i + 1) * COUNTING_HASHES],
+            );
         }
         let mut hashes = 0u64;
         let mut reads = 0u64;
@@ -322,8 +326,7 @@ impl FlowMonitor for FlowRadar {
     }
 
     fn memory_bits(&self) -> usize {
-        self.cells.len() * (FLOW_KEY_BITS + FLOW_COUNT_BITS + PACKET_COUNT_BITS)
-            + self.bloom.bits()
+        self.cells.len() * (FLOW_KEY_BITS + FLOW_COUNT_BITS + PACKET_COUNT_BITS) + self.bloom.bits()
     }
 
     fn name(&self) -> &'static str {
@@ -576,9 +579,10 @@ mod tests {
         }
         let records = fr.flow_records();
         assert_eq!(records.len(), 100);
-        assert!(records
-            .iter()
-            .all(|r| r.key() != FlowKey::from_index(5)), "old epoch leaked");
+        assert!(
+            records.iter().all(|r| r.key() != FlowKey::from_index(5)),
+            "old epoch leaked"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ impl<H: KeyHasher> HashFamily<H> {
             .map(|i| {
                 // SplitMix64 the pair so member seeds are far apart even for
                 // adjacent master seeds.
-                let mut z = master_seed
-                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+                let mut z =
+                    master_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
                 z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 H::with_seed(z ^ (z >> 31))

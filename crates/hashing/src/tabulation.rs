@@ -28,7 +28,9 @@ pub struct TabulationHash {
 
 impl std::fmt::Debug for TabulationHash {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TabulationHash").field("seed", &self.seed).finish()
+        f.debug_struct("TabulationHash")
+            .field("seed", &self.seed)
+            .finish()
     }
 }
 

@@ -105,12 +105,18 @@ impl KeyHasher for XxHash64 {
 
         while remaining.len() >= 8 {
             h ^= round(0, read_u64(remaining));
-            h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+            h = h
+                .rotate_left(27)
+                .wrapping_mul(PRIME64_1)
+                .wrapping_add(PRIME64_4);
             remaining = &remaining[8..];
         }
         if remaining.len() >= 4 {
             h ^= u64::from(read_u32(remaining)).wrapping_mul(PRIME64_1);
-            h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+            h = h
+                .rotate_left(23)
+                .wrapping_mul(PRIME64_2)
+                .wrapping_add(PRIME64_3);
             remaining = &remaining[4..];
         }
         for &byte in remaining {

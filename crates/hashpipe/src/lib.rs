@@ -159,7 +159,10 @@ impl FlowMonitor for HashPipe {
 
         // Stages 2..d: keep the larger record, carry the smaller onward.
         for stage in 1..self.stages.len() {
-            let idx = fast_range(self.hashes.hash(stage, &carried.key()), self.cells_per_stage);
+            let idx = fast_range(
+                self.hashes.hash(stage, &carried.key()),
+                self.cells_per_stage,
+            );
             self.cost.record_hashes(1);
             self.cost.record_reads(1);
             let incumbent = self.stages[stage][idx];

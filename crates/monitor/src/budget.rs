@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn display_uses_natural_units() {
-        assert_eq!(MemoryBudget::from_bytes(1 << 20).unwrap().to_string(), "1 MiB");
+        assert_eq!(
+            MemoryBudget::from_bytes(1 << 20).unwrap().to_string(),
+            "1 MiB"
+        );
         assert_eq!(MemoryBudget::from_bytes(2048).unwrap().to_string(), "2 KiB");
         assert_eq!(MemoryBudget::from_bytes(100).unwrap().to_string(), "100 B");
     }

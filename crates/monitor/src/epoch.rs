@@ -6,9 +6,32 @@
 //! its conclusion lists "make it adaptive to traffic variation" as future
 //! work — [`EpochRotator`] provides the epoch scaffolding any such policy
 //! needs: time-based rotation driven by packet timestamps, with drained
-//! per-epoch reports.
+//! per-epoch reports streamed to attached [`RecordSink`]s.
+//!
+//! # Rotation contract
+//!
+//! The rotation rule is pinned down precisely, because collectors
+//! disagree on the edge cases and silent differences corrupt epoch
+//! accounting:
+//!
+//! 1. **Epochs are anchored per epoch, not globally.** The first packet
+//!    of an epoch sets its base timestamp `base`; the epoch covers the
+//!    half-open window `[base, base + epoch_len_ns)`.
+//! 2. **The edge belongs to the next epoch.** A packet with timestamp
+//!    exactly `base + epoch_len_ns` seals the current epoch first and is
+//!    then counted in the new epoch (the window is half-open).
+//! 3. **Quiet gaps produce no empty epochs.** A packet arriving several
+//!    epoch lengths after `base` triggers exactly one rotation; the new
+//!    epoch re-anchors at that packet's timestamp. Epoch sequence
+//!    numbers therefore count *sealed* epochs, not elapsed wall-clock
+//!    windows.
+//! 4. **Out-of-order timestamps never rotate.** A packet with a
+//!    timestamp before `base` (late arrival, clock skew) is counted in
+//!    the **current** epoch: rotation only ever moves forward, and the
+//!    epoch's reported `start_ns`/`end_ns` span the *observed* min/max
+//!    timestamps, which may extend before `base`.
 
-use crate::{CostSnapshot, FlowMonitor};
+use crate::{CostSnapshot, EpochSnapshot, FlowMonitor, RecordSink, SinkSet};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
 /// A completed measurement epoch: its records and bookkeeping.
@@ -52,14 +75,32 @@ impl EpochReport {
             cost,
         }
     }
+
+    /// Converts the report into the sealed query engine: an
+    /// [`EpochSnapshot`] answering the four §IV-A queries (iterator
+    /// records, batched size estimation, bounded-heap top-k) over this
+    /// epoch's records.
+    pub fn into_snapshot(self) -> EpochSnapshot {
+        EpochSnapshot::from_parts(
+            self.epoch,
+            self.start_ns,
+            self.end_ns,
+            self.records,
+            self.cardinality,
+            self.cost,
+        )
+    }
 }
 
 /// Wraps any [`FlowMonitor`] with fixed-length measurement epochs.
 ///
 /// Packets are routed to the inner monitor; when a packet's timestamp
 /// crosses the epoch boundary, the monitor is drained into an
-/// [`EpochReport`] and reset before the packet is processed. Queries
-/// always reflect the *current* epoch.
+/// [`EpochReport`] and reset before the packet is processed (see the
+/// module docs above for the precise rotation contract). Queries
+/// always reflect the *current* epoch. Attached [`RecordSink`]s receive
+/// every sealed epoch as an [`EpochSnapshot`] the moment it rotates —
+/// the `source → collector → rotator → sinks` pipeline.
 ///
 /// # Examples
 ///
@@ -77,7 +118,6 @@ impl EpochReport {
 /// assert!(rotator.completed_epochs().len() >= 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct EpochRotator<M> {
     inner: M,
     epoch_len_ns: u64,
@@ -86,6 +126,20 @@ pub struct EpochRotator<M> {
     first_ns: Option<u64>,
     last_ns: Option<u64>,
     completed: Vec<EpochReport>,
+    sinks: SinkSet,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for EpochRotator<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochRotator")
+            .field("inner", &self.inner)
+            .field("epoch_len_ns", &self.epoch_len_ns)
+            .field("current_epoch", &self.current_epoch)
+            .field("epoch_base_ns", &self.epoch_base_ns)
+            .field("completed", &self.completed.len())
+            .field("sinks", &self.sinks)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: FlowMonitor> EpochRotator<M> {
@@ -104,12 +158,50 @@ impl<M: FlowMonitor> EpochRotator<M> {
             first_ns: None,
             last_ns: None,
             completed: Vec::new(),
+            sinks: SinkSet::new(),
         }
     }
 
     /// The wrapped monitor (current-epoch state).
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// Attaches a sink; every epoch sealed from now on is streamed to it
+    /// (in addition to being retained in [`Self::completed_epochs`]).
+    pub fn add_sink(&mut self, sink: Box<dyn RecordSink + Send>) {
+        self.sinks.add(sink);
+    }
+
+    /// Builder-style [`Self::add_sink`].
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn RecordSink + Send>) -> Self {
+        self.add_sink(sink);
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Takes the first sink I/O error observed since the last call, if
+    /// any. Rotation itself stays infallible — a slow or broken export
+    /// target must not stall measurement — so sink failures are parked
+    /// ([`SinkSet`]) for the driving loop to inspect.
+    pub fn take_sink_error(&mut self) -> Option<std::io::Error> {
+        self.sinks.take_error()
+    }
+
+    /// Flushes every attached sink (end of the collection run). The first
+    /// error is reported; later sinks are still flushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error any sink reported, including errors
+    /// parked from earlier rotations.
+    pub fn finish_sinks(&mut self) -> std::io::Result<()> {
+        self.sinks.finish()
     }
 
     /// Epoch length in nanoseconds.
@@ -122,10 +214,10 @@ impl<M: FlowMonitor> EpochRotator<M> {
         &self.completed
     }
 
-    /// Seals the current epoch immediately (end-of-capture flush) and
-    /// returns its report.
+    /// Seals the current epoch immediately (end-of-capture flush),
+    /// streams it to every attached sink, and returns its report.
     pub fn rotate_now(&mut self) -> EpochReport {
-        let report = EpochReport {
+        let mut report = EpochReport {
             epoch: self.current_epoch,
             start_ns: self.first_ns,
             end_ns: self.last_ns,
@@ -133,6 +225,13 @@ impl<M: FlowMonitor> EpochRotator<M> {
             cardinality: self.inner.estimate_cardinality(),
             cost: self.inner.cost(),
         };
+        if !self.sinks.is_empty() {
+            // Snapshot once, export, recover the report — the record
+            // store is never cloned for the sinks.
+            let snapshot = report.into_snapshot();
+            self.sinks.export(&snapshot);
+            report = snapshot.into_report();
+        }
         self.completed.push(report.clone());
         self.inner.reset();
         self.current_epoch += 1;
@@ -146,25 +245,83 @@ impl<M: FlowMonitor> EpochRotator<M> {
     pub fn drain_completed(&mut self) -> Vec<EpochReport> {
         std::mem::take(&mut self.completed)
     }
+
+    /// Feeds one rotation-free run of packets to the inner monitor's
+    /// batched hot path, folding the run's observed timestamp span into
+    /// the epoch's `start_ns`/`end_ns` first (so a rotation immediately
+    /// after reports the same span the per-packet path would have).
+    fn ingest_run(&mut self, run: &[Packet], run_first: Option<u64>, run_last: Option<u64>) {
+        if run.is_empty() {
+            return;
+        }
+        if let Some(f) = run_first {
+            self.first_ns = Some(self.first_ns.map_or(f, |x| x.min(f)));
+        }
+        if let Some(l) = run_last {
+            self.last_ns = Some(self.last_ns.map_or(l, |x| x.max(l)));
+        }
+        self.inner.process_batch(run);
+    }
 }
 
 impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
+    /// Routes one packet, rotating first when its timestamp reaches the
+    /// epoch edge. See the module docs for the exact boundary rules
+    /// (half-open window, forward-only rotation, per-epoch anchoring).
     fn process_packet(&mut self, packet: &Packet) {
         let ts = packet.timestamp_ns();
         match self.epoch_base_ns {
             None => self.epoch_base_ns = Some(ts),
             Some(base) => {
+                // Half-open window [base, base + len): the edge itself
+                // rotates. Timestamps before `base` (out-of-order
+                // arrivals) never rotate — time only moves forward.
                 if ts >= base.saturating_add(self.epoch_len_ns) {
                     self.rotate_now();
                     self.epoch_base_ns = Some(ts);
                 }
             }
         }
-        if self.first_ns.is_none() {
-            self.first_ns = Some(ts);
-        }
-        self.last_ns = Some(ts);
+        // The reported span covers *observed* timestamps: late arrivals
+        // may extend start_ns before the epoch base.
+        self.first_ns = Some(self.first_ns.map_or(ts, |f| f.min(ts)));
+        self.last_ns = Some(self.last_ns.map_or(ts, |l| l.max(ts)));
         self.inner.process_packet(packet);
+    }
+
+    /// Batched ingestion with the rotation contract preserved: the batch
+    /// is split at epoch boundaries and every rotation-free sub-slice
+    /// flows through the inner monitor's own [`FlowMonitor::process_batch`]
+    /// — so a rotator (and therefore the `Collector` facade) keeps the
+    /// wrapped monitor's batched hot path (hash-lane precompute, software
+    /// prefetch, threaded shard dispatch) instead of degrading to the
+    /// scalar loop. Observationally identical to routing every packet
+    /// through [`Self::process_packet`].
+    fn process_batch(&mut self, packets: &[Packet]) {
+        let mut start = 0usize;
+        let mut run_first: Option<u64> = None;
+        let mut run_last: Option<u64> = None;
+        for (i, p) in packets.iter().enumerate() {
+            let ts = p.timestamp_ns();
+            match self.epoch_base_ns {
+                None => self.epoch_base_ns = Some(ts),
+                Some(base) => {
+                    if ts >= base.saturating_add(self.epoch_len_ns) {
+                        // Seal everything before the boundary packet,
+                        // then re-anchor the new epoch at it.
+                        self.ingest_run(&packets[start..i], run_first, run_last);
+                        self.rotate_now();
+                        self.epoch_base_ns = Some(ts);
+                        start = i;
+                        run_first = None;
+                        run_last = None;
+                    }
+                }
+            }
+            run_first = Some(run_first.map_or(ts, |f| f.min(ts)));
+            run_last = Some(run_last.map_or(ts, |l| l.max(ts)));
+        }
+        self.ingest_run(&packets[start..], run_first, run_last);
     }
 
     fn flow_records(&self) -> Vec<FlowRecord> {
@@ -198,6 +355,14 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
         self.first_ns = None;
         self.last_ns = None;
         self.completed.clear();
+    }
+
+    /// Seals the *current epoch* (rotating it through the sinks like any
+    /// other boundary) rather than capture-and-wipe: sealed history in
+    /// [`Self::completed_epochs`] is preserved and the epoch counter
+    /// advances.
+    fn seal(&mut self) -> crate::EpochSnapshot {
+        self.rotate_now().into_snapshot()
     }
 }
 
@@ -343,6 +508,155 @@ mod tests {
         assert!(merged.records.is_empty());
         assert_eq!(merged.start_ns, None);
         assert_eq!(merged.cost, CostSnapshot::default());
+    }
+
+    #[test]
+    fn edge_timestamp_belongs_to_the_next_epoch() {
+        // Contract rule 2: the window is half-open; ts == base + len
+        // seals the old epoch and is counted in the new one.
+        let mut r = EpochRotator::new(Exact::default(), 1_000);
+        r.process_packet(&pkt(1, 100)); // base = 100
+        r.process_packet(&pkt(1, 1_099)); // inside [100, 1100)
+        assert!(r.completed_epochs().is_empty());
+        r.process_packet(&pkt(2, 1_100)); // exactly on the edge
+        assert_eq!(r.completed_epochs().len(), 1);
+        let sealed = &r.completed_epochs()[0];
+        assert_eq!(sealed.records.len(), 1, "edge packet not in old epoch");
+        assert_eq!(sealed.end_ns, Some(1_099));
+        assert_eq!(r.estimate_size(&FlowKey::from_index(2)), 1);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_never_rotate() {
+        // Contract rule 4: late arrivals join the current epoch; rotation
+        // only moves forward.
+        let mut r = EpochRotator::new(Exact::default(), 1_000);
+        r.process_packet(&pkt(1, 500)); // base = 500
+        r.process_packet(&pkt(2, 120)); // late arrival, before the base
+        r.process_packet(&pkt(3, 499));
+        assert!(r.completed_epochs().is_empty(), "no backward rotation");
+        // The observed span extends before the epoch base...
+        let report = r.rotate_now();
+        assert_eq!(report.start_ns, Some(120));
+        assert_eq!(report.end_ns, Some(500));
+        // ... and all three packets are in the sealed epoch.
+        assert_eq!(report.records.len(), 3);
+        // A late arrival also must not drag the *next* epoch's boundary
+        // backwards: after re-anchoring at 2_000, a packet at 1_999 is
+        // late (joins the epoch), and the boundary stays 2_000 + len.
+        r.process_packet(&pkt(1, 2_000));
+        r.process_packet(&pkt(2, 1_999));
+        r.process_packet(&pkt(3, 2_999)); // < 3_000: still inside
+        assert_eq!(r.completed_epochs().len(), 1);
+        r.process_packet(&pkt(4, 3_000)); // edge of [2000, 3000)
+        assert_eq!(r.completed_epochs().len(), 2);
+        assert_eq!(r.completed_epochs()[1].start_ns, Some(1_999));
+    }
+
+    #[test]
+    fn span_covers_observed_min_and_max() {
+        // end_ns is the max observed timestamp, not the last observed.
+        let mut r = EpochRotator::new(Exact::default(), u64::MAX);
+        r.process_packet(&pkt(1, 50));
+        r.process_packet(&pkt(1, 400));
+        r.process_packet(&pkt(1, 200)); // out of order, below the max
+        let report = r.rotate_now();
+        assert_eq!(report.start_ns, Some(50));
+        assert_eq!(report.end_ns, Some(400));
+    }
+
+    #[test]
+    fn sinks_receive_every_sealed_epoch() {
+        use crate::{JsonLinesSink, MemorySink, RecordSink};
+
+        // A sink that always fails, to exercise the parked-error path.
+        struct Broken;
+        impl RecordSink for Broken {
+            fn export_epoch(&mut self, _s: &crate::EpochSnapshot) -> std::io::Result<()> {
+                Err(std::io::Error::other("wire cut"))
+            }
+        }
+
+        let mut r =
+            EpochRotator::new(Exact::default(), 1_000).with_sink(Box::new(MemorySink::new()));
+        r.add_sink(Box::new(JsonLinesSink::new(Vec::new())));
+        assert_eq!(r.sink_count(), 2);
+        for t in 0..3u64 {
+            r.process_packet(&pkt(t, t * 1_000)); // one epoch per packet
+        }
+        r.rotate_now(); // flush the tail
+        assert!(r.take_sink_error().is_none());
+        assert!(r.finish_sinks().is_ok());
+        // Sealed history and the epoch counter agree with what streamed.
+        assert_eq!(r.completed_epochs().len(), 3);
+
+        let mut broken = EpochRotator::new(Exact::default(), u64::MAX).with_sink(Box::new(Broken));
+        broken.process_packet(&pkt(1, 0));
+        broken.rotate_now();
+        let err = broken.take_sink_error().expect("export error parked");
+        assert!(err.to_string().contains("wire cut"));
+        assert!(broken.take_sink_error().is_none(), "error is taken once");
+    }
+
+    #[test]
+    fn batched_rotation_matches_per_packet_rotation() {
+        // The process_batch override must produce the same epochs —
+        // numbers, spans, records, costs — as per-packet routing, for
+        // batches that straddle boundaries, contain several boundaries,
+        // and include out-of-order timestamps.
+        let timestamps: Vec<u64> = vec![
+            0, 40, 99, 100, 150, 90, 260, 255, 400, 401, 399, 950, 1000, 1001,
+        ];
+        let packets: Vec<Packet> = timestamps
+            .iter()
+            .enumerate()
+            .map(|(i, &ts)| pkt(i as u64 % 5, ts))
+            .collect();
+        for batch_size in [1usize, 3, 5, packets.len()] {
+            let mut scalar = EpochRotator::new(Exact::default(), 100);
+            let mut batched = EpochRotator::new(Exact::default(), 100);
+            for p in &packets {
+                scalar.process_packet(p);
+            }
+            for chunk in packets.chunks(batch_size) {
+                batched.process_batch(chunk);
+            }
+            batched.process_batch(&[]); // empty batches are no-ops
+            scalar.rotate_now();
+            batched.rotate_now();
+            let a = scalar.completed_epochs();
+            let b = batched.completed_epochs();
+            assert_eq!(a.len(), b.len(), "epoch count @ batch {batch_size}");
+            for (ea, eb) in a.iter().zip(b) {
+                assert_eq!(ea.epoch, eb.epoch);
+                assert_eq!(ea.start_ns, eb.start_ns, "epoch {} start", ea.epoch);
+                assert_eq!(ea.end_ns, eb.end_ns, "epoch {} end", ea.epoch);
+                assert_eq!(ea.cost, eb.cost);
+                let mut ra = ea.records.clone();
+                let mut rb = eb.records.clone();
+                ra.sort_unstable_by_key(|r| (r.key(), r.count()));
+                rb.sort_unstable_by_key(|r| (r.key(), r.count()));
+                assert_eq!(ra, rb, "epoch {} records @ batch {batch_size}", ea.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn seal_rotates_through_the_pipeline() {
+        use crate::MemorySink;
+        let mut r =
+            EpochRotator::new(Exact::default(), u64::MAX).with_sink(Box::new(MemorySink::new()));
+        r.process_packet(&pkt(1, 10));
+        r.process_packet(&pkt(1, 20));
+        let snapshot = r.seal();
+        assert_eq!(snapshot.epoch(), 0);
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot.estimate_size(&FlowKey::from_index(1)), 2);
+        assert_eq!(snapshot.start_ns(), Some(10));
+        // seal() preserved history (unlike a bare capture-and-wipe).
+        assert_eq!(r.completed_epochs().len(), 1);
+        r.process_packet(&pkt(2, 30));
+        assert_eq!(r.seal().epoch(), 1);
     }
 
     #[test]

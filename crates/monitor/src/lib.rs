@@ -18,6 +18,14 @@
 //! [`MergeableMonitor`] extends the contract for multi-core deployments:
 //! monitors that observed disjoint RSS flow partitions can be folded back
 //! into one view (the `hashflow-shard` crate builds on it).
+//!
+//! Beyond the paper's single-epoch evaluation, this crate also hosts the
+//! collector pipeline's epoch machinery: [`FlowMonitor::seal`] hands the
+//! current state off as an immutable [`EpochSnapshot`] (iterator records,
+//! batched size estimation, bounded-heap top-k) while the live side keeps
+//! ingesting, [`EpochRotator`] drives time-based rotation, and
+//! [`RecordSink`]s ([`JsonLinesSink`], [`MemorySink`], NetFlow v5 in
+//! `netflow-export`) stream every sealed epoch downstream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,11 +34,15 @@ mod budget;
 mod cost;
 mod epoch;
 mod merge;
+mod sink;
+mod snapshot;
 
 pub use budget::MemoryBudget;
 pub use cost::{CostRecorder, CostSnapshot};
 pub use epoch::{EpochReport, EpochRotator};
 pub use merge::MergeableMonitor;
+pub use sink::{JsonLinesSink, MemorySink, RecordSink, SinkSet};
+pub use snapshot::EpochSnapshot;
 
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
@@ -118,17 +130,21 @@ pub trait FlowMonitor {
     /// Estimates the number of distinct flows observed.
     fn estimate_cardinality(&self) -> f64;
 
-    /// Reports flows with at least `threshold` packets.
+    /// Reports flows with at least `threshold` packets, largest first
+    /// (ties broken by flow key).
     ///
     /// The default implementation filters [`Self::flow_records`], which is
-    /// how the paper queries all four algorithms.
+    /// how the paper queries all four algorithms. The result is pre-sized
+    /// to the report and ordered with an unstable sort — the (count, key)
+    /// comparator is already a total order over distinct records, so
+    /// stability buys nothing. For bounded top-k queries prefer
+    /// [`EpochSnapshot::top_k`], which replaces the full sort with a
+    /// bounded heap.
     fn heavy_hitters(&self, threshold: u32) -> Vec<FlowRecord> {
-        let mut hh: Vec<FlowRecord> = self
-            .flow_records()
-            .into_iter()
-            .filter(|r| r.count() >= threshold)
-            .collect();
-        hh.sort_by(|a, b| b.count().cmp(&a.count()).then(a.key().cmp(&b.key())));
+        let records = self.flow_records();
+        let mut hh = Vec::with_capacity(records.len());
+        hh.extend(records.into_iter().filter(|r| r.count() >= threshold));
+        hh.sort_unstable_by(snapshot::heavy_hitter_order);
         hh
     }
 
@@ -152,6 +168,66 @@ pub trait FlowMonitor {
         for chunk in packets.chunks(INGEST_BATCH) {
             self.process_batch(chunk);
         }
+    }
+
+    /// Seals the current measurement state into an immutable
+    /// [`EpochSnapshot`] and resets the monitor for the next epoch.
+    ///
+    /// This is the collector-side epoch handoff: queries run against the
+    /// sealed snapshot (iterator records, batched size estimation,
+    /// bounded-heap top-k) while the live side keeps ingesting via
+    /// [`Self::process_batch`] into fresh tables. Use
+    /// [`EpochSnapshot::capture`] for a non-draining snapshot of the same
+    /// answers.
+    fn seal(&mut self) -> EpochSnapshot {
+        let snapshot = EpochSnapshot::capture(self);
+        self.reset();
+        snapshot
+    }
+}
+
+/// Boxed monitors are monitors: the registry
+/// (`hashflow-collector`) hands out `Box<dyn FlowMonitor + Send>`, and
+/// everything downstream — epoch rotators, switch pipelines, evaluation
+/// harnesses — must accept the boxed form wherever a concrete monitor
+/// fits. Every method forwards, so a box wrapping a monitor with a batched
+/// hot path or a custom heavy-hitter order keeps those overrides.
+impl<M: FlowMonitor + ?Sized> FlowMonitor for Box<M> {
+    fn process_packet(&mut self, packet: &Packet) {
+        (**self).process_packet(packet);
+    }
+    fn process_batch(&mut self, packets: &[Packet]) {
+        (**self).process_batch(packets);
+    }
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        (**self).flow_records()
+    }
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        (**self).estimate_size(key)
+    }
+    fn estimate_cardinality(&self) -> f64 {
+        (**self).estimate_cardinality()
+    }
+    fn heavy_hitters(&self, threshold: u32) -> Vec<FlowRecord> {
+        (**self).heavy_hitters(threshold)
+    }
+    fn memory_bits(&self) -> usize {
+        (**self).memory_bits()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn cost(&self) -> CostSnapshot {
+        (**self).cost()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn process_trace(&mut self, packets: &[Packet]) {
+        (**self).process_trace(packets);
+    }
+    fn seal(&mut self) -> EpochSnapshot {
+        (**self).seal()
     }
 }
 
@@ -251,5 +327,42 @@ mod tests {
     fn trait_is_object_safe() {
         let m: Box<dyn FlowMonitor> = Box::new(Exact::default());
         assert_eq!(m.name(), "Exact");
+    }
+
+    #[test]
+    fn boxed_monitor_forwards_everything() {
+        let mut m: Box<dyn FlowMonitor> = Box::new(Exact::default());
+        m.process_packet(&pkt(1));
+        m.process_batch(&[pkt(1), pkt(2)]);
+        m.process_trace(&[pkt(2)]);
+        assert_eq!(m.estimate_size(&FlowKey::from_index(1)), 2);
+        assert_eq!(m.flow_records().len(), 2);
+        assert_eq!(m.estimate_cardinality(), 2.0);
+        assert_eq!(m.heavy_hitters(2).len(), 2);
+        assert_eq!(m.cost().packets, 4);
+        let snapshot = m.seal();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(m.cost().packets, 0, "seal resets through the box");
+    }
+
+    #[test]
+    fn seal_drains_live_state_into_snapshot() {
+        let mut m = Exact::default();
+        for _ in 0..4 {
+            m.process_packet(&pkt(7));
+        }
+        m.process_packet(&pkt(8));
+        let snapshot = m.seal();
+        // Sealed answers match what the live monitor reported...
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.estimate_size(&FlowKey::from_index(7)), 4);
+        assert_eq!(snapshot.cardinality(), 2.0);
+        assert_eq!(snapshot.cost().packets, 5);
+        // ... and the live side restarts clean.
+        assert!(m.flow_records().is_empty());
+        m.process_packet(&pkt(9));
+        assert_eq!(m.cost().packets, 1);
+        // The sealed snapshot is unaffected by post-seal ingestion.
+        assert_eq!(snapshot.estimate_size(&FlowKey::from_index(9)), 0);
     }
 }

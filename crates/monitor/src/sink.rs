@@ -1,0 +1,294 @@
+//! Streaming export sinks for sealed epochs.
+//!
+//! A deployed collector does not stop at sealing epochs — every sealed
+//! epoch is *shipped*: to a NetFlow collector, a log pipeline, a
+//! long-term store. [`RecordSink`] is the contract for that last stage of
+//! the pipeline (`source → collector → rotator → sinks`): anything that
+//! rotates epochs ([`crate::EpochRotator`], `hashflow_shard`'s
+//! `ShardedMonitor`, the `hashflow-collector` facade) streams each sealed
+//! [`EpochSnapshot`] to its attached sinks.
+//!
+//! Two reference sinks live here (no I/O-format dependencies needed):
+//! [`JsonLinesSink`] for log pipelines and [`MemorySink`] for tests and
+//! in-process consumers. The NetFlow v5 sink lives in the
+//! `netflow-export` crate next to its wire format.
+
+use crate::EpochSnapshot;
+use std::io::{self, Write};
+
+/// A destination for sealed measurement epochs.
+///
+/// Implementations serialize each epoch's record report to their medium.
+/// Sinks are driven by the epoch-rotation layer: one
+/// [`export_epoch`](Self::export_epoch) call per sealed epoch, in epoch
+/// order, and a final [`finish`](Self::finish) when the collection run
+/// ends (flush buffers, write trailers).
+pub trait RecordSink {
+    /// Ships one sealed epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error of the underlying medium.
+    fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()>;
+
+    /// Flushes buffered state at the end of a collection run. The default
+    /// does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error of the underlying medium.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An owned set of sinks with first-error parking — the shared plumbing
+/// of every rotation layer ([`crate::EpochRotator`], `hashflow_shard`'s
+/// `ShardedMonitor`): export fan-out, infallible from the caller's side
+/// (a broken export target must not stall measurement), with the first
+/// I/O error parked for the driving loop to inspect.
+#[derive(Default)]
+pub struct SinkSet {
+    sinks: Vec<Box<dyn RecordSink + Send>>,
+    first_error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for SinkSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkSet")
+            .field("sinks", &self.sinks.len())
+            .field("errored", &self.first_error.is_some())
+            .finish()
+    }
+}
+
+impl SinkSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink.
+    pub fn add(&mut self, sink: Box<dyn RecordSink + Send>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Streams one sealed epoch to every sink; the first error is parked
+    /// (later sinks still receive the epoch).
+    pub fn export(&mut self, snapshot: &EpochSnapshot) {
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.export_epoch(snapshot) {
+                self.first_error.get_or_insert(e);
+            }
+        }
+    }
+
+    /// Takes the first parked I/O error, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.first_error.take()
+    }
+
+    /// Flushes every sink (end of the collection run); later sinks are
+    /// still flushed after a failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error any sink reported, including parked
+    /// export errors.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut first_err = self.first_error.take();
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.finish() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// JSON-lines sink: one self-describing JSON object per flow record,
+/// terminated by `\n` — the lingua franca of log shippers.
+///
+/// Each line carries the epoch number, the five-tuple and the packet
+/// count; one epoch therefore contributes exactly
+/// [`EpochSnapshot::len`] lines.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_monitor::{EpochSnapshot, JsonLinesSink, RecordSink};
+/// use hashflow_types::{FlowKey, FlowRecord};
+///
+/// let snapshot = EpochSnapshot::from_parts(
+///     0, None, None,
+///     vec![FlowRecord::new(FlowKey::from_index(1), 42)],
+///     1.0, Default::default(),
+/// );
+/// let mut sink = JsonLinesSink::new(Vec::new());
+/// sink.export_epoch(&snapshot)?;
+/// let text = String::from_utf8(sink.into_inner()).unwrap();
+/// assert_eq!(text.lines().count(), 1);
+/// assert!(text.contains("\"packets\": 42"));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer, lines: 0 }
+    }
+
+    /// Lines (records) written so far.
+    pub const fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RecordSink for JsonLinesSink<W> {
+    fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
+        for rec in snapshot.records() {
+            let key = rec.key();
+            writeln!(
+                self.writer,
+                "{{\"epoch\": {}, \"src_ip\": \"{}\", \"dst_ip\": \"{}\", \
+                 \"src_port\": {}, \"dst_port\": {}, \"protocol\": {}, \"packets\": {}}}",
+                snapshot.epoch(),
+                key.src_ip(),
+                key.dst_ip(),
+                key.src_port(),
+                key.dst_port(),
+                key.protocol(),
+                rec.count(),
+            )?;
+            self.lines += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// In-memory sink: retains every sealed snapshot, for tests and
+/// in-process consumers (dashboards, anomaly detectors) that want the
+/// full query surface of past epochs rather than a serialized stream.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    epochs: Vec<EpochSnapshot>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sealed epochs received so far, in arrival order.
+    pub fn epochs(&self) -> &[EpochSnapshot] {
+        &self.epochs
+    }
+
+    /// Total records across all received epochs.
+    pub fn total_records(&self) -> usize {
+        self.epochs.iter().map(EpochSnapshot::len).sum()
+    }
+
+    /// Consumes the sink, returning the retained epochs.
+    pub fn into_epochs(self) -> Vec<EpochSnapshot> {
+        self.epochs
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
+        self.epochs.push(snapshot.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_types::{FlowKey, FlowRecord};
+
+    fn snapshot(epoch: u64, n: usize) -> EpochSnapshot {
+        EpochSnapshot::from_parts(
+            epoch,
+            None,
+            None,
+            (0..n as u64)
+                .map(|i| FlowRecord::new(FlowKey::from_index(i), i as u32 + 1))
+                .collect(),
+            n as f64,
+            Default::default(),
+        )
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.export_epoch(&snapshot(0, 3)).unwrap();
+        sink.export_epoch(&snapshot(1, 2)).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.lines_written(), 5);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        // Every line is a flat JSON object carrying its epoch.
+        assert_eq!(
+            text.lines().filter(|l| l.contains("\"epoch\": 1")).count(),
+            2
+        );
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"src_ip\""));
+            assert!(line.contains("\"packets\""));
+        }
+    }
+
+    #[test]
+    fn memory_sink_retains_epochs() {
+        let mut sink = MemorySink::new();
+        sink.export_epoch(&snapshot(0, 4)).unwrap();
+        sink.export_epoch(&snapshot(1, 1)).unwrap();
+        assert_eq!(sink.epochs().len(), 2);
+        assert_eq!(sink.total_records(), 5);
+        let epochs = sink.into_epochs();
+        assert_eq!(epochs[1].epoch(), 1);
+    }
+
+    #[test]
+    fn sink_is_object_safe() {
+        let mut sinks: Vec<Box<dyn RecordSink>> = vec![
+            Box::new(MemorySink::new()),
+            Box::new(JsonLinesSink::new(Vec::new())),
+        ];
+        for s in &mut sinks {
+            s.export_epoch(&snapshot(0, 1)).unwrap();
+            s.finish().unwrap();
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! NetFlow-style monitoring (§I); this crate closes the loop for a
 //! downstream user: records drained from any `FlowMonitor` at the end of a
 //! measurement epoch can be shipped to an unmodified NetFlow collector.
+//! [`NetFlowV5Sink`] plugs that wire format into the collector pipeline's
+//! sink layer (`hashflow_monitor::RecordSink`), so epoch rotators and the
+//! `hashflow-collector` facade stream sealed epochs here directly.
 //!
 //! A v5 datagram is a 24-byte header followed by up to 30 fixed 48-byte
 //! records, all fields big-endian.
@@ -28,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hashflow_monitor::{EpochSnapshot, RecordSink};
 use hashflow_types::{FlowKey, FlowRecord};
 use std::error::Error;
 use std::fmt;
+use std::io::{self, Write};
 
 /// NetFlow export version implemented by this crate.
 pub const VERSION: u16 = 5;
@@ -45,8 +50,7 @@ pub const RECORD_LEN: usize = 48;
 pub const MAX_RECORDS_PER_DATAGRAM: usize = 30;
 
 /// Exporter-level metadata stamped into datagram headers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExportMeta {
     /// Milliseconds since device boot.
     pub sys_uptime_ms: u32,
@@ -61,7 +65,6 @@ pub struct ExportMeta {
     /// Sampling mode and interval (0 = unsampled).
     pub sampling_interval: u16,
 }
-
 
 /// Stateful v5 exporter: maintains the running `flow_sequence` counter
 /// across datagrams, as a real exporter must.
@@ -83,6 +86,12 @@ impl Exporter {
     /// Total flows exported so far (the next header's sequence number).
     pub const fn flow_sequence(&self) -> u32 {
         self.flow_sequence
+    }
+
+    /// Mutable access to the header metadata (sinks restamp per-epoch
+    /// timing between exports).
+    pub fn meta_mut(&mut self) -> &mut ExportMeta {
+        &mut self.meta
     }
 
     /// Serializes `records` into one or more v5 datagrams of at most 30
@@ -123,8 +132,8 @@ fn write_record(buf: &mut Vec<u8>, rec: &FlowRecord) {
     buf.extend_from_slice(&[0; 2]); // input if
     buf.extend_from_slice(&[0; 2]); // output if
     buf.extend_from_slice(&rec.count().to_be_bytes()); // dPkts
-    // dOctets: we track packets, not bytes; report packets * 0 is useless,
-    // so export a conventional 64-byte-minimum estimate.
+                                                       // dOctets: we track packets, not bytes; report packets * 0 is useless,
+                                                       // so export a conventional 64-byte-minimum estimate.
     buf.extend_from_slice(&rec.count().saturating_mul(64).to_be_bytes());
     buf.extend_from_slice(&[0; 4]); // first
     buf.extend_from_slice(&[0; 4]); // last
@@ -139,6 +148,101 @@ fn write_record(buf: &mut Vec<u8>, rec: &FlowRecord) {
     buf.push(0); // src_mask
     buf.push(0); // dst_mask
     buf.extend_from_slice(&[0; 2]); // pad2
+}
+
+/// Streaming [`RecordSink`]: serializes every sealed epoch into NetFlow
+/// v5 datagrams and writes them to the wrapped writer (a file, a socket,
+/// a `Vec<u8>` buffer).
+///
+/// The sink owns a stateful [`Exporter`], so `flow_sequence` numbers run
+/// continuously across epochs — exactly what a downstream v5 collector
+/// uses to detect datagram loss. Epoch timing is stamped into the header:
+/// `sys_uptime_ms` carries the epoch's last observed packet timestamp
+/// (ns truncated to ms) when known.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_monitor::{EpochSnapshot, RecordSink};
+/// use hashflow_types::{FlowKey, FlowRecord};
+/// use netflow_export::{decode_datagrams, NetFlowV5Sink};
+///
+/// let snapshot = EpochSnapshot::from_parts(
+///     0, None, None,
+///     vec![FlowRecord::new(FlowKey::from_index(7), 9)],
+///     1.0, Default::default(),
+/// );
+/// let mut sink = NetFlowV5Sink::new(Vec::new());
+/// sink.export_epoch(&snapshot)?;
+/// let bytes = sink.into_inner();
+/// let parsed = decode_datagrams(std::iter::once(bytes.as_slice()))?;
+/// assert_eq!(parsed[0].count(), 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct NetFlowV5Sink<W: Write> {
+    writer: W,
+    exporter: Exporter,
+    datagrams: u64,
+    bytes: u64,
+}
+
+impl<W: Write> NetFlowV5Sink<W> {
+    /// Wraps a writer with default header metadata.
+    pub fn new(writer: W) -> Self {
+        Self::with_meta(writer, ExportMeta::default())
+    }
+
+    /// Wraps a writer, stamping `meta` into every datagram header.
+    pub fn with_meta(writer: W, meta: ExportMeta) -> Self {
+        NetFlowV5Sink {
+            writer,
+            exporter: Exporter::new(meta),
+            datagrams: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Total flows exported so far (the running v5 sequence number).
+    pub const fn flow_sequence(&self) -> u32 {
+        self.exporter.flow_sequence()
+    }
+
+    /// Datagrams written so far.
+    pub const fn datagrams_written(&self) -> u64 {
+        self.datagrams
+    }
+
+    /// Bytes written so far.
+    pub const fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Unwraps the sink, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RecordSink for NetFlowV5Sink<W> {
+    fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
+        // v5 headers carry an export timestamp; reuse the epoch's end as
+        // the uptime reference so consumers can order epochs.
+        if let Some(end_ns) = snapshot.end_ns() {
+            self.exporter.meta_mut().sys_uptime_ms = (end_ns / 1_000_000) as u32;
+        }
+        let records: Vec<FlowRecord> = snapshot.records().copied().collect();
+        for datagram in self.exporter.export(&records) {
+            self.writer.write_all(&datagram)?;
+            self.datagrams += 1;
+            self.bytes += datagram.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
 }
 
 /// Error raised while decoding a v5 datagram.
@@ -191,9 +295,7 @@ pub fn decode_datagram(bytes: &[u8]) -> Result<Vec<FlowRecord>, DecodeError> {
     }
     let declared = u16::from_be_bytes([bytes[2], bytes[3]]);
     let available = (bytes.len() - HEADER_LEN) / RECORD_LEN;
-    if usize::from(declared) != available
-        || bytes.len() != HEADER_LEN + available * RECORD_LEN
-    {
+    if usize::from(declared) != available || bytes.len() != HEADER_LEN + available * RECORD_LEN {
         return Err(DecodeError::CountMismatch {
             declared,
             available,
@@ -229,6 +331,53 @@ pub fn decode_datagrams<'a, I: IntoIterator<Item = &'a [u8]>>(
         out.extend(decode_datagram(d)?);
     }
     Ok(out)
+}
+
+/// Splits a concatenated v5 byte stream — what [`NetFlowV5Sink`] writes,
+/// or a capture of back-to-back export packets — into its individual
+/// datagrams, using each header's record count to find the next
+/// boundary.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if a header is truncated, carries the wrong
+/// version, or declares more records than the remaining bytes hold
+/// (trailing garbage surfaces as a [`DecodeError::CountMismatch`] or
+/// [`DecodeError::Truncated`] at the offending offset).
+pub fn split_datagrams(bytes: &[u8]) -> Result<Vec<&[u8]>, DecodeError> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        if rest.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let version = u16::from_be_bytes([rest[0], rest[1]]);
+        if version != VERSION {
+            return Err(DecodeError::WrongVersion(version));
+        }
+        let declared = u16::from_be_bytes([rest[2], rest[3]]);
+        let len = HEADER_LEN + usize::from(declared) * RECORD_LEN;
+        if rest.len() < len {
+            return Err(DecodeError::CountMismatch {
+                declared,
+                available: (rest.len() - HEADER_LEN) / RECORD_LEN,
+            });
+        }
+        let (datagram, tail) = rest.split_at(len);
+        out.push(datagram);
+        rest = tail;
+    }
+    Ok(out)
+}
+
+/// [`split_datagrams`] + [`decode_datagrams`] in one call: decodes every
+/// record of a concatenated v5 byte stream.
+///
+/// # Errors
+///
+/// Fails on the first malformed datagram.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<FlowRecord>, DecodeError> {
+    decode_datagrams(split_datagrams(bytes)?)
 }
 
 #[cfg(test)]
@@ -304,7 +453,10 @@ mod tests {
         bad_count[3] = 7; // claims 7 records, has 2
         assert!(matches!(
             decode_datagram(&bad_count),
-            Err(DecodeError::CountMismatch { declared: 7, available: 2 })
+            Err(DecodeError::CountMismatch {
+                declared: 7,
+                available: 2
+            })
         ));
         // Trailing garbage that is not a whole record.
         let mut ragged = Exporter::default().export(&records(1)).remove(0);
@@ -317,6 +469,54 @@ mod tests {
         let mut ex = Exporter::default();
         assert!(ex.export(&[]).is_empty());
         assert_eq!(ex.flow_sequence(), 0);
+    }
+
+    #[test]
+    fn sink_round_trips_epochs_with_running_sequence() {
+        use hashflow_monitor::EpochSnapshot;
+
+        let epoch = |n: u64, count: usize| {
+            EpochSnapshot::from_parts(
+                n,
+                Some(n * 1_000_000),
+                Some(n * 1_000_000 + 500_000),
+                records(count),
+                count as f64,
+                Default::default(),
+            )
+        };
+        let mut sink = NetFlowV5Sink::new(Vec::new());
+        sink.export_epoch(&epoch(0, 35)).unwrap();
+        sink.export_epoch(&epoch(1, 3)).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.flow_sequence(), 38);
+        assert_eq!(sink.datagrams_written(), 3); // 30 + 5, then 3
+        let bytes = sink.into_inner();
+
+        // Re-parse the concatenated byte stream datagram by datagram.
+        assert_eq!(split_datagrams(&bytes).unwrap().len(), 3);
+        let parsed = decode_stream(&bytes).unwrap();
+        let mut expected = records(35);
+        expected.extend(records(3));
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn sink_stamps_epoch_timing_into_headers() {
+        use hashflow_monitor::EpochSnapshot;
+        let snapshot = EpochSnapshot::from_parts(
+            4,
+            Some(0),
+            Some(7_000_000_000), // 7 s
+            records(1),
+            1.0,
+            Default::default(),
+        );
+        let mut sink = NetFlowV5Sink::new(Vec::new());
+        sink.export_epoch(&snapshot).unwrap();
+        let bytes = sink.into_inner();
+        let uptime = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(uptime, 7_000);
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl BitVec {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -58,7 +62,11 @@ impl BitVec {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn set(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] |= 1 << (index % 64);
     }
 
@@ -69,7 +77,11 @@ impl BitVec {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn clear(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] &= !(1 << (index % 64));
     }
 

@@ -37,7 +37,12 @@ impl CountMinSketch {
     ///
     /// Returns [`ConfigError`] if any dimension is zero or the counter width
     /// is outside `1..=32`.
-    pub fn new(rows: usize, cols: usize, counter_bits: u32, seed: u64) -> Result<Self, ConfigError> {
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        counter_bits: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
         if rows == 0 {
             return Err(ConfigError::new("count-min sketch needs at least one row"));
         }

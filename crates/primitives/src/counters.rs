@@ -105,7 +105,11 @@ impl CounterArray {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn get(&self, index: usize) -> u64 {
-        assert!(index < self.len, "counter index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "counter index {index} out of range {}",
+            self.len
+        );
         let (word, offset, spill) = self.locate(index);
         let mut value = (self.words[word] >> offset) & self.max;
         if let Some((next, bits)) = spill {
@@ -123,7 +127,11 @@ impl CounterArray {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: u64) {
-        assert!(index < self.len, "counter index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "counter index {index} out of range {}",
+            self.len
+        );
         let value = value.min(self.max);
         let (word, offset, spill) = self.locate(index);
         match spill {
@@ -237,7 +245,11 @@ mod tests {
                 c.set(i, (i as u64 * 2654435761) & max);
             }
             for i in 0..77 {
-                assert_eq!(c.get(i), (i as u64 * 2654435761) & max, "width {width} cell {i}");
+                assert_eq!(
+                    c.get(i),
+                    (i as u64 * 2654435761) & max,
+                    "width {width} cell {i}"
+                );
             }
         }
     }

@@ -28,9 +28,7 @@
 #![warn(missing_docs)]
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{
-    CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor,
-};
+use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 use std::collections::HashMap;
 
@@ -87,7 +85,22 @@ impl SampledNetFlow {
     /// Returns [`ConfigError`] if the budget holds no record or
     /// `sampling_n == 0`.
     pub fn with_memory(budget: MemoryBudget, sampling_n: u32) -> Result<Self, ConfigError> {
-        Self::new(budget.cells(RECORD_BITS), sampling_n, 0x0005_a111)
+        Self::with_memory_seeded(budget, sampling_n, 0x0005_a111)
+    }
+
+    /// [`Self::with_memory`] with an explicit hash seed, for experiments
+    /// that re-derive every monitor per trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the budget holds no record or
+    /// `sampling_n == 0`.
+    pub fn with_memory_seeded(
+        budget: MemoryBudget,
+        sampling_n: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        Self::new(budget.cells(RECORD_BITS), sampling_n, seed)
     }
 
     /// The configured 1-in-N sampling rate.

@@ -59,7 +59,7 @@ pub use queue::BatchQueue;
 
 use hashflow_hashing::fast_range;
 use hashflow_monitor::{
-    CostSnapshot, EpochReport, FlowMonitor, MemoryBudget, MergeableMonitor,
+    CostSnapshot, EpochReport, FlowMonitor, MemoryBudget, MergeableMonitor, RecordSink, SinkSet,
 };
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::time::Instant;
@@ -221,7 +221,6 @@ impl DispatchScratch {
 
 /// `N` inner monitors behind an RSS-style flow dispatcher. See the crate
 /// docs for the full contract.
-#[derive(Debug, Clone)]
 pub struct ShardedMonitor<M> {
     shards: Vec<M>,
     dispatch_hashes: u64,
@@ -229,6 +228,18 @@ pub struct ShardedMonitor<M> {
     last_ns: Option<u64>,
     epoch: u64,
     scratch: DispatchScratch,
+    sinks: SinkSet,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for ShardedMonitor<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMonitor")
+            .field("shards", &self.shards)
+            .field("dispatch_hashes", &self.dispatch_hashes)
+            .field("epoch", &self.epoch)
+            .field("sinks", &self.sinks)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: MergeableMonitor> ShardedMonitor<M> {
@@ -253,7 +264,31 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             last_ns: None,
             epoch: 0,
             scratch: DispatchScratch::default(),
+            sinks: SinkSet::new(),
         })
+    }
+
+    /// Attaches a sink; every epoch sealed by [`Self::seal_epoch`] from
+    /// now on is streamed to it as one merged collector-side snapshot.
+    pub fn add_sink(&mut self, sink: Box<dyn RecordSink + Send>) {
+        self.sinks.add(sink);
+    }
+
+    /// Takes the first sink I/O error observed since the last call, if
+    /// any ([`Self::seal_epoch`] itself stays infallible — a broken
+    /// export target must not stall the shards; see [`SinkSet`]).
+    pub fn take_sink_error(&mut self) -> Option<std::io::Error> {
+        self.sinks.take_error()
+    }
+
+    /// Flushes every attached sink (end of the collection run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error any sink reported, including errors
+    /// parked from earlier seals.
+    pub fn finish_sinks(&mut self) -> std::io::Result<()> {
+        self.sinks.finish()
     }
 
     /// Builds `shards` monitors from one shared memory budget, split
@@ -387,6 +422,8 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// resets the shards for the next epoch: records concatenate (disjoint
     /// partitions — no key appears twice), costs sum, and the cardinality
     /// estimates combine via [`MergeableMonitor::combine_cardinality`].
+    /// The merged epoch is streamed to every attached sink (one snapshot
+    /// for all shards, not one per shard).
     pub fn seal_epoch(&mut self) -> EpochReport {
         let estimates: Vec<f64> = self
             .shards
@@ -414,7 +451,15 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
         self.epoch += 1;
         self.first_ns = None;
         self.last_ns = None;
-        EpochReport::merged(reports, cardinality)
+        let mut report = EpochReport::merged(reports, cardinality);
+        if !self.sinks.is_empty() {
+            // Snapshot once, export, recover the report — the merged
+            // record store is never cloned for the sinks.
+            let snapshot = report.into_snapshot();
+            self.sinks.export(&snapshot);
+            report = snapshot.into_report();
+        }
+        report
     }
 
     /// Collapses the sharded monitor into a single instance by folding
@@ -459,8 +504,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             };
         }
 
-        let queues: Vec<BatchQueue<Packet>> =
-            (0..shard_count).map(|_| BatchQueue::new(QUEUE_DEPTH)).collect();
+        let queues: Vec<BatchQueue<Packet>> = (0..shard_count)
+            .map(|_| BatchQueue::new(QUEUE_DEPTH))
+            .collect();
         // Free-list of drained batch buffers: workers clear and return
         // their batches here, the dispatcher reuses them instead of
         // allocating a fresh `Vec` per published batch. Best-effort on
@@ -495,8 +541,7 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 free.try_pop()
                     .unwrap_or_else(|| Vec::with_capacity(BATCH_PACKETS))
             };
-            let mut pending: Vec<Vec<Packet>> =
-                (0..shard_count).map(|_| fresh_batch()).collect();
+            let mut pending: Vec<Vec<Packet>> = (0..shard_count).map(|_| fresh_batch()).collect();
             for p in packets {
                 let s = fast_range(dispatch_hash(&p.key()), shard_count);
                 per_shard[s] += 1;
@@ -603,6 +648,13 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         self.last_ns = None;
         self.epoch = 0;
     }
+
+    /// Seals through [`Self::seal_epoch`]: the merged epoch streams to
+    /// the attached sinks and the epoch counter advances, exactly like a
+    /// timed rotation.
+    fn seal(&mut self) -> hashflow_monitor::EpochSnapshot {
+        self.seal_epoch().into_snapshot()
+    }
 }
 
 impl<M: MergeableMonitor + Send> MergeableMonitor for ShardedMonitor<M> {
@@ -683,10 +735,7 @@ mod tests {
             sequential.process_packet(p);
         }
         assert_eq!(report.packets, trace.packets().len() as u64);
-        assert_eq!(
-            report.per_shard_packets.iter().sum::<u64>(),
-            report.packets
-        );
+        assert_eq!(report.per_shard_packets.iter().sum::<u64>(), report.packets);
         let mut a = threaded.flow_records();
         let mut b = sequential.flow_records();
         a.sort_by_key(|r| r.key());
@@ -719,7 +768,10 @@ mod tests {
         );
         let heavy = m.heavy_hitters(3);
         assert!(heavy.iter().all(|r| r.count() >= 3));
-        assert_eq!(m.cost().packets, (0..500u64).map(|f| f % 3 + 1).sum::<u64>());
+        assert_eq!(
+            m.cost().packets,
+            (0..500u64).map(|f| f % 3 + 1).sum::<u64>()
+        );
     }
 
     #[test]
@@ -785,6 +837,48 @@ mod tests {
     }
 
     #[test]
+    fn sealed_epochs_stream_to_sinks_once_merged() {
+        use hashflow_monitor::{EpochSnapshot, RecordSink};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        // Counts (epochs, records) delivered, observable from outside the
+        // monitor that owns the boxed sink.
+        struct Counting {
+            epochs: Arc<AtomicUsize>,
+            records: Arc<AtomicUsize>,
+        }
+        impl RecordSink for Counting {
+            fn export_epoch(&mut self, s: &EpochSnapshot) -> std::io::Result<()> {
+                self.epochs.fetch_add(1, Ordering::Relaxed);
+                self.records.fetch_add(s.len(), Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        let epochs = Arc::new(AtomicUsize::new(0));
+        let records = Arc::new(AtomicUsize::new(0));
+        let mut m = sharded_hashflow(4, 256);
+        m.add_sink(Box::new(Counting {
+            epochs: Arc::clone(&epochs),
+            records: Arc::clone(&records),
+        }));
+        for flow in 0..200u64 {
+            m.process_packet(&pkt(flow, flow));
+        }
+        m.seal_epoch();
+        m.process_packet(&pkt(7, 1_000));
+        let snapshot = m.seal(); // trait-level seal runs the same path
+        assert_eq!(snapshot.epoch(), 1);
+        assert_eq!(snapshot.len(), 1);
+        // One merged snapshot per sealed epoch — not one per shard.
+        assert_eq!(epochs.load(Ordering::Relaxed), 2);
+        assert_eq!(records.load(Ordering::Relaxed), 201);
+        assert!(m.take_sink_error().is_none());
+        assert!(m.finish_sinks().is_ok());
+    }
+
+    #[test]
     fn collapse_folds_into_single_monitor() {
         let mut m = sharded_hashflow(2, 512);
         for flow in 0..100u64 {
@@ -836,12 +930,15 @@ mod tests {
             imb < 2.5,
             "hash dispatch should spread heavy-tailed load, got {imb}"
         );
-        assert_eq!(IngestReport {
-            packets: 0,
-            per_shard_packets: vec![0, 0],
-            elapsed_ns: 0,
-        }
-        .imbalance(), 1.0);
+        assert_eq!(
+            IngestReport {
+                packets: 0,
+                per_shard_packets: vec![0, 0],
+                elapsed_ns: 0,
+            }
+            .imbalance(),
+            1.0
+        );
     }
 
     #[test]

@@ -18,13 +18,16 @@
 //! # Examples
 //!
 //! ```
-//! use hashflow_core::HashFlow;
+//! use hashflow_collector::{AlgorithmKind, MonitorBuilder};
 //! use hashflow_monitor::MemoryBudget;
 //! use hashflow_trace::{TraceGenerator, TraceProfile};
 //! use simswitch::SoftwareSwitch;
 //!
 //! let trace = TraceGenerator::new(TraceProfile::Caida, 0).generate(1_000);
-//! let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(64)?)?;
+//! // Monitors come from the registry; the switch replays any of them.
+//! let mut hf = MonitorBuilder::new(AlgorithmKind::HashFlow)
+//!     .budget(MemoryBudget::from_kib(64)?)
+//!     .build()?;
 //! let report = SoftwareSwitch::default().replay(&mut hf, &trace);
 //! assert_eq!(report.packets, trace.packets().len() as u64);
 //! assert!(report.modeled_kpps > 0.0 && report.modeled_kpps < 20.0);
@@ -303,9 +306,19 @@ impl SoftwareSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hashflow_collector::{AlgorithmKind, MonitorBuilder};
     use hashflow_core::HashFlow;
     use hashflow_monitor::MemoryBudget;
     use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    /// Registry-built HashFlow: the single construction path, exercised
+    /// from the switch's side.
+    fn registry_hashflow(kib: usize) -> Box<dyn FlowMonitor + Send> {
+        MonitorBuilder::new(AlgorithmKind::HashFlow)
+            .budget(MemoryBudget::from_kib(kib).unwrap())
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn baseline_is_twenty_kpps() {
@@ -335,7 +348,7 @@ mod tests {
     #[test]
     fn replay_counts_all_packets() {
         let trace = TraceGenerator::new(TraceProfile::Isp2, 1).generate(500);
-        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let mut hf = registry_hashflow(32);
         let report = SoftwareSwitch::default().replay(&mut hf, &trace);
         assert_eq!(report.packets, trace.packets().len() as u64);
         assert!(report.native_pps > 0.0);
@@ -349,7 +362,7 @@ mod tests {
         // same packets, per-packet averages and modeled throughput — the
         // process_batch contract seen from the switch.
         let trace = TraceGenerator::new(TraceProfile::Caida, 5).generate(1_000);
-        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let mut hf = registry_hashflow(32);
         let sw = SoftwareSwitch::default();
         let batched = sw.replay(&mut hf, &trace);
         let records_batched = hf.flow_records().len();
@@ -363,7 +376,7 @@ mod tests {
     #[test]
     fn replay_resets_monitor_first() {
         let trace = TraceGenerator::new(TraceProfile::Isp2, 2).generate(200);
-        let mut hf = HashFlow::with_memory(MemoryBudget::from_kib(32).unwrap()).unwrap();
+        let mut hf = registry_hashflow(32);
         let sw = SoftwareSwitch::default();
         let first = sw.replay(&mut hf, &trace);
         let second = sw.replay(&mut hf, &trace);

@@ -22,6 +22,7 @@
 
 pub use elastic_sketch;
 pub use flowradar;
+pub use hashflow_collector as collector;
 pub use hashflow_core as core;
 pub use hashflow_hashing as hashing;
 pub use hashflow_metrics as metrics;
@@ -39,16 +40,19 @@ pub use simswitch;
 pub mod prelude {
     pub use elastic_sketch::{BasicElasticSketch, ElasticSketch};
     pub use flowradar::FlowRadar;
+    pub use hashflow_collector::{AlgorithmKind, Collector, MonitorBuilder};
     pub use hashflow_core::adaptive::{AdaptiveController, AdaptiveHashFlow};
     pub use hashflow_core::{model, HashFlow, HashFlowConfig, TableScheme};
     pub use hashflow_metrics::{evaluate, EvaluationReport, GroundTruth};
     pub use hashflow_monitor::{
-        CostSnapshot, EpochReport, EpochRotator, FlowMonitor, MemoryBudget, MergeableMonitor,
+        CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, JsonLinesSink,
+        MemoryBudget, MemorySink, MergeableMonitor, RecordSink,
     };
     pub use hashflow_shard::ShardedMonitor;
     pub use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
     pub use hashflow_types::{FlowKey, FlowRecord, Packet};
     pub use hashpipe::HashPipe;
+    pub use netflow_export::NetFlowV5Sink;
     pub use sampled_netflow::SampledNetFlow;
     pub use simswitch::{SoftwareSwitch, ThroughputModel};
 }

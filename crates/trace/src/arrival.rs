@@ -4,7 +4,7 @@
 //! The basic [`crate::TraceGenerator`] emits a single epoch's worth of
 //! packets with synthetic inter-arrival jitter; epoch-rotation and
 //! adaptive-sizing experiments additionally need traffic whose *intensity
-//! varies over time*. [`ArrivalSchedule`] assigns every flow a start
+//! varies over time*. [`schedule`] assigns every flow a start
 //! offset and spreads its packets over a lifetime, producing a stream
 //! whose concurrent-flow count rises and falls like a real link's.
 
@@ -47,12 +47,7 @@ pub enum ArrivalPattern {
 /// assert_eq!(timed.len(), trace.packets().len());
 /// assert!(timed.windows(2).all(|w| w[0].timestamp_ns() <= w[1].timestamp_ns()));
 /// ```
-pub fn schedule(
-    trace: &Trace,
-    pattern: ArrivalPattern,
-    window_ns: u64,
-    seed: u64,
-) -> Vec<Packet> {
+pub fn schedule(trace: &Trace, pattern: ArrivalPattern, window_ns: u64, seed: u64) -> Vec<Packet> {
     assert!(window_ns > 0, "window must be positive");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0a44_17a1);
 
@@ -140,7 +135,12 @@ mod tests {
     fn front_loaded_starts_early() {
         let trace = TraceGenerator::new(TraceProfile::Isp2, 3).generate(2_000);
         let window = 10_000_000u64;
-        let timed = schedule(&trace, ArrivalPattern::FrontLoaded { fraction: 0.2 }, window, 4);
+        let timed = schedule(
+            &trace,
+            ArrivalPattern::FrontLoaded { fraction: 0.2 },
+            window,
+            4,
+        );
         // ISP2 flows are tiny (~1.3 pkts), so packets cluster near starts:
         // most packets land in the first half... actually lifetimes stretch
         // to the window end, so just assert the first packet of the stream
@@ -191,6 +191,11 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn bad_fraction_rejected() {
         let trace = TraceGenerator::new(TraceProfile::Isp2, 8).generate(10);
-        let _ = schedule(&trace, ArrivalPattern::FrontLoaded { fraction: 0.0 }, 100, 9);
+        let _ = schedule(
+            &trace,
+            ArrivalPattern::FrontLoaded { fraction: 0.0 },
+            100,
+            9,
+        );
     }
 }

@@ -171,7 +171,9 @@ mod tests {
     fn timestamps_are_monotone_everywhere() {
         for mode in [InterleaveMode::Shuffled, InterleaveMode::Bursty] {
             let out = mode.interleave(groups(), 2);
-            assert!(out.windows(2).all(|w| w[0].timestamp_ns() < w[1].timestamp_ns()));
+            assert!(out
+                .windows(2)
+                .all(|w| w[0].timestamp_ns() < w[1].timestamp_ns()));
         }
     }
 

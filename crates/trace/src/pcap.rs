@@ -114,7 +114,11 @@ fn build_frame(frame: &mut Vec<u8>, p: &Packet) {
     frame.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x02]);
     frame.extend_from_slice(&[0x08, 0x00]);
 
-    let l4_len = if key.protocol() == 6 { TCP_HEADER } else { UDP_HEADER };
+    let l4_len = if key.protocol() == 6 {
+        TCP_HEADER
+    } else {
+        UDP_HEADER
+    };
     let total_len = (IPV4_HEADER + l4_len) as u16;
     let ip_start = frame.len();
     frame.push(0x45); // version 4, IHL 5
@@ -188,7 +192,11 @@ pub fn read_pcap<R: Read>(mut source: R) -> Result<Vec<Packet>, PcapError> {
         source.read_exact(&mut frame)?;
         if let Some(key) = parse_flow_key(&frame) {
             let ts = u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_usec) * 1_000;
-            packets.push(Packet::new(key, ts, orig_len.min(u32::from(u16::MAX)) as u16));
+            packets.push(Packet::new(
+                key,
+                ts,
+                orig_len.min(u32::from(u16::MAX)) as u16,
+            ));
         }
     }
     Ok(packets)
@@ -254,8 +262,16 @@ mod tests {
 
     #[test]
     fn tcp_and_udp_frames_differ_in_length() {
-        let tcp = Packet::new(FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1, 2, 6), 0, 64);
-        let udp = Packet::new(FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1, 2, 17), 0, 64);
+        let tcp = Packet::new(
+            FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1, 2, 6),
+            0,
+            64,
+        );
+        let udp = Packet::new(
+            FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1, 2, 17),
+            0,
+            64,
+        );
         let mut tcp_buf = Vec::new();
         let mut udp_buf = Vec::new();
         write_pcap(&mut tcp_buf, &[tcp]).unwrap();

@@ -166,7 +166,12 @@ mod tests {
 
     #[test]
     fn calibration_hits_target_mean() {
-        for (mean, cap) in [(3.2, 110_900u64), (15.1, 289_877), (5.2, 84_357), (1.3, 2_441)] {
+        for (mean, cap) in [
+            (3.2, 110_900u64),
+            (15.1, 289_877),
+            (5.2, 84_357),
+            (1.3, 2_441),
+        ] {
             let a = calibrate_tail_exponent(mean, cap);
             let achieved = truncated_power_law_mean(a, cap);
             assert!(

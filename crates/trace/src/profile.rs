@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn thresholds_match_figure_axes() {
         assert_eq!(TraceProfile::Caida.heavy_hitter_thresholds().len(), 8);
-        assert_eq!(*TraceProfile::Isp2.heavy_hitter_thresholds().last().unwrap(), 5);
+        assert_eq!(
+            *TraceProfile::Isp2.heavy_hitter_thresholds().last().unwrap(),
+            5
+        );
         for p in ALL_PROFILES {
             let t = p.heavy_hitter_thresholds();
             assert!(t.windows(2).all(|w| w[0] < w[1]), "{p} thresholds sorted");

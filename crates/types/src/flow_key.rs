@@ -167,7 +167,18 @@ impl FlowKey {
         let sp = self.src_port.to_be_bytes();
         let dp = self.dst_port.to_be_bytes();
         [
-            s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3], sp[0], sp[1], dp[0], dp[1],
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            sp[0],
+            sp[1],
+            dp[0],
+            dp[1],
             self.protocol,
         ]
     }

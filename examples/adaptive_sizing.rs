@@ -14,14 +14,19 @@ use hashflow_suite::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = HashFlowConfig::builder().main_cells(2_048).build()?;
     let mut adaptive = AdaptiveHashFlow::new(config)?;
-    println!("starting geometry: {} main cells\n", adaptive.monitor().config().main_cells());
+    println!(
+        "starting geometry: {} main cells\n",
+        adaptive.monitor().config().main_cells()
+    );
     println!(
         "{:>6} {:>9} {:>12} {:>13} {:>9} {:>11}",
         "epoch", "flows", "utilization", "anc churn", "decision", "next cells"
     );
 
     // Flow counts per epoch: ramp, plateau, collapse.
-    let epoch_flows = [2_000usize, 4_000, 8_000, 16_000, 32_000, 32_000, 2_000, 1_000];
+    let epoch_flows = [
+        2_000usize, 4_000, 8_000, 16_000, 32_000, 32_000, 2_000, 1_000,
+    ];
     for (epoch, &flows) in epoch_flows.iter().enumerate() {
         let trace = TraceGenerator::new(TraceProfile::Caida, 100 + epoch as u64).generate(flows);
         adaptive.monitor_mut().process_trace(trace.packets());

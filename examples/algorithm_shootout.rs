@@ -9,7 +9,11 @@ use hashflow_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let flows: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(60_000);
+    let flows: usize = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(60_000);
     let kib: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(256);
 
     let budget = MemoryBudget::from_kib(kib)?;

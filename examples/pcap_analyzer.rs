@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Parse the capture back into flow-keyed packets.
     let packets = read_pcap(BufReader::new(File::open(&path)?))?;
-    println!("parsed {} IPv4 TCP/UDP packets from {}\n", packets.len(), path.display());
+    println!(
+        "parsed {} IPv4 TCP/UDP packets from {}\n",
+        packets.len(),
+        path.display()
+    );
 
     // Analyze with HashFlow under a small budget.
     let mut monitor = HashFlow::with_memory(MemoryBudget::from_kib(64)?)?;
@@ -39,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = GroundTruth::from_packets(&packets);
     println!("distinct flows:      {}", truth.flow_count());
     println!("recorded exactly:    {}", monitor.flow_records().len());
-    println!("cardinality estimate: {:.0}", monitor.estimate_cardinality());
+    println!(
+        "cardinality estimate: {:.0}",
+        monitor.estimate_cardinality()
+    );
 
     let mut top: Vec<FlowRecord> = monitor.flow_records();
     top.sort_by_key(|r| std::cmp::Reverse(r.count()));

@@ -21,7 +21,10 @@ fn main() {
     let n = 100_000;
 
     println!("multi-hash table, n = {n} buckets (Fig. 2a)");
-    println!("{:>5} {:>6} {:>8} {:>8} {:>7}", "m/n", "depth", "theory", "sim", "diff");
+    println!(
+        "{:>5} {:>6} {:>8} {:>8} {:>7}",
+        "m/n", "depth", "theory", "sim", "diff"
+    );
     for load in [1.0f64, 2.0, 4.0] {
         for depth in [1usize, 2, 3, 5, 10] {
             let theory = model::multi_hash_utilization(load, depth);
@@ -38,7 +41,10 @@ fn main() {
     }
 
     println!("\npipelined tables, d = 3 (Fig. 2b/2c)");
-    println!("{:>5} {:>6} {:>8} {:>8} {:>7}", "m/n", "alpha", "theory", "sim", "diff");
+    println!(
+        "{:>5} {:>6} {:>8} {:>8} {:>7}",
+        "m/n", "alpha", "theory", "sim", "diff"
+    );
     for load in [1.0f64, 2.0] {
         for alpha in [0.5, 0.6, 0.7, 0.8] {
             let theory = model::pipelined_utilization(load, 3, alpha);
@@ -55,7 +61,10 @@ fn main() {
     }
 
     println!("\nimprovement of pipelined over multi-hash at d = 3 (Fig. 2d)");
-    println!("{:>6} {:>9} {:>9} {:>9}", "alpha", "m/n=1.0", "m/n=1.4", "m/n=2.0");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9}",
+        "alpha", "m/n=1.0", "m/n=1.4", "m/n=2.0"
+    );
     for alpha_pct in (50..=95).step_by(5) {
         let alpha = alpha_pct as f64 / 100.0;
         println!(

@@ -70,7 +70,10 @@ fn assert_equivalent<M: FlowMonitor>(mut scalar: M, mut batched: M, packets: &[P
             "size estimate diverges for {key:?}"
         );
     }
-    let (ca, cb) = (scalar.estimate_cardinality(), batched.estimate_cardinality());
+    let (ca, cb) = (
+        scalar.estimate_cardinality(),
+        batched.estimate_cardinality(),
+    );
     prop_assert!(
         (ca - cb).abs() < 1e-9,
         "cardinality estimates diverge: {ca} vs {cb}"

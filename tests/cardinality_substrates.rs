@@ -23,13 +23,21 @@ fn all_substrates_agree_in_linear_counting_range() {
         bf.insert(&k);
         hll.observe(&k);
     }
-    assert!(rel_err(lc.estimate(), truth as f64) < 0.02, "lc {}", lc.estimate());
+    assert!(
+        rel_err(lc.estimate(), truth as f64) < 0.02,
+        "lc {}",
+        lc.estimate()
+    );
     assert!(
         rel_err(bf.estimate_cardinality(), truth as f64) < 0.02,
         "bf {}",
         bf.estimate_cardinality()
     );
-    assert!(rel_err(hll.estimate(), truth as f64) < 0.03, "hll {}", hll.estimate());
+    assert!(
+        rel_err(hll.estimate(), truth as f64) < 0.03,
+        "hll {}",
+        hll.estimate()
+    );
 }
 
 #[test]

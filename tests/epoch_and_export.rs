@@ -38,7 +38,10 @@ fn epoch_rotation_slices_a_trace_cleanly() {
     let truth = GroundTruth::from_records(trace.ground_truth());
     for (key, total) in per_flow {
         let real = u64::from(truth.size_of(&key).expect("reported flows are real"));
-        assert!(total <= real, "flow {key:?}: epochs sum {total} > truth {real}");
+        assert!(
+            total <= real,
+            "flow {key:?}: epochs sum {total} > truth {real}"
+        );
     }
 }
 

@@ -118,7 +118,12 @@ fn heavy_hitter_f1_ordering() {
     let es = by_name(&rs, "ElasticSketch").heavy_hitters[0];
     let fr = by_name(&rs, "FlowRadar").heavy_hitters[0];
     assert!(hf.f1 > 0.9, "HashFlow F1 {}", hf.f1);
-    assert!(hf.f1 >= es.f1, "HashFlow {} vs ElasticSketch {}", hf.f1, es.f1);
+    assert!(
+        hf.f1 >= es.f1,
+        "HashFlow {} vs ElasticSketch {}",
+        hf.f1,
+        es.f1
+    );
     assert!(hf.f1 >= fr.f1, "HashFlow {} vs FlowRadar {}", hf.f1, fr.f1);
 }
 

@@ -178,7 +178,10 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end }
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
     }
 }
 
@@ -212,7 +215,10 @@ pub mod prop {
 
         /// Generates vectors whose elements come from `elem`.
         pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { elem, size: size.into() }
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -239,7 +245,10 @@ pub mod prop {
             S: Strategy,
             S::Value: Hash + Eq,
         {
-            HashSetStrategy { elem, size: size.into() }
+            HashSetStrategy {
+                elem,
+                size: size.into(),
+            }
         }
 
         impl<S> Strategy for HashSetStrategy<S>
@@ -277,8 +286,7 @@ impl SizeRange {
 /// Everything a property test module needs.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };
 }
 
