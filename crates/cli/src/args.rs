@@ -48,6 +48,24 @@ commands:
       --format <name>       nf5 (NetFlow v5 datagrams) or jsonl (JSON lines)
                                                         [default: nf5]
       --out <file>          output path                 (required)
+  query <capture.pcap>      run a declarative telemetry query over a capture
+      --plan <string>       pipeline of the form        (required)
+                            'filter proto=6 | map dst | distinct src |
+                             reduce count | threshold 40'
+                            stages: filter (fields src, dst, srcport,
+                            dstport, proto, count; ops = != < <= > >=),
+                            map/distinct (flow, src, dst, srcdst,
+                            srcport, dstport, proto), reduce
+                            (sum|count|max), threshold N
+      --memory-kib <N>      memory budget in KiB        [default: 256]
+      --algorithm <name>    hashflow|hashpipe|elastic|flowradar|netflow
+                                                        [default: hashflow]
+      --top <K>             result rows to print        [default: 10]
+                            the capture streams through the monitor in
+                            batches (never fully in memory); the report
+                            shows the exact streaming answer next to the
+                            answer recovered from the monitor's sealed
+                            records
 ";
 
 /// Argument parsing failure with a message for the user.
@@ -154,6 +172,19 @@ pub enum Command {
         format: ExportFormat,
         /// Output file receiving the serialized epochs.
         out: String,
+    },
+    /// Run a declarative telemetry query over a capture.
+    Query {
+        /// Path to the capture.
+        path: String,
+        /// The parsed query plan.
+        plan: hashflow_collector::QueryPlan,
+        /// Memory budget in KiB.
+        memory_kib: usize,
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// How many result rows to print.
+        top: usize,
     },
     /// Print utilization-model predictions.
     Model {
@@ -354,6 +385,28 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                     .to_string(),
             }
         }
+        "query" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&["plan", "memory-kib", "algorithm", "top"])?;
+            Command::Query {
+                path: opts
+                    .positional
+                    .first()
+                    .ok_or_else(|| ArgError::new("query needs a capture path"))?
+                    .to_string(),
+                plan: opts
+                    .get("plan")
+                    .ok_or_else(|| ArgError::new("query needs --plan '<stages>'"))?
+                    .parse::<hashflow_collector::QueryPlan>()
+                    .map_err(|e| ArgError::new(e.to_string()))?,
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                algorithm: match opts.get("algorithm") {
+                    Some(v) => parse_algorithm(v)?,
+                    None => AlgorithmKind::HashFlow,
+                },
+                top: opts.parse_or("top", 10)?,
+            }
+        }
         other => return Err(ArgError::new(format!("unknown command '{other}'"))),
     };
     Ok(ParsedArgs { command })
@@ -487,6 +540,50 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&argv("compare --flows")).is_err());
+    }
+
+    #[test]
+    fn query_parses_plan_and_options() {
+        // A plan string is one argv element (quoted on a real shell).
+        let args: Vec<String> = [
+            "query",
+            "cap.pcap",
+            "--plan",
+            "filter proto=6 | map dst | distinct src | reduce count | threshold 40",
+            "--algorithm",
+            "flowradar",
+            "--top",
+            "5",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        match parse(&args).unwrap().command {
+            Command::Query {
+                path,
+                plan,
+                memory_kib,
+                algorithm,
+                top,
+            } => {
+                assert_eq!(path, "cap.pcap");
+                assert_eq!(memory_kib, 256);
+                assert_eq!(algorithm, AlgorithmKind::FlowRadar);
+                assert_eq!(top, 5);
+                assert_eq!(plan.threshold(), Some(40));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Missing pieces and bad plans are rejected with context.
+        assert!(parse(&argv("query")).is_err());
+        assert!(parse(&argv("query cap.pcap")).is_err());
+        let args: Vec<String> = ["query", "cap.pcap", "--plan", "map dst"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let err = parse(&args).unwrap_err().to_string();
+        assert!(err.contains("reduce"), "{err}");
+        assert!(USAGE.contains("query <capture.pcap>"));
     }
 
     #[test]

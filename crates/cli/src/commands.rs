@@ -5,14 +5,43 @@ use crate::args::{Command, ExportFormat, ParsedArgs, USAGE};
 use hashflow_collector::{AlgorithmKind, MonitorBuilder};
 use hashflow_core::model;
 use hashflow_metrics::{evaluate, GroundTruth};
-use hashflow_monitor::{FlowMonitor, JsonLinesSink, MemoryBudget, RecordSink};
-use hashflow_trace::{read_pcap, write_pcap, TraceGenerator};
+use hashflow_monitor::{FlowMonitor, JsonLinesSink, MemoryBudget, RecordSink, INGEST_BATCH};
+use hashflow_query::{execute_snapshot, QueryMonitor, QueryPlan};
+use hashflow_trace::{read_pcap, write_pcap, PcapReader, TraceGenerator};
+use hashflow_types::Packet;
 use netflow_export::NetFlowV5Sink;
 use simswitch::SoftwareSwitch;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::BufReader;
+
+/// Streams a capture through `monitor` in [`INGEST_BATCH`]-sized batches
+/// without materializing it ([`PcapReader`]), handing every packet to
+/// `per_packet` first (ground-truth counting, custom stats). Returns the
+/// number of packets ingested.
+fn stream_capture(
+    path: &str,
+    monitor: &mut dyn FlowMonitor,
+    mut per_packet: impl FnMut(&Packet),
+) -> Result<u64, Box<dyn Error>> {
+    let reader = PcapReader::new(BufReader::new(File::open(path)?))?;
+    let mut batch = Vec::with_capacity(INGEST_BATCH);
+    let mut total = 0u64;
+    for packet in reader {
+        let packet = packet?;
+        per_packet(&packet);
+        batch.push(packet);
+        total += 1;
+        if batch.len() == INGEST_BATCH {
+            monitor.process_batch(&batch);
+            batch.clear();
+        }
+    }
+    monitor.process_batch(&batch);
+    Ok(total)
+}
 
 /// Executes a parsed command and returns its rendered report.
 ///
@@ -59,6 +88,13 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             format,
             out,
         } => export(path, *memory_kib, *algorithm, *format, out),
+        Command::Query {
+            path,
+            plan,
+            memory_kib,
+            algorithm,
+            top,
+        } => query_capture(path, plan, *memory_kib, *algorithm, *top),
         Command::Model { load, depth, alpha } => {
             let mut out = String::new();
             match alpha {
@@ -116,6 +152,74 @@ fn export(
     ))
 }
 
+/// Runs a declarative telemetry query ([`QueryPlan`]) over a capture:
+/// the capture streams through the registry-built monitor (batched,
+/// never fully in memory) with the plan attached as a [`QueryMonitor`],
+/// then the exact streaming answer is reported next to the answer
+/// recovered post hoc from the monitor's sealed records — the
+/// approximation gap an operator would actually ship.
+fn query_capture(
+    path: &str,
+    plan: &QueryPlan,
+    memory_kib: usize,
+    algorithm: AlgorithmKind,
+    top: usize,
+) -> Result<String, Box<dyn Error>> {
+    let budget = MemoryBudget::from_kib(memory_kib)?;
+    let mut monitor = QueryMonitor::new(MonitorBuilder::new(algorithm).budget(budget).build()?);
+    let id = monitor.attach(plan.clone());
+    let packets = stream_capture(path, &mut monitor, |_| {})?;
+
+    let streaming = monitor.answer(id);
+    let snapshot = monitor.seal();
+    let sealed = execute_snapshot(plan, &snapshot);
+    let group = streaming.group();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "capture: {path}   packets: {packets}");
+    let _ = writeln!(out, "plan: {plan}");
+    let _ = writeln!(
+        out,
+        "algorithm: {} ({budget} budget, {} sealed records)",
+        monitor.name(),
+        snapshot.len()
+    );
+    let _ = writeln!(
+        out,
+        "groups reported: {} exact (stream), {} from sealed records\n",
+        streaming.len(),
+        sealed.len()
+    );
+    // One pass over the sealed rows; `QueryResult::get` is a linear scan,
+    // so probing it per streaming row would be quadratic in group count.
+    let sealed_by_key: HashMap<_, _> = sealed.rows().iter().map(|r| (r.key, r.value)).collect();
+
+    let _ = writeln!(out, "top {top} groups (exact stream):");
+    for row in streaming.rows().iter().take(top) {
+        let sealed_value = sealed_by_key
+            .get(&row.key)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        let _ = writeln!(
+            out,
+            "  {:>10}  (sealed {sealed_value:>6})  {}",
+            row.value,
+            group.format(&row.key)
+        );
+    }
+    let agree = streaming
+        .rows()
+        .iter()
+        .filter(|r| sealed_by_key.get(&r.key) == Some(&r.value))
+        .count();
+    let _ = writeln!(
+        out,
+        "\nagreement: {agree}/{} stream groups answered identically from the sealed records",
+        streaming.len()
+    );
+    Ok(out)
+}
+
 fn analyze(
     path: &str,
     memory_kib: usize,
@@ -124,7 +228,6 @@ fn analyze(
     top: usize,
     shards: usize,
 ) -> Result<String, Box<dyn Error>> {
-    let packets = read_pcap(BufReader::new(File::open(path)?))?;
     let budget = MemoryBudget::from_kib(memory_kib)?;
     // The registry is the single construction path: shards > 1 wraps the
     // monitor in the threaded RSS dispatch layer, shards == 1 runs the
@@ -133,15 +236,17 @@ fn analyze(
         .budget(budget)
         .shards(shards)
         .build()?;
-    monitor.process_trace(&packets);
-    let truth = GroundTruth::from_packets(&packets);
+    // One streaming pass: the capture is never materialized; ground
+    // truth folds packet by packet while the monitor ingests batches.
+    let mut truth = GroundTruth::default();
+    let packets = stream_capture(path, &mut monitor, |p| truth.observe(p))?;
 
     let mut out = String::new();
     let _ = writeln!(out, "capture: {path}");
     let _ = writeln!(
         out,
         "packets: {}   distinct flows: {}",
-        packets.len(),
+        packets,
         truth.flow_count()
     );
     if shards > 1 {
@@ -331,6 +436,50 @@ mod tests {
         // First datagram header: version 5 big-endian.
         assert_eq!(u16::from_be_bytes([bytes[0], bytes[1]]), 5);
         assert!(bytes.len() > netflow_export::HEADER_LEN);
+    }
+
+    #[test]
+    fn query_command_reports_both_paths() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("query.pcap");
+        run_line(&format!(
+            "generate --profile caida --flows 400 --seed 9 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        // Plan strings carry spaces: build the argv by hand.
+        let args: Vec<String> = [
+            "query",
+            pcap.to_str().unwrap(),
+            "--plan",
+            "map src | distinct dst | reduce count | threshold 1",
+            "--memory-kib",
+            "256",
+            "--top",
+            "5",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let out = run(&parse(&args).unwrap()).unwrap();
+        assert!(out.contains("plan: map src | distinct dst | reduce count | threshold 1"));
+        assert!(out.contains("top 5 groups"), "{out}");
+        assert!(out.contains("agreement:"), "{out}");
+        // The capture has 400 distinct src-dst-varied flows; the exact
+        // stream must report a non-zero group count.
+        assert!(out.contains("exact (stream)"), "{out}");
+        // Count-filter plans take the deferred streaming path end to end.
+        let args: Vec<String> = [
+            "query",
+            pcap.to_str().unwrap(),
+            "--plan",
+            "filter count>=2 | map flow | reduce sum",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        run(&parse(&args).unwrap()).unwrap();
     }
 
     #[test]

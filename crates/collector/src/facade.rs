@@ -5,10 +5,11 @@ use crate::registry::{AlgorithmKind, MonitorBuilder};
 use hashflow_monitor::{
     CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, MemoryBudget, RecordSink,
 };
+use hashflow_query::{QueryId, QueryMonitor, QueryPlan, QueryResult};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::io;
 
-/// A running collection pipeline: `monitor → rotator → sinks`.
+/// A running collection pipeline: `monitor → queries → rotator → sinks`.
 ///
 /// Built by [`Collector::builder`]. Ingestion goes through the monitor's
 /// batched hot path; when a packet's timestamp crosses the epoch edge
@@ -17,11 +18,18 @@ use std::io;
 /// retained in [`Collector::completed_epochs`], while the live side keeps
 /// ingesting into fresh tables.
 ///
+/// Declarative telemetry queries ([`QueryPlan`]) attach to the pipeline
+/// via [`CollectorBuilder::query`] or [`Collector::attach_query`]: every
+/// ingested packet is evaluated incrementally, per-epoch answers are
+/// banked at each rotation ([`Collector::drain_query_answers`]), and the
+/// running epoch can be asked at any time
+/// ([`Collector::query_answer`]).
+///
 /// `Collector` itself implements [`FlowMonitor`], so anything that drives
 /// a monitor — the software switch, the evaluation harness — can drive a
 /// whole pipeline unchanged.
 pub struct Collector {
-    rotator: EpochRotator<Box<dyn FlowMonitor + Send>>,
+    rotator: EpochRotator<QueryMonitor<Box<dyn FlowMonitor + Send>>>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -41,6 +49,7 @@ impl Collector {
             monitor: MonitorBuilder::new(kind),
             epoch_len_ns: u64::MAX,
             sinks: Vec::new(),
+            queries: Vec::new(),
         }
     }
 
@@ -48,13 +57,48 @@ impl Collector {
     /// configuration) in the rotation + sink pipeline.
     pub fn from_monitor(monitor: Box<dyn FlowMonitor + Send>, epoch_len_ns: u64) -> Self {
         Collector {
-            rotator: EpochRotator::new(monitor, epoch_len_ns),
+            rotator: EpochRotator::new(QueryMonitor::new(monitor), epoch_len_ns),
         }
     }
 
     /// Attaches a sink; every epoch sealed from now on streams to it.
     pub fn add_sink(&mut self, sink: Box<dyn RecordSink + Send>) {
         self.rotator.add_sink(sink);
+    }
+
+    /// Attaches a query plan to the pipeline; it evaluates incrementally
+    /// from this point on (packets already ingested this epoch are not
+    /// replayed). Returns the id addressing the plan's answers.
+    pub fn attach_query(&mut self, plan: QueryPlan) -> QueryId {
+        self.rotator.inner_mut().attach(plan)
+    }
+
+    /// Number of attached query plans.
+    pub fn query_count(&self) -> usize {
+        self.rotator.inner().query_count()
+    }
+
+    /// The running epoch's streaming answer for one attached plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Self::attach_query`] /
+    /// [`CollectorBuilder::query`].
+    pub fn query_answer(&self, id: QueryId) -> QueryResult {
+        self.rotator.inner().answer(id)
+    }
+
+    /// The running epoch's streaming answers of every attached plan, in
+    /// attach order.
+    pub fn query_answers(&self) -> Vec<QueryResult> {
+        self.rotator.inner().answer_all()
+    }
+
+    /// Drains the per-epoch query answers banked at each rotation
+    /// (oldest epoch first; inner vectors follow attach order), leaving
+    /// the running epoch's state untouched.
+    pub fn drain_query_answers(&mut self) -> Vec<Vec<QueryResult>> {
+        self.rotator.inner_mut().drain_sealed_answers()
     }
 
     /// Seals the running epoch into an immutable [`EpochSnapshot`]
@@ -74,9 +118,9 @@ impl Collector {
         self.rotator.drain_completed()
     }
 
-    /// The live monitor (current-epoch state).
+    /// The live monitor (current-epoch state), beneath the query layer.
     pub fn monitor(&self) -> &dyn FlowMonitor {
-        self.rotator.inner()
+        self.rotator.inner().inner()
     }
 
     /// Takes the first sink I/O error observed since the last call.
@@ -142,11 +186,12 @@ impl FlowMonitor for Collector {
 }
 
 /// Builder for [`Collector`]: the registry's monitor knobs plus the
-/// pipeline's epoch length and sinks.
+/// pipeline's epoch length, sinks and query plans.
 pub struct CollectorBuilder {
     monitor: MonitorBuilder,
     epoch_len_ns: u64,
     sinks: Vec<Box<dyn RecordSink + Send>>,
+    queries: Vec<QueryPlan>,
 }
 
 impl CollectorBuilder {
@@ -194,6 +239,13 @@ impl CollectorBuilder {
         self
     }
 
+    /// Attaches a query plan (ids follow attach order, starting at 0).
+    #[must_use]
+    pub fn query(mut self, plan: QueryPlan) -> Self {
+        self.queries.push(plan);
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Errors
@@ -203,6 +255,9 @@ impl CollectorBuilder {
         let mut collector = Collector::from_monitor(self.monitor.build()?, self.epoch_len_ns);
         for sink in self.sinks {
             collector.add_sink(sink);
+        }
+        for plan in self.queries {
+            collector.attach_query(plan);
         }
         Ok(collector)
     }
@@ -268,6 +323,44 @@ mod tests {
         assert_eq!(snapshot.epoch(), 0);
         assert!(!snapshot.is_empty());
         assert_eq!(collector.completed_epochs().len(), 1);
+    }
+
+    #[test]
+    fn queries_ride_the_pipeline_across_epochs() {
+        use hashflow_types::{FlowKey, Packet};
+
+        // Two epochs, 1 ms apart; one source fans out to 5 destinations
+        // in epoch 0 and to 2 in epoch 1.
+        let fanout: QueryPlan = "map src | distinct dst | reduce count"
+            .parse()
+            .expect("valid plan");
+        let mut collector = Collector::builder(AlgorithmKind::HashFlow)
+            .budget(budget())
+            .epoch_ns(1_000_000)
+            .query(fanout.clone())
+            .build()
+            .unwrap();
+        assert_eq!(collector.query_count(), 1);
+        let key = |d: u32| FlowKey::new([10, 0, 0, 1].into(), d.into(), 1, 80, 6);
+        for d in 0..5u32 {
+            collector.process_packet(&Packet::new(key(d), 10, 64));
+        }
+        // Mid-epoch, the running answer is live.
+        assert_eq!(collector.query_answer(0).rows()[0].value, 5);
+        for d in 0..2u32 {
+            collector.process_packet(&Packet::new(key(d), 2_000_000, 64));
+        }
+        collector.seal();
+        let banked = collector.drain_query_answers();
+        assert_eq!(banked.len(), 2, "one answer set per sealed epoch");
+        assert_eq!(banked[0][0].rows()[0].value, 5);
+        assert_eq!(banked[1][0].rows()[0].value, 2);
+        assert!(collector.query_answers()[0].is_empty(), "fresh epoch");
+        // Late attachment starts counting from now.
+        let second = collector.attach_query(fanout);
+        assert_eq!(second, 1);
+        collector.process_packet(&Packet::new(key(9), 2_100_000, 64));
+        assert_eq!(collector.query_answer(second).rows()[0].value, 1);
     }
 
     #[test]

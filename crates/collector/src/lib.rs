@@ -19,7 +19,10 @@
 //! * [`Collector`] is the operational loop: a registry-built monitor
 //!   behind an [`EpochRotator`](hashflow_monitor::EpochRotator), with
 //!   [`RecordSink`]s attached, ingesting via the batched hot path while
-//!   sealed epochs stream downstream.
+//!   sealed epochs stream downstream. Declarative telemetry queries
+//!   ([`QueryPlan`], from the `hashflow-query` crate) attach via
+//!   [`CollectorBuilder::query`] and evaluate incrementally alongside
+//!   the monitor, banking per-epoch answers at every rotation.
 //!
 //! # Examples
 //!
@@ -52,9 +55,10 @@ mod registry;
 pub use facade::{Collector, CollectorBuilder};
 pub use registry::{AlgorithmKind, MonitorBuilder};
 
-// Re-exported so registry users name budgets and sinks without a direct
-// hashflow-monitor dependency.
+// Re-exported so registry users name budgets, sinks and query plans
+// without a direct hashflow-monitor / hashflow-query dependency.
 pub use hashflow_monitor::{
     EpochSnapshot, FlowMonitor, JsonLinesSink, MemoryBudget, MemorySink, RecordSink,
 };
+pub use hashflow_query::{QueryId, QueryPlan, QueryResult};
 pub use netflow_export::NetFlowV5Sink;

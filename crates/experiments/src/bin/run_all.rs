@@ -29,6 +29,7 @@ fn main() {
         ("scaling_shards", figs::scaling_shards::run),
         ("hotpath", figs::hotpath::run),
         ("query", figs::query::run),
+        ("queryapps", figs::queryapps::run),
         ("ablation_digest", figs::ablation_digest::run),
         ("ablation_promotion", figs::ablation_promotion::run),
         ("ablation_sampling", figs::ablation_sampling::run),

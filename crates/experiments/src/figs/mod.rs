@@ -18,5 +18,6 @@ pub mod fig10_hh_are;
 pub mod fig11_throughput;
 pub mod hotpath;
 pub mod query;
+pub mod queryapps;
 pub mod scaling_shards;
 pub mod table01_traces;

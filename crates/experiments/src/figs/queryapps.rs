@@ -1,0 +1,496 @@
+//! Beyond the paper: the telemetry query subsystem's application library
+//! (superspreader, DDoS victim, port scan, heavy changer, flow-size
+//! entropy) evaluated over HashFlow and the §IV baselines.
+//!
+//! Two questions per `(algorithm, application)` pair:
+//!
+//! * **Accuracy** — every application plan is executed post hoc over the
+//!   monitor's sealed epochs and compared against the same plan over the
+//!   exact per-epoch flow multiset: precision/recall/F1 of the offender
+//!   sets (relative error of the entropy scalar). This is the §IV
+//!   methodology lifted from the four fixed reports to arbitrary
+//!   declarative queries — what an operator's detection would actually
+//!   see through each sketch.
+//! * **Overhead** — wall-clock per-packet cost of ingesting the trace
+//!   with the whole application suite attached as a streaming
+//!   `QueryMonitor`, against the bare monitor (best of [`TRIALS`]).
+//!
+//! The trace spans two epochs (heavy-changer needs a predecessor), with
+//! planted anomalies so every detection has true positives. Alongside
+//! the CSV tables, the run writes `BENCH_queryapps.json`, extending the
+//! repository's machine-readable trajectory (`BENCH_shard.json`,
+//! `BENCH_hotpath.json`, `BENCH_query.json`).
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_collector::{AlgorithmKind, MonitorBuilder};
+use hashflow_monitor::{EpochSnapshot, FlowMonitor};
+use hashflow_query::{execute, execute_snapshot, AppKind, QueryMonitor, QueryResult, TelemetryApp};
+use hashflow_trace::{TraceGenerator, TraceProfile};
+use hashflow_types::{FlowKey, FlowRecord, Packet};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock repetitions per ingestion measurement; the fastest is kept.
+pub const TRIALS: usize = 3;
+
+/// Detection thresholds of the planted-anomaly workload.
+const FANOUT: u64 = 40;
+const SOURCES: u64 = 40;
+const PORTS: u64 = 30;
+const DELTA: u64 = 200;
+
+/// The algorithms under test: HashFlow plus the §IV baselines that share
+/// its record-report query surface.
+const ALGORITHMS: [AlgorithmKind; 4] = [
+    AlgorithmKind::HashFlow,
+    AlgorithmKind::HashPipe,
+    AlgorithmKind::Elastic,
+    AlgorithmKind::FlowRadar,
+];
+
+/// Accuracy of one `(algorithm, application)` pair.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// Monitor under test.
+    pub monitor: &'static str,
+    /// Application evaluated.
+    pub app: AppKind,
+    /// True offenders across epochs (exact plan answers).
+    pub true_offenders: usize,
+    /// Offenders reported from the monitor's sealed records.
+    pub reported_offenders: usize,
+    /// Precision of the reported offender set (1.0 when both empty).
+    pub precision: f64,
+    /// Recall of the reported offender set (1.0 when both empty).
+    pub recall: f64,
+    /// Entropy only: relative error of the scalar, averaged over epochs.
+    pub entropy_re: Option<f64>,
+}
+
+impl AppRow {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Ingestion overhead of the streaming query suite for one algorithm.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Monitor under test.
+    pub monitor: &'static str,
+    /// Bare-monitor ingestion cost (ns/packet, best of [`TRIALS`]).
+    pub bare_ns_per_pkt: f64,
+    /// Ingestion cost with all five application plans attached.
+    pub query_ns_per_pkt: f64,
+}
+
+impl OverheadRow {
+    /// Per-packet overhead of the attached query suite, in nanoseconds.
+    pub fn overhead_ns(&self) -> f64 {
+        self.query_ns_per_pkt - self.bare_ns_per_pkt
+    }
+}
+
+/// Two-epoch workload: profile traffic re-stamped into the first epoch,
+/// a drifted variant in the second, anomalies planted in both.
+fn build_workload(cfg: &RunConfig, flows: usize) -> (Vec<Packet>, Vec<Vec<FlowRecord>>) {
+    const EPOCH_NS: u64 = 1_000_000_000; // 1 s epochs
+    let mut packets: Vec<Packet> = Vec::new();
+    for epoch in 0..2u64 {
+        let trace = TraceGenerator::new(TraceProfile::Caida, cfg.seed + epoch).generate(flows);
+        let base = epoch * EPOCH_NS;
+        let span = EPOCH_NS / 2; // leave headroom: anomalies follow
+        let n = trace.packets().len() as u64;
+        packets.extend(
+            trace
+                .packets()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Packet::new(p.key(), base + (i as u64 * span) / n.max(1), 64)),
+        );
+        // The planted detection flows: a superspreader fanning out past
+        // FANOUT, a vertical scan past PORTS, and one victim hit by more
+        // than SOURCES sources.
+        let mut planted: Vec<FlowKey> = Vec::new();
+        for d in 0..(FANOUT + 20) as u8 {
+            planted.push(FlowKey::new(
+                [10, 1, 0, 1].into(),
+                [10, 2, 0, d].into(),
+                40_000,
+                443,
+                6,
+            ));
+        }
+        for port in 0..(PORTS + 20) as u16 {
+            planted.push(FlowKey::new(
+                [10, 3, 0, 3].into(),
+                [10, 4, 0, 4].into(),
+                5,
+                1_000 + port,
+                6,
+            ));
+        }
+        for s in 0..(SOURCES + 20) as u8 {
+            planted.push(FlowKey::new(
+                [10, 6, 1, s].into(),
+                [10, 5, 0, 5].into(),
+                1_234,
+                80,
+                6,
+            ));
+        }
+        // Three packets per planted flow, round-robin: multi-packet
+        // flows win HashFlow's promotion path even when the tables are
+        // already busy, like real scan/flood traffic (which is rarely a
+        // single packet per flow).
+        let mut at = base + span;
+        let mut push = |key: FlowKey, at: &mut u64| {
+            packets.push(Packet::new(key, *at, 64));
+            *at += 1_000;
+        };
+        for _round in 0..3 {
+            for key in &planted {
+                push(*key, &mut at);
+            }
+        }
+        // ... and a flow that bursts only in the second epoch.
+        let burst = if epoch == 0 { 10 } else { 10 + 2 * DELTA };
+        let elephant = FlowKey::new([10, 7, 0, 7].into(), [10, 8, 0, 8].into(), 5_000, 443, 6);
+        for _ in 0..burst {
+            push(elephant, &mut at);
+        }
+    }
+    // Exact per-epoch flow multisets (epoch edge at packet timestamps).
+    let mut per_epoch: Vec<std::collections::HashMap<FlowKey, u32>> = vec![Default::default(); 2];
+    for p in &packets {
+        let e = (p.timestamp_ns() / EPOCH_NS).min(1) as usize;
+        *per_epoch[e].entry(p.key()).or_insert(0) += 1;
+    }
+    let truth = per_epoch
+        .into_iter()
+        .map(|m| m.into_iter().map(|(k, c)| FlowRecord::new(k, c)).collect())
+        .collect();
+    (packets, truth)
+}
+
+/// Precision/recall of a reported offender set against the truth.
+fn set_accuracy(reported: &HashSet<FlowKey>, truth: &HashSet<FlowKey>) -> (f64, f64) {
+    if reported.is_empty() && truth.is_empty() {
+        return (1.0, 1.0);
+    }
+    let hits = reported.intersection(truth).count() as f64;
+    let precision = if reported.is_empty() {
+        1.0
+    } else {
+        hits / reported.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hits / truth.len() as f64
+    };
+    (precision, recall)
+}
+
+/// Folds per-epoch plan answers through a fresh instance of `kind`'s
+/// application, returning the union of offender keys (and the entropy
+/// series).
+fn fold_app(kind: AppKind, answers: &[QueryResult]) -> (HashSet<FlowKey>, Vec<f64>) {
+    let mut app = match kind {
+        AppKind::Superspreader => TelemetryApp::superspreader(FANOUT),
+        AppKind::DdosVictim => TelemetryApp::ddos_victim(SOURCES),
+        AppKind::PortScan => TelemetryApp::port_scan(PORTS),
+        AppKind::HeavyChanger => TelemetryApp::heavy_changer(DELTA),
+        AppKind::Entropy => TelemetryApp::entropy(),
+    };
+    let mut offenders = HashSet::new();
+    let mut entropy = Vec::new();
+    for answer in answers {
+        let verdict = app.observe(answer);
+        offenders.extend(verdict.offenders.iter().map(|o| o.key));
+        if let Some(h) = verdict.scalar {
+            entropy.push(h);
+        }
+    }
+    (offenders, entropy)
+}
+
+fn app_plan(kind: AppKind) -> hashflow_query::QueryPlan {
+    match kind {
+        AppKind::Superspreader => TelemetryApp::superspreader(FANOUT),
+        AppKind::DdosVictim => TelemetryApp::ddos_victim(SOURCES),
+        AppKind::PortScan => TelemetryApp::port_scan(PORTS),
+        AppKind::HeavyChanger => TelemetryApp::heavy_changer(DELTA),
+        AppKind::Entropy => TelemetryApp::entropy(),
+    }
+    .plan()
+    .clone()
+}
+
+/// Times one full-trace ingestion, ns/packet, best of [`TRIALS`].
+fn time_ingest(mut build: impl FnMut() -> Box<dyn FlowMonitor + Send>, packets: &[Packet]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let mut monitor = build();
+        let start = Instant::now();
+        monitor.process_trace(packets);
+        std::hint::black_box(monitor.flow_records().len());
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / packets.len() as f64);
+    }
+    best
+}
+
+/// Runs the application sweep and the overhead measurement.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let budget = setup::standard_budget(cfg);
+    // ~60 K flows at the 1 MB standard budget is the paper's load ≈ 1;
+    // the smoke floor keeps the scaled-down load below that so HashFlow
+    // stays in its accurate regime (the committed full-scale JSON is the
+    // claim of record).
+    let flows = cfg.scaled(60_000, 900);
+    let (packets, truth_epochs) = build_workload(cfg, flows);
+
+    // Exact per-epoch answers for every application plan.
+    let exact_answers: Vec<Vec<QueryResult>> = AppKind::ALL
+        .iter()
+        .map(|kind| {
+            let plan = app_plan(*kind);
+            truth_epochs.iter().map(|t| execute(&plan, t)).collect()
+        })
+        .collect();
+
+    let mut app_rows: Vec<AppRow> = Vec::new();
+    let mut overhead_rows: Vec<OverheadRow> = Vec::new();
+    for algorithm in ALGORITHMS {
+        let build = || {
+            MonitorBuilder::new(algorithm)
+                .budget(budget)
+                .seed(cfg.seed)
+                .build()
+                .expect("exhibit budget fits")
+        };
+        // Sealed epochs: split at the 1 s edge like the exact truth.
+        let mut monitor = build();
+        let mut snapshots: Vec<EpochSnapshot> = Vec::new();
+        let edge = packets
+            .iter()
+            .position(|p| p.timestamp_ns() >= 1_000_000_000)
+            .unwrap_or(packets.len());
+        monitor.process_trace(&packets[..edge]);
+        snapshots.push(monitor.seal());
+        monitor.process_trace(&packets[edge..]);
+        snapshots.push(monitor.seal());
+        let name = monitor.name();
+
+        for (kind, exact) in AppKind::ALL.into_iter().zip(&exact_answers) {
+            let plan = app_plan(kind);
+            let approx: Vec<QueryResult> = snapshots
+                .iter()
+                .map(|s| execute_snapshot(&plan, s))
+                .collect();
+            let (true_off, true_h) = fold_app(kind, exact);
+            let (rep_off, rep_h) = fold_app(kind, &approx);
+            let (precision, recall) = set_accuracy(&rep_off, &true_off);
+            let entropy_re = (kind == AppKind::Entropy).then(|| {
+                true_h
+                    .iter()
+                    .zip(&rep_h)
+                    .map(|(t, r)| if *t == 0.0 { 0.0 } else { (r / t - 1.0).abs() })
+                    .sum::<f64>()
+                    / true_h.len().max(1) as f64
+            });
+            app_rows.push(AppRow {
+                monitor: name,
+                app: kind,
+                true_offenders: true_off.len(),
+                reported_offenders: rep_off.len(),
+                precision,
+                recall,
+                entropy_re,
+            });
+        }
+
+        // Per-packet overhead of the streaming suite.
+        let bare = time_ingest(build, &packets);
+        let with_queries = time_ingest(
+            || {
+                let mut qm = QueryMonitor::new(build());
+                for kind in AppKind::ALL {
+                    qm.attach(app_plan(kind));
+                }
+                Box::new(qm)
+            },
+            &packets,
+        );
+        overhead_rows.push(OverheadRow {
+            monitor: name,
+            bare_ns_per_pkt: bare,
+            query_ns_per_pkt: with_queries,
+        });
+    }
+
+    let mut apps_table = Table::new(
+        "queryapps",
+        &[
+            "monitor",
+            "app",
+            "true_offenders",
+            "reported",
+            "precision",
+            "recall",
+            "f1",
+            "entropy_re",
+        ],
+    );
+    for row in &app_rows {
+        apps_table.push_row(vec![
+            Cell::from(row.monitor),
+            Cell::from(row.app.name()),
+            Cell::Int(row.true_offenders as i64),
+            Cell::Int(row.reported_offenders as i64),
+            Cell::Float(row.precision),
+            Cell::Float(row.recall),
+            Cell::Float(row.f1()),
+            Cell::Float(row.entropy_re.unwrap_or(f64::NAN)),
+        ]);
+    }
+    let mut overhead_table = Table::new(
+        "queryapps_overhead",
+        &[
+            "monitor",
+            "bare_ns_per_pkt",
+            "query_ns_per_pkt",
+            "overhead_ns",
+        ],
+    );
+    for row in &overhead_rows {
+        overhead_table.push_row(vec![
+            Cell::from(row.monitor),
+            Cell::Float(row.bare_ns_per_pkt),
+            Cell::Float(row.query_ns_per_pkt),
+            Cell::Float(row.overhead_ns()),
+        ]);
+    }
+
+    let json = bench_json(&app_rows, &overhead_rows, packets.len());
+    let path = cfg.out_dir.join("BENCH_queryapps.json");
+    if std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|()| std::fs::write(&path, &json))
+        .is_err()
+    {
+        eprintln!("   !! failed to write {}", path.display());
+    }
+
+    vec![apps_table, overhead_table]
+}
+
+/// Renders the machine-readable summary (hand-rolled flat JSON, like the
+/// other `BENCH_*.json` emitters).
+fn bench_json(apps: &[AppRow], overhead: &[OverheadRow], packets: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"exhibit\": \"queryapps\",");
+    let _ = writeln!(out, "  \"profile\": \"CAIDA+planted-anomalies\",");
+    let _ = writeln!(out, "  \"epochs\": 2,");
+    let _ = writeln!(out, "  \"packets\": {packets},");
+    let _ = writeln!(
+        out,
+        "  \"thresholds\": {{\"fanout\": {FANOUT}, \"sources\": {SOURCES}, \
+         \"ports\": {PORTS}, \"delta\": {DELTA}}},"
+    );
+    let _ = writeln!(out, "  \"apps\": [");
+    for (i, r) in apps.iter().enumerate() {
+        let comma = if i + 1 < apps.len() { "," } else { "" };
+        let entropy = r
+            .entropy_re
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "null".to_owned());
+        let _ = writeln!(
+            out,
+            "    {{\"monitor\": \"{}\", \"app\": \"{}\", \"true_offenders\": {}, \
+             \"reported\": {}, \"precision\": {:.4}, \"recall\": {:.4}, \"f1\": {:.4}, \
+             \"entropy_re\": {entropy}}}{comma}",
+            r.monitor,
+            r.app.name(),
+            r.true_offenders,
+            r.reported_offenders,
+            r.precision,
+            r.recall,
+            r.f1(),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"overhead\": [");
+    for (i, r) in overhead.iter().enumerate() {
+        let comma = if i + 1 < overhead.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"monitor\": \"{}\", \"bare_ns_per_pkt\": {:.2}, \
+             \"query_ns_per_pkt\": {:.2}, \"overhead_ns\": {:.2}}}{comma}",
+            r.monitor,
+            r.bare_ns_per_pkt,
+            r.query_ns_per_pkt,
+            r.overhead_ns(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_emits_rows_and_json() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        // 4 algorithms x 5 apps; 4 overhead rows.
+        assert_eq!(tables[0].len(), 20);
+        assert_eq!(tables[1].len(), 4);
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_queryapps.json")).unwrap();
+        assert!(json.contains("\"exhibit\": \"queryapps\""));
+        for name in ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"] {
+            assert!(json.contains(name), "missing {name}");
+        }
+        for app in AppKind::ALL {
+            assert!(json.contains(app.name()), "missing {app}");
+        }
+    }
+
+    #[test]
+    fn planted_anomalies_are_true_offenders_and_hashflow_finds_them() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        for row in tables[0].rows() {
+            let (monitor, app) = match (&row[0], &row[1]) {
+                (Cell::Text(m), Cell::Text(a)) => (m.as_str(), a.as_str()),
+                other => panic!("{other:?}"),
+            };
+            let true_offenders = match row[2] {
+                Cell::Int(n) => n,
+                ref other => panic!("{other:?}"),
+            };
+            if app != "entropy" {
+                assert!(true_offenders >= 1, "{monitor}/{app}: no true offenders");
+            }
+            // HashFlow at the standard budget recalls the planted
+            // anomalies (its record report is near-exact at this load).
+            if monitor == "HashFlow" {
+                let recall = match row[5] {
+                    Cell::Float(v) => v,
+                    ref other => panic!("{other:?}"),
+                };
+                assert!(recall > 0.5, "{monitor}/{app}: recall {recall}");
+            }
+        }
+    }
+}

@@ -17,58 +17,54 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     sizes: HashMap<FlowKey, u32>,
-    // Insertion-ordered entries: metric sums iterate this so floating-point
+    // First-seen flow order: metric sums iterate this so floating-point
     // accumulation order (and therefore every reported metric) is exactly
     // reproducible run to run.
-    entries: Vec<FlowRecord>,
+    order: Vec<FlowKey>,
     total_packets: u64,
 }
 
 impl GroundTruth {
     /// Builds ground truth from exact flow records.
     pub fn from_records(records: &[FlowRecord]) -> Self {
-        let mut sizes = HashMap::with_capacity(records.len());
-        let mut entries = Vec::with_capacity(records.len());
-        let mut total = 0u64;
+        let mut truth = GroundTruth {
+            sizes: HashMap::with_capacity(records.len()),
+            order: Vec::with_capacity(records.len()),
+            total_packets: 0,
+        };
         for rec in records {
-            if sizes.insert(rec.key(), rec.count()).is_none() {
-                entries.push(*rec);
+            if truth.sizes.insert(rec.key(), rec.count()).is_none() {
+                truth.order.push(rec.key());
             }
-            total += u64::from(rec.count());
+            truth.total_packets += u64::from(rec.count());
         }
-        GroundTruth {
-            sizes,
-            entries,
-            total_packets: total,
-        }
+        truth
     }
 
-    /// Builds ground truth by counting a raw packet stream.
+    /// Builds ground truth by counting a raw packet stream — a fold of
+    /// [`Self::observe`] over the packets.
     pub fn from_packets<'a, I: IntoIterator<Item = &'a hashflow_types::Packet>>(
         packets: I,
     ) -> Self {
-        let mut sizes: HashMap<FlowKey, u32> = HashMap::new();
-        let mut order: Vec<FlowKey> = Vec::new();
-        let mut total = 0u64;
+        let mut truth = GroundTruth::default();
         for p in packets {
-            match sizes.entry(p.key()) {
-                std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(1);
-                    order.push(p.key());
-                }
+            truth.observe(p);
+        }
+        truth
+    }
+
+    /// Folds one packet into the truth — the streaming constructor, for
+    /// paths that batch packets out of an iterator (the CLI's streaming
+    /// pcap analysis) and cannot hold the capture in memory.
+    pub fn observe(&mut self, packet: &hashflow_types::Packet) {
+        match self.sizes.entry(packet.key()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += 1,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(1);
+                self.order.push(packet.key());
             }
-            total += 1;
         }
-        let entries = order
-            .into_iter()
-            .map(|k| FlowRecord::new(k, sizes[&k]))
-            .collect();
-        GroundTruth {
-            sizes,
-            entries,
-            total_packets: total,
-        }
+        self.total_packets += 1;
     }
 
     /// Number of distinct flows (`n` in the metric definitions).
@@ -94,7 +90,7 @@ impl GroundTruth {
     /// Iterates over `(flow, exact size)` pairs in first-seen order — a
     /// deterministic order, so metric accumulation is reproducible.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, u32)> + '_ {
-        self.entries.iter().map(|r| (r.key_ref(), r.count()))
+        self.order.iter().map(|k| (k, self.sizes[k]))
     }
 
     /// Number of true heavy hitters at `threshold`.
@@ -138,5 +134,22 @@ mod tests {
         assert!(truth.contains(&FlowKey::from_index(9)));
         assert!(!truth.contains(&FlowKey::from_index(8)));
         assert_eq!(truth.iter().count(), 1);
+    }
+
+    #[test]
+    fn observe_matches_from_packets() {
+        let packets: Vec<Packet> = (0..25)
+            .map(|i| Packet::new(FlowKey::from_index(i % 4), 0, 64))
+            .collect();
+        let bulk = GroundTruth::from_packets(&packets);
+        let mut streamed = GroundTruth::default();
+        for p in &packets {
+            streamed.observe(p);
+        }
+        assert_eq!(streamed.total_packets(), bulk.total_packets());
+        assert_eq!(streamed.flow_count(), bulk.flow_count());
+        let a: Vec<(FlowKey, u32)> = streamed.iter().map(|(k, c)| (*k, c)).collect();
+        let b: Vec<(FlowKey, u32)> = bulk.iter().map(|(k, c)| (*k, c)).collect();
+        assert_eq!(a, b, "first-seen order preserved");
     }
 }

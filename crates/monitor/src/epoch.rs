@@ -167,6 +167,13 @@ impl<M: FlowMonitor> EpochRotator<M> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped monitor, for configuring adapter
+    /// layers (e.g. attaching query plans) — mutating measurement state
+    /// mid-epoch is the caller's responsibility.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
     /// Attaches a sink; every epoch sealed from now on is streamed to it
     /// (in addition to being retained in [`Self::completed_epochs`]).
     pub fn add_sink(&mut self, sink: Box<dyn RecordSink + Send>) {
@@ -216,15 +223,18 @@ impl<M: FlowMonitor> EpochRotator<M> {
 
     /// Seals the current epoch immediately (end-of-capture flush),
     /// streams it to every attached sink, and returns its report.
+    ///
+    /// Rotation drains the monitor through its own [`FlowMonitor::seal`]
+    /// hook, so adapters layered under the rotator (e.g. a query-monitor
+    /// wrapper banking per-epoch streaming answers at seal time) observe
+    /// **every** epoch boundary, not just explicit seals. For monitors
+    /// with the default `seal` (capture + reset) this is the same drain
+    /// as reading the report and resetting.
     pub fn rotate_now(&mut self) -> EpochReport {
-        let mut report = EpochReport {
-            epoch: self.current_epoch,
-            start_ns: self.first_ns,
-            end_ns: self.last_ns,
-            records: self.inner.flow_records(),
-            cardinality: self.inner.estimate_cardinality(),
-            cost: self.inner.cost(),
-        };
+        let mut report = self.inner.seal().into_report();
+        report.epoch = self.current_epoch;
+        report.start_ns = self.first_ns;
+        report.end_ns = self.last_ns;
         if !self.sinks.is_empty() {
             // Snapshot once, export, recover the report — the record
             // store is never cloned for the sinks.
@@ -233,7 +243,6 @@ impl<M: FlowMonitor> EpochRotator<M> {
             report = snapshot.into_report();
         }
         self.completed.push(report.clone());
-        self.inner.reset();
         self.current_epoch += 1;
         self.epoch_base_ns = None;
         self.first_ns = None;

@@ -196,25 +196,62 @@ impl<W: Write> RecordSink for JsonLinesSink<W> {
 /// In-memory sink: retains every sealed snapshot, for tests and
 /// in-process consumers (dashboards, anomaly detectors) that want the
 /// full query surface of past epochs rather than a serialized stream.
+///
+/// # Drop policy
+///
+/// By default retention is unbounded. [`MemorySink::with_capacity_limit`]
+/// caps the **total retained records** across all epochs, so a
+/// long-running rotation pipeline cannot grow the sink without bound. The
+/// policy is oldest-first retention, whole epochs only: an arriving epoch
+/// is kept iff its record count fits in the remaining capacity; otherwise
+/// the *entire* epoch is dropped (snapshots are immutable — truncating one
+/// would silently corrupt its query answers) and counted in
+/// [`MemorySink::dropped_records`] / [`MemorySink::dropped_epochs`].
+/// Export never errors for a dropped epoch: a full dashboard buffer must
+/// not park the rotation layer's sink error.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     epochs: Vec<EpochSnapshot>,
+    /// Maximum total retained records across all epochs (`None` = unbounded).
+    capacity: Option<usize>,
+    retained_records: usize,
+    dropped_epochs: u64,
+    dropped_records: u64,
 }
 
 impl MemorySink {
-    /// Creates an empty sink.
+    /// Creates an empty sink with unbounded retention.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sealed epochs received so far, in arrival order.
+    /// Creates an empty sink retaining at most `max_records` total records
+    /// (see the type-level drop policy).
+    pub fn with_capacity_limit(max_records: usize) -> Self {
+        MemorySink {
+            capacity: Some(max_records),
+            ..Self::default()
+        }
+    }
+
+    /// Sealed epochs received and retained so far, in arrival order.
     pub fn epochs(&self) -> &[EpochSnapshot] {
         &self.epochs
     }
 
-    /// Total records across all received epochs.
+    /// Total records across all retained epochs.
     pub fn total_records(&self) -> usize {
-        self.epochs.iter().map(EpochSnapshot::len).sum()
+        self.retained_records
+    }
+
+    /// Epochs dropped whole because they did not fit the capacity limit.
+    pub const fn dropped_epochs(&self) -> u64 {
+        self.dropped_epochs
+    }
+
+    /// Records inside dropped epochs (what a downstream consumer lost).
+    pub const fn dropped_records(&self) -> u64 {
+        self.dropped_records
     }
 
     /// Consumes the sink, returning the retained epochs.
@@ -225,6 +262,14 @@ impl MemorySink {
 
 impl RecordSink for MemorySink {
     fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
+        if let Some(cap) = self.capacity {
+            if self.retained_records + snapshot.len() > cap {
+                self.dropped_epochs += 1;
+                self.dropped_records += snapshot.len() as u64;
+                return Ok(());
+            }
+        }
+        self.retained_records += snapshot.len();
         self.epochs.push(snapshot.clone());
         Ok(())
     }
@@ -278,6 +323,40 @@ mod tests {
         assert_eq!(sink.total_records(), 5);
         let epochs = sink.into_epochs();
         assert_eq!(epochs[1].epoch(), 1);
+    }
+
+    #[test]
+    fn capacity_limit_drops_whole_epochs_and_counts_them() {
+        // Cap of 6 records: epochs of 4 + 2 fit exactly; a further epoch
+        // of 1 is dropped whole, and so is everything after it that does
+        // not fit — retained epochs are a prefix-by-fit, never truncated.
+        let mut sink = MemorySink::with_capacity_limit(6);
+        sink.export_epoch(&snapshot(0, 4)).unwrap();
+        sink.export_epoch(&snapshot(1, 2)).unwrap();
+        sink.export_epoch(&snapshot(2, 1)).unwrap();
+        assert_eq!(sink.epochs().len(), 2);
+        assert_eq!(sink.total_records(), 6);
+        assert_eq!(sink.dropped_epochs(), 1);
+        assert_eq!(sink.dropped_records(), 1);
+        // An empty epoch still fits a full sink.
+        sink.export_epoch(&snapshot(3, 0)).unwrap();
+        assert_eq!(sink.epochs().len(), 3);
+        // An oversized epoch is dropped even by a fresh sink.
+        let mut tiny = MemorySink::with_capacity_limit(2);
+        tiny.export_epoch(&snapshot(0, 3)).unwrap();
+        assert!(tiny.epochs().is_empty());
+        assert_eq!(tiny.dropped_records(), 3);
+    }
+
+    #[test]
+    fn unbounded_sink_never_drops() {
+        let mut sink = MemorySink::new();
+        for e in 0..50 {
+            sink.export_epoch(&snapshot(e, 10)).unwrap();
+        }
+        assert_eq!(sink.total_records(), 500);
+        assert_eq!(sink.dropped_epochs(), 0);
+        assert_eq!(sink.dropped_records(), 0);
     }
 
     #[test]

@@ -157,6 +157,15 @@ impl EpochSnapshot {
         self.records.iter()
     }
 
+    /// The sealed record store as one contiguous slice, in report order.
+    ///
+    /// Post-hoc query executors (the `hashflow-query` plan evaluator)
+    /// make repeated single passes over the whole report; the slice view
+    /// lets them do so without re-creating iterators or copying records.
+    pub fn as_records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
     /// Number of records in the report.
     pub fn len(&self) -> usize {
         self.records.len()

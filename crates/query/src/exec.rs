@@ -1,0 +1,443 @@
+//! Plan execution.
+//!
+//! Two executors share one semantics, defined over the *flow multiset* of
+//! an epoch (each flow a `(key, packet count)` pair):
+//!
+//! 1. **filter** — a flow passes iff every predicate holds (key
+//!    predicates over its five-tuple, count predicates over its final
+//!    epoch packet count).
+//! 2. **map** — the grouping key is the projected five-tuple.
+//! 3. **distinct** — each `(group, projected sub-key)` pair is counted
+//!    once, with value 1, regardless of flow sizes.
+//! 4. **reduce** — per group: `sum` adds packet counts, `count` counts
+//!    distinct items (flows, or pairs after `distinct`), `max` takes the
+//!    largest single item.
+//! 5. **threshold** — groups whose aggregate is at least the bound
+//!    survive.
+//!
+//! [`execute`] evaluates post hoc over a record report (exact for the
+//! report it is given — over a sealed [`EpochSnapshot`] of an exact
+//! monitor it is ground truth; over a sketch's report it inherits the
+//! sketch's approximation). [`StreamingQuery`] evaluates the same plan
+//! incrementally, packet by packet, and is always exact with respect to
+//! the raw stream; `tests/query_equivalence.rs` pins the two to agree on
+//! exact-mode monitors.
+
+use crate::plan::{Aggregate, Projection, QueryPlan};
+use hashflow_monitor::EpochSnapshot;
+use hashflow_types::{FlowKey, FlowRecord, Packet};
+use std::collections::{HashMap, HashSet};
+
+/// One group of a query answer: the projected key and its aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryRow {
+    /// Projected grouping key (non-projected fields zeroed).
+    pub key: FlowKey,
+    /// Aggregate value of the group.
+    pub value: u64,
+}
+
+/// A query answer: the surviving groups, sorted by aggregate descending
+/// (ties by key ascending — the workspace's heavy-hitter report order),
+/// tagged with the plan's grouping projection so keys render sensibly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    group: Projection,
+    rows: Vec<QueryRow>,
+}
+
+impl QueryResult {
+    fn from_groups(plan: &QueryPlan, groups: HashMap<FlowKey, u64>) -> Self {
+        let bound = plan.threshold().unwrap_or(0);
+        let mut rows: Vec<QueryRow> = groups
+            .into_iter()
+            .filter(|(_, value)| *value >= bound)
+            .map(|(key, value)| QueryRow { key, value })
+            .collect();
+        rows.sort_unstable_by(|a, b| b.value.cmp(&a.value).then(a.key.cmp(&b.key)));
+        QueryResult {
+            group: plan.group(),
+            rows,
+        }
+    }
+
+    /// The plan's grouping projection (how [`QueryRow::key`]s should be
+    /// rendered).
+    pub const fn group(&self) -> Projection {
+        self.group
+    }
+
+    /// The surviving groups, largest aggregate first.
+    pub fn rows(&self) -> &[QueryRow] {
+        &self.rows
+    }
+
+    /// Number of surviving groups.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no group survived.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Aggregate of one group, if it survived.
+    pub fn get(&self, key: &FlowKey) -> Option<u64> {
+        self.rows.iter().find(|r| r.key == *key).map(|r| r.value)
+    }
+
+    /// The surviving group keys as a set (detection-style consumption).
+    pub fn key_set(&self) -> HashSet<FlowKey> {
+        self.rows.iter().map(|r| r.key).collect()
+    }
+}
+
+/// Folds one flow observation into the per-group aggregation state.
+fn reduce_flow(
+    plan: &QueryPlan,
+    groups: &mut HashMap<FlowKey, u64>,
+    seen: &mut HashSet<(FlowKey, FlowKey)>,
+    key: &FlowKey,
+    count: u64,
+) {
+    let group = plan.group().project(key);
+    match plan.distinct() {
+        Some(sub) => {
+            // Distinct items all carry value 1: sum == count == number of
+            // deduplicated pairs, max == 1 for any non-empty group.
+            if seen.insert((group, sub.project(key))) {
+                match plan.aggregate() {
+                    Aggregate::Sum | Aggregate::Count => *groups.entry(group).or_insert(0) += 1,
+                    Aggregate::Max => {
+                        groups.insert(group, 1);
+                    }
+                }
+            }
+        }
+        None => match plan.aggregate() {
+            Aggregate::Sum => *groups.entry(group).or_insert(0) += count,
+            // One item per distinct flow key, however often it is
+            // reported (approximate reports can duplicate keys).
+            Aggregate::Count => {
+                if seen.insert((group, *key)) {
+                    *groups.entry(group).or_insert(0) += 1;
+                }
+            }
+            Aggregate::Max => {
+                let slot = groups.entry(group).or_insert(0);
+                *slot = (*slot).max(count);
+            }
+        },
+    }
+}
+
+/// Evaluates `plan` over a flow record report, post hoc.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_query::{execute, QueryPlan};
+/// use hashflow_types::{FlowKey, FlowRecord};
+///
+/// let plan: QueryPlan = "map src | distinct dst | reduce count | threshold 2".parse()?;
+/// let mk = |s: [u8; 4], d: [u8; 4]| {
+///     FlowRecord::new(FlowKey::new(s.into(), d.into(), 1, 2, 6), 9)
+/// };
+/// let records = [
+///     mk([1, 1, 1, 1], [2, 2, 2, 2]),
+///     mk([1, 1, 1, 1], [3, 3, 3, 3]),
+///     mk([9, 9, 9, 9], [2, 2, 2, 2]),
+/// ];
+/// let result = execute(&plan, records.iter());
+/// assert_eq!(result.len(), 1); // only 1.1.1.1 reaches 2 distinct dsts
+/// assert_eq!(result.rows()[0].value, 2);
+/// # Ok::<(), hashflow_query::hashflow_types::ConfigError>(())
+/// ```
+pub fn execute<'a, I>(plan: &QueryPlan, records: I) -> QueryResult
+where
+    I: IntoIterator<Item = &'a FlowRecord>,
+{
+    let mut groups = HashMap::new();
+    let mut seen = HashSet::new();
+    for rec in records {
+        let (key, count) = (rec.key(), u64::from(rec.count()));
+        if plan.filters().all(|p| p.test(&key, count)) {
+            reduce_flow(plan, &mut groups, &mut seen, &key, count);
+        }
+    }
+    QueryResult::from_groups(plan, groups)
+}
+
+/// Evaluates `plan` over a sealed epoch — the post-hoc path of the
+/// collector pipeline (`seal()` once, ask any number of questions).
+pub fn execute_snapshot(plan: &QueryPlan, snapshot: &EpochSnapshot) -> QueryResult {
+    execute(plan, snapshot.as_records())
+}
+
+/// Incremental plan evaluation over the live packet stream.
+///
+/// Per-packet work is O(filters) plus one or two hash-map operations; the
+/// state held is exactly what the plan needs:
+///
+/// * key filters are decided per packet, dropping flows before they cost
+///   any state;
+/// * `distinct` keeps the deduplication set and per-group counters;
+/// * `reduce sum` keeps one counter per group;
+/// * `reduce count` keeps the distinct-flow set per group;
+/// * `reduce max` additionally keeps per-flow counts (a maximum over
+///   final counts cannot be formed without them);
+/// * plans with **count filters** cannot be decided per packet at all, so
+///   the stream state degrades gracefully to exact per-flow counts and
+///   [`StreamingQuery::answer`] defers to the record-level executor.
+///
+/// Answers are exact with respect to the packets observed.
+#[derive(Debug, Clone)]
+pub struct StreamingQuery {
+    plan: QueryPlan,
+    /// Per-group aggregates (all modes except deferred).
+    groups: HashMap<FlowKey, u64>,
+    /// Deduplication set: `(group, sub-key)` pairs for `distinct`,
+    /// `(group, flow key)` pairs for `reduce count`.
+    seen: HashSet<(FlowKey, FlowKey)>,
+    /// Exact per-flow counts, kept only when the plan needs them
+    /// (`reduce max`, or any count filter).
+    flow_counts: HashMap<FlowKey, u64>,
+    /// Deferred mode: count filters force whole-plan evaluation at
+    /// answer time over `flow_counts`.
+    deferred: bool,
+}
+
+impl StreamingQuery {
+    /// Compiles a plan into empty streaming state.
+    pub fn new(plan: QueryPlan) -> Self {
+        let deferred = plan.has_count_filter();
+        StreamingQuery {
+            deferred,
+            groups: HashMap::new(),
+            seen: HashSet::new(),
+            flow_counts: HashMap::new(),
+            plan,
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Folds one packet into the state.
+    pub fn observe(&mut self, packet: &Packet) {
+        let key = packet.key();
+        // Key-level filters are decided now; count filters never are
+        // (deferred mode keeps every key-passing flow).
+        if !self
+            .plan
+            .filters()
+            .all(|p| !p.is_key_level() || p.test(&key, 0))
+        {
+            return;
+        }
+        if self.deferred {
+            *self.flow_counts.entry(key).or_insert(0) += 1;
+            return;
+        }
+        match (self.plan.distinct(), self.plan.aggregate()) {
+            (Some(_), _) | (None, Aggregate::Count) => {
+                // reduce_flow's dedup path counts each pair / flow once;
+                // per-packet counts are irrelevant, so pass 1.
+                reduce_flow(&self.plan, &mut self.groups, &mut self.seen, &key, 1);
+            }
+            (None, Aggregate::Sum) => {
+                let group = self.plan.group().project(&key);
+                *self.groups.entry(group).or_insert(0) += 1;
+            }
+            (None, Aggregate::Max) => {
+                let count = self.flow_counts.entry(key).or_insert(0);
+                *count += 1;
+                let group = self.plan.group().project(&key);
+                let slot = self.groups.entry(group).or_insert(0);
+                *slot = (*slot).max(*count);
+            }
+        }
+    }
+
+    /// Folds a batch of packets into the state.
+    pub fn observe_batch(&mut self, packets: &[Packet]) {
+        for p in packets {
+            self.observe(p);
+        }
+    }
+
+    /// The current answer (threshold applied, groups sorted).
+    pub fn answer(&self) -> QueryResult {
+        if self.deferred {
+            let records: Vec<FlowRecord> = self
+                .flow_counts
+                .iter()
+                .map(|(k, c)| FlowRecord::new(*k, (*c).min(u64::from(u32::MAX)) as u32))
+                .collect();
+            return execute(&self.plan, records.iter());
+        }
+        QueryResult::from_groups(
+            &self.plan,
+            self.groups.iter().map(|(k, v)| (*k, *v)).collect(),
+        )
+    }
+
+    /// Clears the state for a fresh epoch (the plan is kept).
+    pub fn reset(&mut self) {
+        self.groups.clear();
+        self.seen.clear();
+        self.flow_counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u8, dst: u8, dport: u16, proto: u8) -> FlowKey {
+        FlowKey::new(
+            [10, 0, 0, src].into(),
+            [10, 9, 9, dst].into(),
+            1,
+            dport,
+            proto,
+        )
+    }
+
+    fn run_both(plan_text: &str, flows: &[(FlowKey, u32)]) -> (QueryResult, QueryResult) {
+        let plan: QueryPlan = plan_text.parse().unwrap();
+        let records: Vec<FlowRecord> = flows.iter().map(|(k, c)| FlowRecord::new(*k, *c)).collect();
+        let post_hoc = execute(&plan, records.iter());
+        let mut stream = StreamingQuery::new(plan);
+        // Interleave packets round-robin so streaming sees flows mixed.
+        let mut remaining: Vec<(FlowKey, u32)> = flows.to_vec();
+        while remaining.iter().any(|(_, c)| *c > 0) {
+            for (k, c) in &mut remaining {
+                if *c > 0 {
+                    stream.observe(&Packet::new(*k, 0, 64));
+                    *c -= 1;
+                }
+            }
+        }
+        (post_hoc, stream.answer())
+    }
+
+    #[test]
+    fn superspreader_shape_agrees_across_executors() {
+        // src 1 contacts 3 dsts, src 2 contacts 1.
+        let flows = [
+            (key(1, 1, 80, 6), 5),
+            (key(1, 2, 80, 6), 1),
+            (key(1, 3, 80, 6), 2),
+            (key(2, 1, 80, 6), 9),
+        ];
+        let (post, live) = run_both(
+            "map src | distinct dst | reduce count | threshold 3",
+            &flows,
+        );
+        assert_eq!(post, live);
+        assert_eq!(post.len(), 1);
+        assert_eq!(post.rows()[0].value, 3);
+        assert_eq!(
+            post.rows()[0].key,
+            Projection::Src.project(&key(1, 0, 0, 0))
+        );
+    }
+
+    #[test]
+    fn sum_count_max_agree_across_executors() {
+        let flows = [
+            (key(1, 1, 80, 6), 5),
+            (key(1, 2, 443, 6), 3),
+            (key(2, 1, 53, 17), 7),
+        ];
+        for plan in [
+            "map src | reduce sum",
+            "map src | reduce count",
+            "map src | reduce max",
+            "reduce sum",
+            "map dst | reduce max | threshold 4",
+            "filter proto=6 | map src | reduce sum",
+        ] {
+            let (post, live) = run_both(plan, &flows);
+            assert_eq!(post, live, "{plan}");
+        }
+        let (post, _) = run_both("map src | reduce max", &flows);
+        assert_eq!(
+            post.get(&Projection::Src.project(&key(1, 0, 0, 0))),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn count_filter_defers_but_agrees() {
+        let flows = [
+            (key(1, 1, 80, 6), 5),
+            (key(1, 2, 80, 6), 1),
+            (key(2, 1, 80, 6), 2),
+        ];
+        let (post, live) = run_both("filter count>=2 | map src | reduce count", &flows);
+        assert_eq!(post, live);
+        // src 1 has one flow >= 2 packets, src 2 has one.
+        assert_eq!(post.len(), 2);
+        let plan: QueryPlan = "filter count>=2 | map src | reduce count".parse().unwrap();
+        assert!(StreamingQuery::new(plan).deferred);
+    }
+
+    #[test]
+    fn key_filters_drop_before_state() {
+        let plan: QueryPlan = "filter proto=6 | map src | reduce sum".parse().unwrap();
+        let mut stream = StreamingQuery::new(plan);
+        stream.observe(&Packet::new(key(1, 1, 80, 17), 0, 64));
+        assert!(stream.groups.is_empty() && stream.flow_counts.is_empty());
+        stream.observe(&Packet::new(key(1, 1, 80, 6), 0, 64));
+        assert_eq!(stream.answer().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_report_keys_count_once() {
+        // Approximate reports can carry the same key twice; `reduce
+        // count` must not double-count the flow.
+        let plan: QueryPlan = "map src | reduce count".parse().unwrap();
+        let k = key(1, 1, 80, 6);
+        let records = [FlowRecord::new(k, 3), FlowRecord::new(k, 9)];
+        let result = execute(&plan, records.iter());
+        assert_eq!(result.rows()[0].value, 1);
+    }
+
+    #[test]
+    fn reset_clears_state_for_next_epoch() {
+        let plan: QueryPlan = "map src | distinct dst | reduce count".parse().unwrap();
+        let mut stream = StreamingQuery::new(plan);
+        stream.observe(&Packet::new(key(1, 1, 80, 6), 0, 64));
+        assert_eq!(stream.answer().len(), 1);
+        stream.reset();
+        assert!(stream.answer().is_empty());
+        // Dedup state restarted: the same pair counts again.
+        stream.observe(&Packet::new(key(1, 1, 80, 6), 0, 64));
+        assert_eq!(stream.answer().rows()[0].value, 1);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let flows = [(key(1, 1, 80, 6), 5), (key(2, 1, 80, 6), 2)];
+        let (post, _) = run_both("map src | reduce sum", &flows);
+        assert_eq!(post.group(), Projection::Src);
+        assert_eq!(post.len(), 2);
+        assert!(!post.is_empty());
+        assert_eq!(post.key_set().len(), 2);
+        assert_eq!(post.get(&key(9, 9, 9, 9)), None);
+        // Sorted by value descending.
+        assert!(post.rows()[0].value >= post.rows()[1].value);
+    }
+
+    #[test]
+    fn empty_input_empty_answer() {
+        let plan: QueryPlan = "map src | reduce sum".parse().unwrap();
+        assert!(execute(&plan, &Vec::<FlowRecord>::new()).is_empty());
+        assert!(StreamingQuery::new(plan).answer().is_empty());
+    }
+}

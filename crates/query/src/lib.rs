@@ -1,0 +1,52 @@
+//! Declarative telemetry queries over the collector pipeline.
+//!
+//! The paper evaluates HashFlow through four fixed applications (flow
+//! records, size estimation, heavy hitters, cardinality — §IV). A
+//! production collector serves arbitrary operator questions; this crate
+//! turns the pipeline into a general telemetry engine with Sonata-style
+//! declarative query plans:
+//!
+//! ```text
+//! filter proto=6 | map dst | distinct src | reduce count | threshold 40
+//! ```
+//!
+//! * [`QueryPlan`] — the validated plan IR
+//!   (`filter* → map → distinct? → reduce → threshold?`), built with a
+//!   typed [builder](QueryPlan::builder) or parsed from the compact text
+//!   form above.
+//! * [`execute`] / [`execute_snapshot`] — post-hoc evaluation over flow
+//!   record reports and sealed
+//!   [`EpochSnapshot`](hashflow_monitor::EpochSnapshot)s.
+//! * [`StreamingQuery`] / [`QueryMonitor`] — the same semantics evaluated
+//!   incrementally against the live packet stream;
+//!   [`QueryMonitor`] implements
+//!   [`FlowMonitor`](hashflow_monitor::FlowMonitor), so plans ride every
+//!   ingestion path (scalar, batched, sharded, collector/rotator).
+//! * [`TelemetryApp`] — the built-in application library (superspreader,
+//!   DDoS victim, port scan, heavy changer, flow-size entropy) as plans
+//!   plus cross-epoch state.
+//!
+//! The two executors agree exactly whenever the record report equals the
+//! true flow multiset (`tests/query_equivalence.rs` pins this for
+//! exact-mode monitors across both HashFlow table schemes and the
+//! sharded path); over an approximate monitor's report, [`execute`]
+//! inherits that monitor's approximation — the trade-off the
+//! `queryapps` experiment quantifies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod exec;
+mod monitor;
+mod parse;
+mod plan;
+
+pub use apps::{shannon_entropy_bits, AppKind, AppVerdict, TelemetryApp};
+pub use exec::{execute, execute_snapshot, QueryResult, QueryRow, StreamingQuery};
+pub use monitor::{QueryId, QueryMonitor};
+pub use plan::{Aggregate, CmpOp, Field, PlanBuilder, PlanOp, Predicate, Projection, QueryPlan};
+
+// Doctests name error types from the types crate; re-export it so
+// downstream examples need only this crate.
+pub use hashflow_types;

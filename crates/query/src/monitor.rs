@@ -1,0 +1,392 @@
+//! The [`QueryMonitor`] adapter: query plans riding the ingestion paths.
+//!
+//! `QueryMonitor<M>` wraps any [`FlowMonitor`] and implements
+//! [`FlowMonitor`] itself, tee-ing every ingested packet into the
+//! attached plans' [`StreamingQuery`] state while forwarding to the inner
+//! monitor unchanged. Because it *is* a monitor, plans automatically ride
+//! every existing ingestion path: the scalar `process_packet` loop, the
+//! batched `process_batch` hot path, a `ShardedMonitor` wrapped inside,
+//! and the `Collector`/`EpochRotator` pipeline outside (both drive the
+//! adapter through the trait).
+//!
+//! Epoch semantics: plans are epoch-scoped like the tables themselves.
+//! [`FlowMonitor::seal`] (and therefore every rotation layer) banks the
+//! streaming answers of the closing epoch — retrievable via
+//! [`QueryMonitor::sealed_answers`]/[`QueryMonitor::drain_sealed_answers`]
+//! — and restarts the state alongside the fresh tables.
+
+use crate::exec::{QueryResult, StreamingQuery};
+use crate::plan::QueryPlan;
+use hashflow_monitor::{CostSnapshot, EpochSnapshot, FlowMonitor};
+use hashflow_types::{FlowKey, FlowRecord, Packet};
+
+/// Identifier of a plan attached to a [`QueryMonitor`] (its attach
+/// order), used to address [`QueryMonitor::answer`].
+pub type QueryId = usize;
+
+/// A [`FlowMonitor`] wrapper evaluating attached query plans
+/// incrementally against the live stream.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_monitor::FlowMonitor;
+/// use hashflow_query::{QueryMonitor, QueryPlan};
+/// use hashflow_types::{FlowKey, Packet};
+///
+/// # use hashflow_monitor::CostSnapshot;
+/// # #[derive(Default)]
+/// # struct Null;
+/// # impl FlowMonitor for Null {
+/// #     fn process_packet(&mut self, _: &Packet) {}
+/// #     fn flow_records(&self) -> Vec<hashflow_types::FlowRecord> { Vec::new() }
+/// #     fn estimate_size(&self, _: &FlowKey) -> u32 { 0 }
+/// #     fn estimate_cardinality(&self) -> f64 { 0.0 }
+/// #     fn memory_bits(&self) -> usize { 0 }
+/// #     fn name(&self) -> &'static str { "Null" }
+/// #     fn cost(&self) -> CostSnapshot { CostSnapshot::default() }
+/// #     fn reset(&mut self) {}
+/// # }
+/// let plan: QueryPlan = "map src | distinct dst | reduce count".parse()?;
+/// let mut qm = QueryMonitor::new(Null);
+/// let fanout = qm.attach(plan);
+/// for dst in 0..5u32 {
+///     let key = FlowKey::new([10, 0, 0, 1].into(), dst.into(), 1, 2, 6);
+///     qm.process_packet(&Packet::new(key, 0, 64));
+/// }
+/// assert_eq!(qm.answer(fanout).rows()[0].value, 5);
+/// # Ok::<(), hashflow_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct QueryMonitor<M> {
+    inner: M,
+    queries: Vec<StreamingQuery>,
+    /// Streaming answers banked at each seal, oldest epoch first; one
+    /// entry per attached plan, in attach order.
+    sealed: Vec<Vec<QueryResult>>,
+    /// Maximum banked epochs (`None` = unbounded).
+    answer_limit: Option<usize>,
+    dropped_answer_epochs: u64,
+}
+
+impl<M: FlowMonitor> QueryMonitor<M> {
+    /// Wraps a monitor with no plans attached (a transparent forwarder
+    /// until [`Self::attach`] is called). Banked answers are unbounded;
+    /// see [`Self::with_answer_limit`] for long-running pipelines.
+    pub fn new(inner: M) -> Self {
+        QueryMonitor {
+            inner,
+            queries: Vec::new(),
+            sealed: Vec::new(),
+            answer_limit: None,
+            dropped_answer_epochs: 0,
+        }
+    }
+
+    /// Like [`Self::new`], but banks the answers of at most `max_epochs`
+    /// sealed epochs between drains, so a long-running rotation pipeline
+    /// that never (or rarely) calls [`Self::drain_sealed_answers`] cannot
+    /// grow the bank without bound.
+    ///
+    /// Drop policy (mirrors `MemorySink::with_capacity_limit`): once the
+    /// bank is full, a sealing epoch's answers are dropped **whole** —
+    /// retained epochs stay contiguous from the last drain, and the drop
+    /// is counted in [`Self::dropped_answer_epochs`]. Sealing itself
+    /// never fails: an operator forgetting to drain must not stall
+    /// rotation.
+    pub fn with_answer_limit(inner: M, max_epochs: usize) -> Self {
+        QueryMonitor {
+            answer_limit: Some(max_epochs),
+            ..Self::new(inner)
+        }
+    }
+
+    /// Epochs whose streaming answers were dropped whole because the
+    /// bank was at its [`answer limit`](Self::with_answer_limit).
+    pub const fn dropped_answer_epochs(&self) -> u64 {
+        self.dropped_answer_epochs
+    }
+
+    /// Attaches a plan; its streaming state starts empty **now** (packets
+    /// ingested earlier in the epoch are not replayed). Returns the id
+    /// addressing this plan's answers.
+    pub fn attach(&mut self, plan: QueryPlan) -> QueryId {
+        self.queries.push(StreamingQuery::new(plan));
+        self.queries.len() - 1
+    }
+
+    /// Number of attached plans.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The current-epoch streaming answer of one attached plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Self::attach`].
+    pub fn answer(&self, id: QueryId) -> QueryResult {
+        self.queries[id].answer()
+    }
+
+    /// Current-epoch streaming answers of every attached plan, in attach
+    /// order.
+    pub fn answer_all(&self) -> Vec<QueryResult> {
+        self.queries.iter().map(StreamingQuery::answer).collect()
+    }
+
+    /// Streaming answers banked by past seals (oldest epoch first; inner
+    /// vectors follow attach order).
+    pub fn sealed_answers(&self) -> &[Vec<QueryResult>] {
+        &self.sealed
+    }
+
+    /// Drains the banked per-epoch answers, leaving the running epoch's
+    /// state untouched.
+    pub fn drain_sealed_answers(&mut self) -> Vec<Vec<QueryResult>> {
+        std::mem::take(&mut self.sealed)
+    }
+
+    /// The wrapped monitor.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped monitor.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Unwraps the adapter, discarding query state.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
+    fn process_packet(&mut self, packet: &Packet) {
+        for q in &mut self.queries {
+            q.observe(packet);
+        }
+        self.inner.process_packet(packet);
+    }
+
+    fn process_batch(&mut self, packets: &[Packet]) {
+        for q in &mut self.queries {
+            q.observe_batch(packets);
+        }
+        // The inner batched hot path (hash lanes, prefetch) is preserved.
+        self.inner.process_batch(packets);
+    }
+
+    fn flow_records(&self) -> Vec<FlowRecord> {
+        self.inner.flow_records()
+    }
+
+    fn estimate_size(&self, key: &FlowKey) -> u32 {
+        self.inner.estimate_size(key)
+    }
+
+    fn estimate_cardinality(&self) -> f64 {
+        self.inner.estimate_cardinality()
+    }
+
+    fn heavy_hitters(&self, threshold: u32) -> Vec<FlowRecord> {
+        self.inner.heavy_hitters(threshold)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.inner.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cost(&self) -> CostSnapshot {
+        self.inner.cost()
+    }
+
+    /// Resets the inner monitor, every plan's running state, **and** the
+    /// banked per-epoch answers — a reset is a fresh collection run, so
+    /// stale banked epochs must not prepend themselves to the next run's
+    /// drains.
+    fn reset(&mut self) {
+        self.inner.reset();
+        for q in &mut self.queries {
+            q.reset();
+        }
+        self.sealed.clear();
+        self.dropped_answer_epochs = 0;
+    }
+
+    fn process_trace(&mut self, packets: &[Packet]) {
+        for chunk in packets.chunks(hashflow_monitor::INGEST_BATCH) {
+            self.process_batch(chunk);
+        }
+    }
+
+    /// Seals the inner monitor and banks this epoch's streaming answers
+    /// (see [`QueryMonitor::sealed_answers`]) before restarting the query
+    /// state for the next epoch.
+    fn seal(&mut self) -> EpochSnapshot {
+        if self.answer_limit.is_none_or(|max| self.sealed.len() < max) {
+            self.sealed.push(self.answer_all());
+        } else {
+            self.dropped_answer_epochs += 1;
+        }
+        let snapshot = self.inner.seal();
+        for q in &mut self.queries {
+            q.reset();
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_monitor::CostRecorder;
+    use std::collections::HashMap;
+
+    /// Exact reference monitor (mirrors the `hashflow-monitor` doctest).
+    #[derive(Default)]
+    struct Exact {
+        flows: HashMap<FlowKey, u32>,
+        cost: CostRecorder,
+    }
+
+    impl FlowMonitor for Exact {
+        fn process_packet(&mut self, packet: &Packet) {
+            self.cost.start_packet();
+            *self.flows.entry(packet.key()).or_insert(0) += 1;
+        }
+        fn flow_records(&self) -> Vec<FlowRecord> {
+            self.flows
+                .iter()
+                .map(|(k, c)| FlowRecord::new(*k, *c))
+                .collect()
+        }
+        fn estimate_size(&self, key: &FlowKey) -> u32 {
+            self.flows.get(key).copied().unwrap_or(0)
+        }
+        fn estimate_cardinality(&self) -> f64 {
+            self.flows.len() as f64
+        }
+        fn memory_bits(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+        fn cost(&self) -> CostSnapshot {
+            self.cost.snapshot()
+        }
+        fn reset(&mut self) {
+            self.flows.clear();
+            self.cost.reset();
+        }
+    }
+
+    fn pkt(src: u8, dst: u8) -> Packet {
+        let key = FlowKey::new([10, 0, 0, src].into(), [10, 0, 0, dst].into(), 1, 2, 6);
+        Packet::new(key, 0, 64)
+    }
+
+    fn fanout_plan() -> QueryPlan {
+        "map src | distinct dst | reduce count".parse().unwrap()
+    }
+
+    #[test]
+    fn adapter_forwards_the_monitor_surface() {
+        let mut qm = QueryMonitor::new(Exact::default());
+        assert_eq!(qm.query_count(), 0);
+        qm.process_packet(&pkt(1, 1));
+        qm.process_batch(&[pkt(1, 2), pkt(1, 2)]);
+        qm.process_trace(&[pkt(2, 1)]);
+        assert_eq!(qm.name(), "Exact");
+        assert_eq!(qm.flow_records().len(), 3);
+        assert_eq!(qm.estimate_cardinality(), 3.0);
+        assert_eq!(qm.estimate_size(&pkt(1, 2).key()), 2);
+        assert_eq!(qm.heavy_hitters(2).len(), 1);
+        assert_eq!(qm.cost().packets, 4);
+        assert_eq!(qm.memory_bits(), 0);
+        assert_eq!(qm.inner().flows.len(), 3);
+        let _ = qm.inner_mut();
+        assert_eq!(qm.into_inner().flows.len(), 3);
+    }
+
+    #[test]
+    fn answers_track_all_ingestion_paths() {
+        let mut qm = QueryMonitor::new(Exact::default());
+        let id = qm.attach(fanout_plan());
+        qm.process_packet(&pkt(1, 1));
+        qm.process_batch(&[pkt(1, 2), pkt(1, 1)]);
+        qm.process_trace(&[pkt(1, 3), pkt(2, 1)]);
+        let answer = qm.answer(id);
+        // src .1 contacted 3 distinct dsts, src .2 one.
+        assert_eq!(answer.rows()[0].value, 3);
+        assert_eq!(answer.rows()[1].value, 1);
+        assert_eq!(qm.answer_all().len(), 1);
+    }
+
+    #[test]
+    fn seal_banks_per_epoch_answers_and_restarts() {
+        let mut qm = QueryMonitor::new(Exact::default());
+        let id = qm.attach(fanout_plan());
+        qm.process_batch(&[pkt(1, 1), pkt(1, 2)]);
+        let snapshot = qm.seal();
+        assert_eq!(snapshot.len(), 2, "inner sealed normally");
+        assert!(qm.answer(id).is_empty(), "query state restarted");
+        qm.process_packet(&pkt(1, 7));
+        qm.seal();
+        let banked = qm.drain_sealed_answers();
+        assert_eq!(banked.len(), 2);
+        assert_eq!(banked[0][0].rows()[0].value, 2);
+        assert_eq!(banked[1][0].rows()[0].value, 1);
+        assert!(qm.sealed_answers().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_query_state_too() {
+        let mut qm = QueryMonitor::new(Exact::default());
+        let id = qm.attach(fanout_plan());
+        qm.process_packet(&pkt(1, 1));
+        qm.seal();
+        qm.process_packet(&pkt(1, 2));
+        qm.reset();
+        assert!(qm.answer(id).is_empty());
+        assert!(qm.flow_records().is_empty());
+        assert!(
+            qm.sealed_answers().is_empty(),
+            "a reset run must not prepend stale banked epochs"
+        );
+    }
+
+    #[test]
+    fn answer_limit_drops_whole_epochs_and_counts_them() {
+        let mut qm = QueryMonitor::with_answer_limit(Exact::default(), 2);
+        qm.attach(fanout_plan());
+        for epoch in 0..4u8 {
+            qm.process_packet(&pkt(1, epoch));
+            qm.seal();
+        }
+        assert_eq!(qm.sealed_answers().len(), 2, "oldest epochs retained");
+        assert_eq!(qm.dropped_answer_epochs(), 2);
+        // Draining frees the bank for subsequent epochs.
+        assert_eq!(qm.drain_sealed_answers().len(), 2);
+        qm.process_packet(&pkt(1, 9));
+        qm.seal();
+        assert_eq!(qm.sealed_answers().len(), 1);
+        assert_eq!(qm.dropped_answer_epochs(), 2, "no further drops");
+    }
+
+    #[test]
+    fn attach_starts_counting_from_now() {
+        let mut qm = QueryMonitor::new(Exact::default());
+        qm.process_packet(&pkt(1, 1));
+        let id = qm.attach(fanout_plan());
+        qm.process_packet(&pkt(1, 2));
+        assert_eq!(qm.answer(id).rows()[0].value, 1, "pre-attach not replayed");
+    }
+}

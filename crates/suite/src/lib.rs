@@ -28,6 +28,7 @@ pub use hashflow_hashing as hashing;
 pub use hashflow_metrics as metrics;
 pub use hashflow_monitor as monitor;
 pub use hashflow_primitives as primitives;
+pub use hashflow_query as query;
 pub use hashflow_shard as shard;
 pub use hashflow_trace as trace;
 pub use hashflow_types as types;
@@ -48,9 +49,13 @@ pub mod prelude {
         CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, JsonLinesSink,
         MemoryBudget, MemorySink, MergeableMonitor, RecordSink,
     };
+    pub use hashflow_query::{
+        execute, execute_snapshot, Aggregate, AppKind, Predicate, Projection, QueryMonitor,
+        QueryPlan, QueryResult, StreamingQuery, TelemetryApp,
+    };
     pub use hashflow_shard::ShardedMonitor;
     pub use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
-    pub use hashflow_types::{FlowKey, FlowRecord, Packet};
+    pub use hashflow_types::{FlowKey, FlowRecord, Ipv4Addr, Packet};
     pub use hashpipe::HashPipe;
     pub use netflow_export::NetFlowV5Sink;
     pub use sampled_netflow::SampledNetFlow;

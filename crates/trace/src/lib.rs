@@ -38,7 +38,7 @@ mod stats;
 
 pub use generator::{Trace, TraceGenerator};
 pub use interleave::InterleaveMode;
-pub use pcap::{read_pcap, write_pcap, PcapError};
+pub use pcap::{read_pcap, write_pcap, PcapError, PcapReader};
 pub use powerlaw::{calibrate_tail_exponent, truncated_power_law_mean, PowerLawSampler};
 pub use profile::{TraceProfile, ALL_PROFILES};
 pub use stats::{SizeCdf, TraceStats};

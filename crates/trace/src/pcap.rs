@@ -161,45 +161,121 @@ fn ipv4_checksum(header: &[u8]) -> u16 {
 /// Parses a pcap stream into packets, extracting the five-tuple flow key
 /// from each IPv4 TCP/UDP frame. Frames of other types are skipped.
 ///
+/// This materializes the whole capture; for large files prefer iterating
+/// a [`PcapReader`], of which this is a thin `collect` wrapper.
+///
 /// # Errors
 ///
 /// Returns [`PcapError`] on I/O failure, a foreign magic number, or a
 /// truncated record.
-pub fn read_pcap<R: Read>(mut source: R) -> Result<Vec<Packet>, PcapError> {
-    let mut header = [0u8; 24];
-    source.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    if magic != PCAP_MAGIC {
-        return Err(PcapError::BadMagic(magic));
+pub fn read_pcap<R: Read>(source: R) -> Result<Vec<Packet>, PcapError> {
+    PcapReader::new(source)?.collect()
+}
+
+/// A streaming pcap parser: yields one [`Packet`] at a time without
+/// materializing the capture, so arbitrarily large files can be processed
+/// in constant memory (the CLI `analyze`/`query` paths batch straight out
+/// of this iterator).
+///
+/// Frames that are not Ethernet/IPv4/TCP-or-UDP are skipped silently,
+/// matching [`read_pcap`]. The first error (I/O failure or a malformed
+/// record) is yielded as an `Err` item and ends the iteration: a pcap
+/// stream has no record resynchronization points, so nothing after a bad
+/// record can be trusted.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_trace::{write_pcap, PcapReader};
+/// use hashflow_types::{FlowKey, Packet};
+///
+/// let packets = vec![Packet::new(FlowKey::from_index(5), 1_500, 120)];
+/// let mut buf = Vec::new();
+/// write_pcap(&mut buf, &packets)?;
+/// let mut reader = PcapReader::new(&buf[..])?;
+/// assert_eq!(reader.next().unwrap()?.key(), packets[0].key());
+/// assert!(reader.next().is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    source: R,
+    /// Reusable frame buffer: one allocation for the whole capture.
+    frame: Vec<u8>,
+    /// Set after EOF or the first error; the iterator is fused.
+    done: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Opens a pcap stream, validating the global header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcapError`] on I/O failure or a foreign magic number.
+    pub fn new(mut source: R) -> Result<Self, PcapError> {
+        let mut header = [0u8; 24];
+        source.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != PCAP_MAGIC {
+            return Err(PcapError::BadMagic(magic));
+        }
+        Ok(PcapReader {
+            source,
+            frame: Vec::new(),
+            done: false,
+        })
     }
 
-    let mut packets = Vec::new();
-    let mut rec = [0u8; 16];
-    loop {
-        match source.read_exact(&mut rec) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
-        }
-        let ts_sec = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
-        let ts_usec = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
-        let incl_len = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes")) as usize;
-        let orig_len = u32::from_le_bytes(rec[12..16].try_into().expect("4 bytes"));
-        if incl_len > 1 << 20 {
-            return Err(PcapError::Malformed("implausible capture length"));
-        }
-        let mut frame = vec![0u8; incl_len];
-        source.read_exact(&mut frame)?;
-        if let Some(key) = parse_flow_key(&frame) {
-            let ts = u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_usec) * 1_000;
-            packets.push(Packet::new(
-                key,
-                ts,
-                orig_len.min(u32::from(u16::MAX)) as u16,
-            ));
+    /// Reads records until one parses to a flow-keyed packet, EOF, or an
+    /// error.
+    fn next_packet(&mut self) -> Result<Option<Packet>, PcapError> {
+        let mut rec = [0u8; 16];
+        loop {
+            match self.source.read_exact(&mut rec) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+                Err(e) => return Err(e.into()),
+            }
+            let ts_sec = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+            let ts_usec = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+            let incl_len = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes")) as usize;
+            let orig_len = u32::from_le_bytes(rec[12..16].try_into().expect("4 bytes"));
+            if incl_len > 1 << 20 {
+                return Err(PcapError::Malformed("implausible capture length"));
+            }
+            self.frame.resize(incl_len, 0);
+            self.source.read_exact(&mut self.frame)?;
+            if let Some(key) = parse_flow_key(&self.frame) {
+                let ts = u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_usec) * 1_000;
+                return Ok(Some(Packet::new(
+                    key,
+                    ts,
+                    orig_len.min(u32::from(u16::MAX)) as u16,
+                )));
+            }
         }
     }
-    Ok(packets)
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<Packet, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_packet() {
+            Ok(Some(packet)) => Some(Ok(packet)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 fn parse_flow_key(frame: &[u8]) -> Option<FlowKey> {
@@ -324,6 +400,40 @@ mod tests {
         let c = ipv4_checksum(&header);
         // Sum = 10 * 0xffff = 0x9fff6 -> fold -> 0xffff -> !0xffff = 0.
         assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn streaming_reader_matches_read_pcap() {
+        let packets = sample_packets();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &packets).unwrap();
+        let materialized = read_pcap(&buf[..]).unwrap();
+        let streamed: Vec<Packet> = PcapReader::new(&buf[..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn streaming_reader_is_fused_after_error() {
+        let packets = sample_packets();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &packets).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = PcapReader::new(&buf[..]).unwrap();
+        let yielded: Vec<_> = reader.by_ref().collect();
+        assert!(matches!(yielded.last(), Some(Err(PcapError::Io(_)))));
+        assert!(reader.next().is_none(), "iterator must fuse after an error");
+        assert_eq!(yielded.len() - 1, packets.len() - 1);
+    }
+
+    #[test]
+    fn streaming_reader_rejects_foreign_magic() {
+        assert!(matches!(
+            PcapReader::new(&[0u8; 24][..]),
+            Err(PcapError::BadMagic(0))
+        ));
     }
 
     #[test]

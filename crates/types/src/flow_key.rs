@@ -1,3 +1,4 @@
+use crate::ConfigError;
 use std::fmt;
 
 /// Number of bits in a serialized [`FlowKey`] (the paper's 104-bit flow ID).
@@ -56,6 +57,30 @@ impl fmt::Display for Ipv4Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let [a, b, c, d] = self.octets();
         write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl std::str::FromStr for Ipv4Addr {
+    type Err = ConfigError;
+
+    /// Parses a dotted-quad address (`192.168.0.1`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts
+                .next()
+                .ok_or_else(|| ConfigError::new(format!("'{s}' is not a dotted-quad address")))?;
+            *slot = part
+                .parse()
+                .map_err(|_| ConfigError::new(format!("bad address octet '{part}' in '{s}'")))?;
+        }
+        if parts.next().is_some() {
+            return Err(ConfigError::new(format!(
+                "'{s}' has more than four address octets"
+            )));
+        }
+        Ok(Ipv4Addr::from(octets))
     }
 }
 
@@ -261,13 +286,62 @@ impl From<(Ipv4Addr, Ipv4Addr, u16, u16, u8)> for FlowKey {
     }
 }
 
+/// The canonical text form is `src:port->dst:port/proto`
+/// (`10.0.0.1:80->10.0.0.2:443/6`) and round-trips through
+/// [`FromStr`](std::str::FromStr): query predicates and CLI filter
+/// arguments parse exactly what reports print.
 impl fmt::Display for FlowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{} -> {}:{} proto {}",
+            "{}:{}->{}:{}/{}",
             self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
         )
+    }
+}
+
+impl std::str::FromStr for FlowKey {
+    type Err = ConfigError;
+
+    /// Parses the canonical [`Display`](fmt::Display) form
+    /// `src:port->dst:port/proto`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the malformed component.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hashflow_types::FlowKey;
+    /// let key: FlowKey = "10.0.0.1:80->10.0.0.2:443/6".parse()?;
+    /// assert_eq!(key.to_string(), "10.0.0.1:80->10.0.0.2:443/6");
+    /// # Ok::<(), hashflow_types::ConfigError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn endpoint(part: &str, which: &str) -> Result<(Ipv4Addr, u16), ConfigError> {
+            let (ip, port) = part.split_once(':').ok_or_else(|| {
+                ConfigError::new(format!("{which} endpoint '{part}' is missing ':port'"))
+            })?;
+            Ok((
+                ip.parse()?,
+                port.parse().map_err(|_| {
+                    ConfigError::new(format!("bad {which} port '{port}' in '{part}'"))
+                })?,
+            ))
+        }
+        let (tuple, proto) = s.rsplit_once('/').ok_or_else(|| {
+            ConfigError::new(format!("flow key '{s}' is missing the '/proto' suffix"))
+        })?;
+        let (src, dst) = tuple.split_once("->").ok_or_else(|| {
+            ConfigError::new(format!("flow key '{s}' is missing the '->' separator"))
+        })?;
+        let (src_ip, src_port) = endpoint(src, "source")?;
+        let (dst_ip, dst_port) = endpoint(dst, "destination")?;
+        let protocol = proto
+            .parse()
+            .map_err(|_| ConfigError::new(format!("bad protocol number '{proto}' in '{s}'")))?;
+        Ok(FlowKey::new(src_ip, dst_ip, src_port, dst_port, protocol))
     }
 }
 
@@ -337,12 +411,42 @@ mod tests {
     }
 
     #[test]
-    fn display_contains_tuple_fields() {
-        let k = FlowKey::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 80, 443, 6);
-        let s = k.to_string();
-        assert!(s.contains("1.1.1.1:80"));
-        assert!(s.contains("2.2.2.2:443"));
-        assert!(s.contains("proto 6"));
+    fn display_is_the_canonical_compact_form() {
+        let k = FlowKey::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 80, 443, 6);
+        assert_eq!(k.to_string(), "10.0.0.1:80->10.0.0.2:443/6");
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        for i in [0u64, 1, 7, 53, 0xffff, u64::MAX / 5] {
+            let k = FlowKey::from_index(i);
+            let parsed: FlowKey = k.to_string().parse().unwrap();
+            assert_eq!(parsed, k, "round trip failed for {k}");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_keys() {
+        for bad in [
+            "",
+            "10.0.0.1:80->10.0.0.2:443",      // no proto
+            "10.0.0.1:80 10.0.0.2:443/6",     // no arrow
+            "10.0.0.1->10.0.0.2:443/6",       // source port missing
+            "10.0.0.1:80->10.0.0.2:443/tcp",  // non-numeric proto
+            "10.0.0:80->10.0.0.2:443/6",      // short address
+            "10.0.0.256:80->10.0.0.2:443/6",  // octet out of range
+            "10.0.0.1:99999->10.0.0.2:443/6", // port out of range
+        ] {
+            assert!(bad.parse::<FlowKey>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ipv4_from_str_round_trip() {
+        let a: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        assert_eq!(a.octets(), [203, 0, 113, 9]);
+        assert!("1.2.3".parse::<Ipv4Addr>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4Addr>().is_err());
     }
 
     #[test]

@@ -27,6 +27,16 @@ proptest! {
         prop_assert_eq!(FlowKey::from_bytes(key.to_bytes()), key);
     }
 
+    /// The canonical text form (`10.0.0.1:80->10.0.0.2:443/6`) round-trips
+    /// through Display/FromStr for every five-tuple.
+    #[test]
+    fn flow_key_display_round_trip(a in any::<u32>(), b in any::<u32>(), sp in any::<u16>(), dp in any::<u16>(), proto in any::<u8>()) {
+        let key = FlowKey::new(a.into(), b.into(), sp, dp, proto);
+        let text = key.to_string();
+        let parsed: FlowKey = text.parse().expect("canonical form parses");
+        prop_assert_eq!(parsed, key, "text was {}", text);
+    }
+
     /// XOR of keys is an abelian group operation with identity zero.
     #[test]
     fn flow_key_xor_group(x in any::<u64>(), y in any::<u64>()) {

@@ -165,7 +165,7 @@ macro_rules! impl_strategy_for_tuples {
         }
     )+};
 }
-impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+impl_strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
 
 /// Size bounds for collection strategies.
 #[derive(Debug, Clone, Copy)]
