@@ -232,9 +232,13 @@ fn analyze(
     // The registry is the single construction path: shards > 1 wraps the
     // monitor in the threaded RSS dispatch layer, shards == 1 runs the
     // bare single-core batched hot path.
+    // Analyze prints the flow report and top flows, so the estimate-only
+    // sketches are rejected up front with the registry's typed error
+    // instead of rendering an empty table.
     let mut monitor = MonitorBuilder::new(algorithm)
         .budget(budget)
         .shards(shards)
+        .require_records()
         .build()?;
     // One streaming pass: the capture is never materialized; ground
     // truth folds packet by packet while the monitor ingests batches.
@@ -390,13 +394,32 @@ mod tests {
             pcap.display()
         ))
         .unwrap();
-        for alg in ["hashflow", "hashpipe", "elastic", "flowradar", "netflow"] {
+        for alg in [
+            "hashflow",
+            "hashpipe",
+            "elastic",
+            "flowradar",
+            "netflow",
+            "beaucoup",
+            "exact",
+        ] {
             let out = run_line(&format!(
                 "analyze {} --algorithm {alg} --memory-kib 64",
                 pcap.display()
             ))
             .unwrap();
             assert!(out.contains("records reported"), "{alg}: {out}");
+        }
+        // The estimate-only sketches cannot answer the flow report the
+        // analyze command renders; the registry gate rejects them with a
+        // typed error before any ingestion happens.
+        for alg in ["countmin", "fcm"] {
+            let err = run_line(&format!(
+                "analyze {} --algorithm {alg} --memory-kib 64",
+                pcap.display()
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("estimate-only"), "{alg}: {err}");
         }
     }
 
@@ -409,6 +432,10 @@ mod tests {
             "ElasticSketch",
             "FlowRadar",
             "SampledNetFlow",
+            "CountMin",
+            "FCM",
+            "BeauCoup",
+            "ExactBaseline",
         ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }

@@ -6,6 +6,7 @@ use flowradar::FlowRadar;
 use hashflow_core::{HashFlow, HashFlowConfig};
 use hashflow_monitor::{FlowMonitor, MemoryBudget, MergeableMonitor};
 use hashflow_shard::ShardedMonitor;
+use hashflow_sketches::{BeauCoupMonitor, CountMinMonitor, ExactBaselineMonitor, FcmMonitor};
 use hashflow_types::ConfigError;
 use hashpipe::HashPipe;
 use sampled_netflow::SampledNetFlow;
@@ -28,16 +29,31 @@ pub enum AlgorithmKind {
     FlowRadar,
     /// Sampled NetFlow reference.
     NetFlow,
+    /// Count-Min sketch baseline (estimate-only).
+    CountMin,
+    /// FCM two-layer escalating-counter sketch (SIGCOMM'21,
+    /// estimate-only).
+    Fcm,
+    /// BeauCoup coupon-collector counting (SIGCOMM'20).
+    BeauCoup,
+    /// Exact hash-map baseline (ground truth under the shared memory
+    /// accounting).
+    Exact,
 }
 
 impl AlgorithmKind {
-    /// Every registered algorithm, in the paper's comparison order.
-    pub const ALL: [AlgorithmKind; 5] = [
+    /// Every registered algorithm: the paper's comparison order first,
+    /// then the extended sketch zoo.
+    pub const ALL: [AlgorithmKind; 9] = [
         AlgorithmKind::HashFlow,
         AlgorithmKind::HashPipe,
         AlgorithmKind::Elastic,
         AlgorithmKind::FlowRadar,
         AlgorithmKind::NetFlow,
+        AlgorithmKind::CountMin,
+        AlgorithmKind::Fcm,
+        AlgorithmKind::BeauCoup,
+        AlgorithmKind::Exact,
     ];
 
     /// The four equal-memory comparison algorithms of §IV (NetFlow is the
@@ -58,6 +74,10 @@ impl AlgorithmKind {
             AlgorithmKind::Elastic => "elastic",
             AlgorithmKind::FlowRadar => "flowradar",
             AlgorithmKind::NetFlow => "netflow",
+            AlgorithmKind::CountMin => "countmin",
+            AlgorithmKind::Fcm => "fcm",
+            AlgorithmKind::BeauCoup => "beaucoup",
+            AlgorithmKind::Exact => "exact",
         }
     }
 
@@ -76,6 +96,10 @@ impl AlgorithmKind {
             "elastic" | "elasticsketch" => Ok(AlgorithmKind::Elastic),
             "flowradar" => Ok(AlgorithmKind::FlowRadar),
             "netflow" | "sampled" => Ok(AlgorithmKind::NetFlow),
+            "countmin" | "cm" => Ok(AlgorithmKind::CountMin),
+            "fcm" => Ok(AlgorithmKind::Fcm),
+            "beaucoup" => Ok(AlgorithmKind::BeauCoup),
+            "exact" | "baseline" => Ok(AlgorithmKind::Exact),
             other => Err(ConfigError::new(format!(
                 "unknown algorithm '{other}'; valid algorithms: {}",
                 Self::valid_names()
@@ -98,8 +122,36 @@ impl AlgorithmKind {
     pub const fn supports_sharding(&self) -> bool {
         matches!(
             self,
-            AlgorithmKind::HashFlow | AlgorithmKind::FlowRadar | AlgorithmKind::NetFlow
+            AlgorithmKind::HashFlow
+                | AlgorithmKind::FlowRadar
+                | AlgorithmKind::NetFlow
+                | AlgorithmKind::CountMin
+                | AlgorithmKind::Fcm
+                | AlgorithmKind::BeauCoup
+                | AlgorithmKind::Exact
         )
+    }
+
+    /// Whether the algorithm retains flow keys and can therefore answer
+    /// the records-derived applications (flow report, heavy hitters,
+    /// top-k). The estimate-only sketches answer point size and
+    /// cardinality queries but report an empty record set by design;
+    /// [`MonitorBuilder::require_records`] turns that capability gap
+    /// into a typed construction error instead of a silently empty
+    /// snapshot.
+    pub const fn supports_records(&self) -> bool {
+        !matches!(self, AlgorithmKind::CountMin | AlgorithmKind::Fcm)
+    }
+
+    /// The canonical names of the merge-layer algorithms, comma-separated
+    /// (the list the sharding rejection errors with).
+    fn sharded_names() -> String {
+        Self::ALL
+            .iter()
+            .filter(|k| k.supports_sharding())
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 
@@ -153,6 +205,7 @@ pub struct MonitorBuilder {
     seed: Option<u64>,
     shards: usize,
     sampling_n: u32,
+    require_records: bool,
 }
 
 impl MonitorBuilder {
@@ -164,6 +217,7 @@ impl MonitorBuilder {
             seed: None,
             shards: 1,
             sampling_n: 1,
+            require_records: false,
         }
     }
 
@@ -214,6 +268,17 @@ impl MonitorBuilder {
         self
     }
 
+    /// Declares that the caller will run records-derived queries (flow
+    /// report, heavy hitters, `top_k`). [`Self::build`] then rejects the
+    /// estimate-only sketches ([`AlgorithmKind::supports_records`] is
+    /// `false`) with a typed [`ConfigError`] at construction time,
+    /// instead of letting the query surface answer an empty snapshot.
+    #[must_use]
+    pub fn require_records(mut self) -> Self {
+        self.require_records = true;
+        self
+    }
+
     fn require_budget(&self) -> Result<MemoryBudget, ConfigError> {
         self.budget.ok_or_else(|| {
             ConfigError::new(format!(
@@ -249,6 +314,40 @@ impl MonitorBuilder {
         }
     }
 
+    fn build_countmin(&self, budget: MemoryBudget) -> Result<CountMinMonitor, ConfigError> {
+        match self.seed {
+            Some(seed) => CountMinMonitor::with_memory_seeded(budget, seed),
+            None => CountMinMonitor::with_memory(budget),
+        }
+    }
+
+    fn build_fcm(&self, budget: MemoryBudget) -> Result<FcmMonitor, ConfigError> {
+        match self.seed {
+            Some(seed) => FcmMonitor::with_memory_seeded(budget, seed),
+            None => FcmMonitor::with_memory(budget),
+        }
+    }
+
+    fn build_beaucoup(&self, budget: MemoryBudget) -> Result<BeauCoupMonitor, ConfigError> {
+        match self.seed {
+            Some(seed) => BeauCoupMonitor::with_memory_seeded(budget, seed),
+            None => BeauCoupMonitor::with_memory(budget),
+        }
+    }
+
+    /// The records-capability gate behind [`Self::require_records`].
+    fn check_records(&self) -> Result<(), ConfigError> {
+        if self.require_records && !self.kind.supports_records() {
+            return Err(ConfigError::new(format!(
+                "{} is estimate-only and cannot answer records-based queries \
+                 (flow report, heavy hitters, top_k); use a key-retaining \
+                 algorithm or drop require_records()",
+                self.kind
+            )));
+        }
+        Ok(())
+    }
+
     /// Constructs the monitor.
     ///
     /// # Errors
@@ -259,6 +358,7 @@ impl MonitorBuilder {
     /// ([`AlgorithmKind::supports_sharding`]).
     pub fn build(&self) -> Result<Box<dyn FlowMonitor + Send>, ConfigError> {
         let budget = self.require_budget()?;
+        self.check_records()?;
         if self.shards == 0 {
             return Err(ConfigError::new("shard count must be at least 1"));
         }
@@ -277,6 +377,13 @@ impl MonitorBuilder {
             }),
             AlgorithmKind::FlowRadar => Box::new(self.build_flowradar(budget)?),
             AlgorithmKind::NetFlow => Box::new(self.build_netflow(budget)?),
+            AlgorithmKind::CountMin => Box::new(self.build_countmin(budget)?),
+            AlgorithmKind::Fcm => Box::new(self.build_fcm(budget)?),
+            AlgorithmKind::BeauCoup => Box::new(self.build_beaucoup(budget)?),
+            AlgorithmKind::Exact => Box::new(match self.seed {
+                Some(seed) => ExactBaselineMonitor::with_memory_seeded(budget, seed)?,
+                None => ExactBaselineMonitor::with_memory(budget)?,
+            }),
         })
     }
 
@@ -297,10 +404,18 @@ impl MonitorBuilder {
             AlgorithmKind::HashFlow => shard(self.shards, budget, |_, b| self.build_hashflow(b)),
             AlgorithmKind::FlowRadar => shard(self.shards, budget, |_, b| self.build_flowradar(b)),
             AlgorithmKind::NetFlow => shard(self.shards, budget, |_, b| self.build_netflow(b)),
+            AlgorithmKind::CountMin => shard(self.shards, budget, |_, b| self.build_countmin(b)),
+            AlgorithmKind::Fcm => shard(self.shards, budget, |_, b| self.build_fcm(b)),
+            AlgorithmKind::BeauCoup => shard(self.shards, budget, |_, b| self.build_beaucoup(b)),
+            AlgorithmKind::Exact => shard(self.shards, budget, |_, b| match self.seed {
+                Some(seed) => ExactBaselineMonitor::with_memory_seeded(b, seed),
+                None => ExactBaselineMonitor::with_memory(b),
+            }),
             AlgorithmKind::HashPipe | AlgorithmKind::Elastic => Err(ConfigError::new(format!(
                 "{} does not implement the merge layer and cannot run sharded; \
-                 use one of: hashflow, flowradar, netflow",
-                self.kind
+                 use one of: {}",
+                self.kind,
+                AlgorithmKind::sharded_names()
             ))),
         }
     }
@@ -338,6 +453,11 @@ mod tests {
         assert_eq!(
             AlgorithmKind::parse("sampled").unwrap(),
             AlgorithmKind::NetFlow
+        );
+        assert_eq!(AlgorithmKind::parse("cm").unwrap(), AlgorithmKind::CountMin);
+        assert_eq!(
+            AlgorithmKind::parse("baseline").unwrap(),
+            AlgorithmKind::Exact
         );
         assert_eq!(
             "flowradar".parse::<AlgorithmKind>().unwrap(),
@@ -432,6 +552,50 @@ mod tests {
             b.process_packet(&p);
         }
         assert_eq!(a.flow_records().len(), b.flow_records().len());
+    }
+
+    #[test]
+    fn capability_flags_match_the_zoo() {
+        use hashflow_monitor::FlowMonitor as _;
+        use hashflow_types::{FlowKey, Packet};
+        for kind in AlgorithmKind::ALL {
+            let mut monitor = MonitorBuilder::new(kind).budget(budget()).build().unwrap();
+            for i in 0..200u64 {
+                monitor.process_packet(&Packet::new(FlowKey::from_index(i % 20), i, 64));
+            }
+            assert_eq!(
+                !monitor.flow_records().is_empty(),
+                kind.supports_records(),
+                "{kind}: supports_records flag disagrees with the monitor"
+            );
+        }
+    }
+
+    #[test]
+    fn require_records_rejects_estimate_only_kinds() {
+        for kind in [AlgorithmKind::CountMin, AlgorithmKind::Fcm] {
+            assert!(!kind.supports_records());
+            let err = expect_err(
+                MonitorBuilder::new(kind)
+                    .budget(budget())
+                    .require_records()
+                    .build(),
+            );
+            assert!(err.to_string().contains("estimate-only"), "{err}");
+        }
+        for kind in AlgorithmKind::ALL
+            .into_iter()
+            .filter(|k| k.supports_records())
+        {
+            assert!(
+                MonitorBuilder::new(kind)
+                    .budget(budget())
+                    .require_records()
+                    .build()
+                    .is_ok(),
+                "{kind} retains records and must pass the gate"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn main() {
         ("hotpath", figs::hotpath::run),
         ("query", figs::query::run),
         ("queryapps", figs::queryapps::run),
+        ("equal_memory", figs::equal_memory::run),
         ("ablation_digest", figs::ablation_digest::run),
         ("ablation_promotion", figs::ablation_promotion::run),
         ("ablation_sampling", figs::ablation_sampling::run),

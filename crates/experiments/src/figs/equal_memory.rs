@@ -1,0 +1,226 @@
+//! Beyond the paper: the §IV equal-memory comparison regenerated over
+//! the *enlarged* monitor zoo and the adversarial trace-regime matrix.
+//!
+//! The paper's §IV ranks four algorithms at the same memory budget on
+//! CAIDA-calibrated heavy-tailed selections. This exhibit widens both
+//! axes: all nine registered monitors (the paper's five plus Count-Min,
+//! FCM, BeauCoup and the exact baseline) × the six-regime trace matrix
+//! ([`REGIME_MATRIX`]: two calibrated profiles plus the uniform-flood,
+//! single-elephant, churn-heavy and hash-collision-adversarial
+//! regimes). One row per `(monitor, regime)` cell: FSC, size-estimation
+//! ARE, cardinality RE, heavy-hitter F1 at the regime's threshold, and
+//! hash cost per packet.
+//!
+//! The exact baseline plays ground truth *in band*: it runs under the
+//! same memory accounting as everyone else and must report zero size
+//! ARE and perfect F1 in every cell — which the embedded tests pin, so
+//! the harness itself is checked every CI run. Alongside the CSV table,
+//! the run writes `BENCH_equal_memory.json`, extending the repository's
+//! machine-readable trajectory.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_collector::{AlgorithmKind, MonitorBuilder};
+use hashflow_trace::{TraceRegime, REGIME_MATRIX};
+use std::fmt::Write as _;
+
+/// One `(monitor, regime)` cell of the comparison matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Monitor under test.
+    pub monitor: &'static str,
+    /// Trace regime the cell was measured on.
+    pub regime: &'static str,
+    /// Heavy-hitter threshold used for the F1 column.
+    pub threshold: u32,
+    /// Flow Set Coverage (0 by design for the estimate-only sketches).
+    pub fsc: f64,
+    /// Size-estimation ARE over all true flows.
+    pub size_are: f64,
+    /// Cardinality relative error.
+    pub cardinality_re: f64,
+    /// Heavy-hitter F1 at `threshold`.
+    pub hh_f1: f64,
+    /// Hash computations per packet (cost model, Fig. 11(b)).
+    pub hashes_per_pkt: f64,
+}
+
+/// Runs the full zoo × regime matrix at the standard budget.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let budget = setup::standard_budget(cfg);
+    let flows = cfg.scaled(60_000, 800);
+
+    // One worker per regime (the trace is the expensive shared input);
+    // regime order is preserved in the output.
+    let mut per_regime: Vec<Option<Vec<MatrixRow>>> = Vec::new();
+    for _ in REGIME_MATRIX {
+        per_regime.push(None);
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, regime) in REGIME_MATRIX.into_iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move || regime_rows(cfg, regime, budget, flows)),
+            ));
+        }
+        for (i, h) in handles {
+            per_regime[i] = Some(h.join().expect("exhibit worker panicked"));
+        }
+    });
+    let rows: Vec<MatrixRow> = per_regime
+        .into_iter()
+        .flat_map(|r| r.expect("all regimes measured"))
+        .collect();
+
+    let mut table = Table::new(
+        "equal_memory",
+        &[
+            "monitor",
+            "regime",
+            "hh_threshold",
+            "fsc",
+            "size_are",
+            "cardinality_re",
+            "hh_f1",
+            "hashes_per_pkt",
+        ],
+    );
+    for row in &rows {
+        table.push_row(vec![
+            Cell::from(row.monitor),
+            Cell::from(row.regime),
+            Cell::Int(i64::from(row.threshold)),
+            Cell::Float(row.fsc),
+            Cell::Float(row.size_are),
+            Cell::Float(row.cardinality_re),
+            Cell::Float(row.hh_f1),
+            Cell::Float(row.hashes_per_pkt),
+        ]);
+    }
+
+    let json = bench_json(&rows, budget.bits(), flows);
+    let path = cfg.out_dir.join("BENCH_equal_memory.json");
+    if std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|()| std::fs::write(&path, &json))
+        .is_err()
+    {
+        eprintln!("   !! failed to write {}", path.display());
+    }
+
+    vec![table]
+}
+
+/// Measures every registered monitor on one regime's trace.
+fn regime_rows(
+    cfg: &RunConfig,
+    regime: TraceRegime,
+    budget: hashflow_monitor::MemoryBudget,
+    flows: usize,
+) -> Vec<MatrixRow> {
+    let trace = regime.generate(cfg.seed, flows);
+    let threshold = regime.heavy_hitter_threshold();
+    AlgorithmKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut monitor = MonitorBuilder::new(kind)
+                .budget(budget)
+                .seed(cfg.seed)
+                .build()
+                .unwrap_or_else(|e| panic!("standard budget fits {kind}: {e}"));
+            let report = hashflow_metrics::evaluate(monitor.as_mut(), &trace, &[threshold]);
+            MatrixRow {
+                monitor: report.algorithm,
+                regime: regime.name(),
+                threshold,
+                fsc: report.fsc,
+                size_are: report.size_are,
+                cardinality_re: report.cardinality_re,
+                hh_f1: report.heavy_hitters[0].f1,
+                hashes_per_pkt: report.cost.hashes as f64 / report.cost.packets.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the machine-readable summary (hand-rolled flat JSON, like the
+/// other `BENCH_*.json` emitters).
+fn bench_json(rows: &[MatrixRow], budget_bits: usize, flows: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"exhibit\": \"equal_memory\",");
+    let _ = writeln!(out, "  \"budget_bits\": {budget_bits},");
+    let _ = writeln!(out, "  \"flows_per_regime\": {flows},");
+    let _ = writeln!(out, "  \"monitors\": {},", AlgorithmKind::ALL.len());
+    let _ = writeln!(out, "  \"regimes\": {},", REGIME_MATRIX.len());
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"monitor\": \"{}\", \"regime\": \"{}\", \"hh_threshold\": {}, \
+             \"fsc\": {:.4}, \"size_are\": {:.4}, \"cardinality_re\": {:.4}, \
+             \"hh_f1\": {:.4}, \"hashes_per_pkt\": {:.2}}}{comma}",
+            r.monitor,
+            r.regime,
+            r.threshold,
+            r.fsc,
+            r.size_are,
+            r.cardinality_re,
+            r.hh_f1,
+            r.hashes_per_pkt,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_the_full_zoo_and_regime_axes() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0].len(),
+            AlgorithmKind::ALL.len() * REGIME_MATRIX.len()
+        );
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_equal_memory.json")).unwrap();
+        assert!(json.contains("\"exhibit\": \"equal_memory\""));
+        for regime in REGIME_MATRIX {
+            assert!(json.contains(regime.name()), "missing {regime}");
+        }
+        for name in ["HashFlow", "CountMin", "FCM", "BeauCoup", "ExactBaseline"] {
+            assert!(json.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn exact_baseline_is_in_band_ground_truth_in_every_cell() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        let mut exact_cells = 0;
+        for row in tables[0].rows() {
+            let monitor = match &row[0] {
+                Cell::Text(m) => m.as_str(),
+                other => panic!("{other:?}"),
+            };
+            if monitor != "ExactBaseline" {
+                continue;
+            }
+            exact_cells += 1;
+            let (size_are, cardinality_re, f1) = match (&row[4], &row[5], &row[6]) {
+                (Cell::Float(a), Cell::Float(c), Cell::Float(f)) => (*a, *c, *f),
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(size_are, 0.0, "exact baseline must have zero ARE");
+            assert_eq!(cardinality_re, 0.0, "exact baseline cardinality");
+            assert_eq!(f1, 1.0, "exact baseline heavy-hitter F1");
+        }
+        assert_eq!(exact_cells, REGIME_MATRIX.len());
+    }
+}

@@ -7,6 +7,7 @@ pub mod ablation_elastic;
 pub mod ablation_ordering;
 pub mod ablation_promotion;
 pub mod ablation_sampling;
+pub mod equal_memory;
 pub mod fig02_utilization;
 pub mod fig04_depth;
 pub mod fig05_weights;

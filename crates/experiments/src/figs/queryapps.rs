@@ -41,14 +41,15 @@ const SOURCES: u64 = 40;
 const PORTS: u64 = 30;
 const DELTA: u64 = 200;
 
-/// The algorithms under test: HashFlow plus the §IV baselines that share
-/// its record-report query surface.
-const ALGORITHMS: [AlgorithmKind; 4] = [
-    AlgorithmKind::HashFlow,
-    AlgorithmKind::HashPipe,
-    AlgorithmKind::Elastic,
-    AlgorithmKind::FlowRadar,
-];
+/// The algorithms under test: every registered monitor that retains flow
+/// keys and can therefore answer the records-derived application plans
+/// (the estimate-only sketches are excluded by their own capability
+/// flag, the same gate `MonitorBuilder::require_records` enforces).
+fn algorithms() -> impl Iterator<Item = AlgorithmKind> {
+    AlgorithmKind::ALL
+        .into_iter()
+        .filter(AlgorithmKind::supports_records)
+}
 
 /// Accuracy of one `(algorithm, application)` pair.
 #[derive(Debug, Clone)]
@@ -268,11 +269,12 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
 
     let mut app_rows: Vec<AppRow> = Vec::new();
     let mut overhead_rows: Vec<OverheadRow> = Vec::new();
-    for algorithm in ALGORITHMS {
+    for algorithm in algorithms() {
         let build = || {
             MonitorBuilder::new(algorithm)
                 .budget(budget)
                 .seed(cfg.seed)
+                .require_records()
                 .build()
                 .expect("exhibit budget fits")
         };
@@ -453,12 +455,22 @@ mod tests {
     fn sweep_emits_rows_and_json() {
         let cfg = RunConfig::for_tests(0.02);
         let tables = run(&cfg);
-        // 4 algorithms x 5 apps; 4 overhead rows.
-        assert_eq!(tables[0].len(), 20);
-        assert_eq!(tables[1].len(), 4);
+        // 7 records-capable algorithms x 5 apps; 7 overhead rows.
+        let zoo = algorithms().count();
+        assert_eq!(zoo, 7);
+        assert_eq!(tables[0].len(), zoo * AppKind::ALL.len());
+        assert_eq!(tables[1].len(), zoo);
         let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_queryapps.json")).unwrap();
         assert!(json.contains("\"exhibit\": \"queryapps\""));
-        for name in ["HashFlow", "HashPipe", "ElasticSketch", "FlowRadar"] {
+        for name in [
+            "HashFlow",
+            "HashPipe",
+            "ElasticSketch",
+            "FlowRadar",
+            "SampledNetFlow",
+            "BeauCoup",
+            "ExactBaseline",
+        ] {
             assert!(json.contains(name), "missing {name}");
         }
         for app in AppKind::ALL {

@@ -30,6 +30,7 @@ pub use hashflow_monitor as monitor;
 pub use hashflow_primitives as primitives;
 pub use hashflow_query as query;
 pub use hashflow_shard as shard;
+pub use hashflow_sketches as sketches;
 pub use hashflow_trace as trace;
 pub use hashflow_types as types;
 pub use hashpipe;
@@ -54,7 +55,12 @@ pub mod prelude {
         QueryPlan, QueryResult, StreamingQuery, TelemetryApp,
     };
     pub use hashflow_shard::ShardedMonitor;
-    pub use hashflow_trace::{Trace, TraceGenerator, TraceProfile};
+    pub use hashflow_sketches::{
+        BeauCoupMonitor, CountMinMonitor, ExactBaselineMonitor, FcmMonitor,
+    };
+    pub use hashflow_trace::{
+        Trace, TraceGenerator, TraceProfile, TraceRegime, ALL_PROFILES, REGIME_MATRIX,
+    };
     pub use hashflow_types::{FlowKey, FlowRecord, Ipv4Addr, Packet};
     pub use hashpipe::HashPipe;
     pub use netflow_export::NetFlowV5Sink;
@@ -75,10 +81,18 @@ mod tests {
         assert_monitor::<ElasticSketch>();
         assert_monitor::<FlowRadar>();
         assert_monitor::<SampledNetFlow>();
+        assert_monitor::<CountMinMonitor>();
+        assert_monitor::<FcmMonitor>();
+        assert_monitor::<BeauCoupMonitor>();
+        assert_monitor::<ExactBaselineMonitor>();
         assert_monitor::<ShardedMonitor<HashFlow>>();
         fn assert_mergeable<T: MergeableMonitor>() {}
         assert_mergeable::<HashFlow>();
         assert_mergeable::<FlowRadar>();
         assert_mergeable::<SampledNetFlow>();
+        assert_mergeable::<CountMinMonitor>();
+        assert_mergeable::<FcmMonitor>();
+        assert_mergeable::<BeauCoupMonitor>();
+        assert_mergeable::<ExactBaselineMonitor>();
     }
 }

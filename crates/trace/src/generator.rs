@@ -1,3 +1,4 @@
+use crate::adversarial::TraceRegime;
 use crate::interleave::InterleaveMode;
 use crate::profile::TraceProfile;
 use crate::stats::TraceStats;
@@ -24,15 +25,30 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Trace {
-    profile: TraceProfile,
+    regime: TraceRegime,
     packets: Vec<Packet>,
     truth: Vec<FlowRecord>,
 }
 
 impl Trace {
-    /// The profile this trace was generated from.
-    pub const fn profile(&self) -> TraceProfile {
-        self.profile
+    /// Assembles a trace from an already-interleaved packet stream and
+    /// its ground truth (used by the regime generators).
+    pub(crate) const fn from_parts(
+        regime: TraceRegime,
+        packets: Vec<Packet>,
+        truth: Vec<FlowRecord>,
+    ) -> Self {
+        Trace {
+            regime,
+            packets,
+            truth,
+        }
+    }
+
+    /// The regime this trace was generated from (calibrated profiles are
+    /// wrapped as [`TraceRegime::Calibrated`]).
+    pub const fn regime(&self) -> TraceRegime {
+        self.regime
     }
 
     /// The interleaved packet stream, in arrival order.
@@ -65,7 +81,7 @@ impl Trace {
 
     /// Summary statistics (regenerates a Table I row for this selection).
     pub fn stats(&self) -> TraceStats {
-        TraceStats::from_ground_truth(self.profile.name(), &self.truth)
+        TraceStats::from_ground_truth(self.regime.name(), &self.truth)
     }
 }
 
@@ -153,7 +169,7 @@ impl TraceGenerator {
         let packets = self.interleave.interleave(per_flow, self.seed);
 
         Trace {
-            profile: self.profile,
+            regime: TraceRegime::Calibrated(self.profile),
             packets,
             truth,
         }

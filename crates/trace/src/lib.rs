@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversarial;
 pub mod arrival;
 mod generator;
 mod interleave;
@@ -36,6 +37,10 @@ mod powerlaw;
 mod profile;
 mod stats;
 
+pub use adversarial::{
+    collision_bucket_of, TraceRegime, CHURN_SINGLETON_SHARE, COLLISION_BUCKETS, COLLISION_SEED,
+    ELEPHANT_PACKET_SHARE, FLOOD_MAX_FLOW_SIZE, REGIME_MATRIX,
+};
 pub use generator::{Trace, TraceGenerator};
 pub use interleave::InterleaveMode;
 pub use pcap::{read_pcap, write_pcap, PcapError, PcapReader};

@@ -1,0 +1,79 @@
+//! Property tests for the adversarial trace regimes: each regime's
+//! declared statistic (flood uniformity, elephant share, churn rate,
+//! collision bucket) must hold for every seed and trace size, not just
+//! the unit-test fixtures.
+
+use hashflow_trace::{
+    collision_bucket_of, TraceRegime, CHURN_SINGLETON_SHARE, ELEPHANT_PACKET_SHARE,
+    FLOOD_MAX_FLOW_SIZE, REGIME_MATRIX,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform flood never produces an elephant: every flow has between
+    /// one and `FLOOD_MAX_FLOW_SIZE` packets.
+    #[test]
+    fn flood_has_no_elephants(seed in any::<u64>(), flows in 1usize..1_500) {
+        let trace = TraceRegime::UniformFlood.generate(seed, flows);
+        prop_assert_eq!(trace.flow_count(), flows);
+        for rec in trace.ground_truth() {
+            prop_assert!((1..=FLOOD_MAX_FLOW_SIZE).contains(&rec.count()));
+        }
+    }
+
+    /// The single elephant carries exactly half of all packets (its size
+    /// is constructed as the sum of all mice sizes).
+    #[test]
+    fn elephant_share_is_exact(seed in any::<u64>(), flows in 2usize..1_500) {
+        let trace = TraceRegime::SingleElephant.generate(seed, flows);
+        let max = trace.ground_truth().iter().map(|r| r.count()).max().unwrap();
+        let total: u64 = trace.ground_truth().iter().map(|r| u64::from(r.count())).sum();
+        let share = f64::from(max) / total as f64;
+        prop_assert!(
+            (share - ELEPHANT_PACKET_SHARE).abs() < 1e-9,
+            "share {} of {} packets", share, total
+        );
+    }
+
+    /// Churn-heavy traces are dominated by single-packet flows at the
+    /// declared rate (rounding slack of one flow).
+    #[test]
+    fn churn_singleton_rate_holds(seed in any::<u64>(), flows in 50usize..2_000) {
+        let trace = TraceRegime::ChurnHeavy.generate(seed, flows);
+        let singletons = trace.ground_truth().iter().filter(|r| r.count() == 1).count();
+        let expected = (flows as f64 * CHURN_SINGLETON_SHARE).round() as usize;
+        prop_assert_eq!(singletons, expected);
+    }
+
+    /// Every collision-adversarial key provably lands in bucket 0 of the
+    /// attacked tabulation lane, and all keys stay distinct.
+    #[test]
+    fn collision_keys_collide(seed in any::<u64>(), flows in 1usize..300) {
+        let trace = TraceRegime::CollisionAdversarial.generate(seed, flows);
+        let mut seen = HashSet::new();
+        for rec in trace.ground_truth() {
+            prop_assert_eq!(collision_bucket_of(&rec.key()), 0);
+            prop_assert!(seen.insert(rec.key()));
+        }
+    }
+
+    /// Shared trace invariants hold in every regime: ground truth sums to
+    /// the packet stream, timestamps are monotone, and the same seed
+    /// reproduces the same trace.
+    #[test]
+    fn regime_invariants(seed in any::<u64>(), flows in 2usize..400) {
+        for regime in REGIME_MATRIX {
+            let trace = regime.generate(seed, flows);
+            prop_assert_eq!(trace.flow_count(), flows);
+            let total: u64 = trace.ground_truth().iter().map(|r| u64::from(r.count())).sum();
+            prop_assert_eq!(total as usize, trace.packets().len());
+            let ts: Vec<u64> = trace.packets().iter().map(|p| p.timestamp_ns()).collect();
+            prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+            let again = regime.generate(seed, flows);
+            prop_assert_eq!(trace.packets(), again.packets());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Analytical accuracy bounds for the extended sketch zoo, checked on
+//! calibrated and adversarial traces alike.
+//!
+//! Count-Min carries a one-sided guarantee (never underestimate; with
+//! width `w` and depth `d`, the overestimate exceeds `(e/w)·N` with
+//! probability at most `e^-d` per flow), FCM inherits the same
+//! one-sidedness from its escalating saturating counters, and the exact
+//! baseline must be *exactly* a hash map — zero error on every flow of
+//! every regime, which is what lets the equal-memory exhibit use it as
+//! in-band ground truth.
+
+use hashflow_suite::prelude::*;
+use std::collections::HashMap;
+
+/// Per-flow ground truth of a trace as a lookup map.
+fn truth_map(trace: &Trace) -> HashMap<FlowKey, u32> {
+    trace
+        .ground_truth()
+        .iter()
+        .map(|r| (r.key(), r.count()))
+        .collect()
+}
+
+#[test]
+fn count_min_never_underestimates() {
+    for regime in REGIME_MATRIX {
+        let trace = regime.generate(0xacc0, 2_000);
+        let budget = MemoryBudget::from_kib(64).expect("positive");
+        let mut cm = CountMinMonitor::with_memory_seeded(budget, 0xacc1).expect("fits");
+        cm.process_trace(trace.packets());
+        for rec in trace.ground_truth() {
+            let est = cm.estimate_size(&rec.key());
+            assert!(
+                est >= rec.count(),
+                "{regime}: CM underestimates {:?}: {est} < {}",
+                rec.key(),
+                rec.count()
+            );
+        }
+    }
+}
+
+#[test]
+fn count_min_overestimate_respects_the_epsilon_bound() {
+    let trace = TraceGenerator::new(TraceProfile::Caida, 0xacc2).generate(2_000);
+    let budget = MemoryBudget::from_kib(64).expect("positive");
+    let mut cm = CountMinMonitor::with_memory_seeded(budget, 0xacc3).expect("fits");
+    cm.process_trace(trace.packets());
+
+    // Recover the sketch width from its own accounting (memory_bits =
+    // depth · width · counter_bits with depth 3, 32-bit counters), so the
+    // bound tracks the real geometry rather than restating it.
+    let width = cm.memory_bits() / (3 * 32);
+    let n = trace.packets().len() as f64;
+    let epsilon_n = (std::f64::consts::E / width as f64) * n;
+
+    // Per flow: P(error > (e/w)·N) <= e^-depth ~ 5%. Allow 10% of flows
+    // over the line for sampling noise.
+    let over = trace
+        .ground_truth()
+        .iter()
+        .filter(|rec| f64::from(cm.estimate_size(&rec.key()) - rec.count()) > epsilon_n)
+        .count();
+    let frac = over as f64 / trace.flow_count() as f64;
+    assert!(
+        frac <= 0.10,
+        "{over} of {} flows exceed the eps*N = {epsilon_n:.1} overestimate bound",
+        trace.flow_count()
+    );
+}
+
+#[test]
+fn fcm_never_underestimates() {
+    for regime in REGIME_MATRIX {
+        let trace = regime.generate(0xacc4, 2_000);
+        let budget = MemoryBudget::from_kib(64).expect("positive");
+        let mut fcm = FcmMonitor::with_memory_seeded(budget, 0xacc5).expect("fits");
+        fcm.process_trace(trace.packets());
+        for rec in trace.ground_truth() {
+            let est = fcm.estimate_size(&rec.key());
+            assert!(
+                est >= rec.count(),
+                "{regime}: FCM underestimates {:?}: {est} < {}",
+                rec.key(),
+                rec.count()
+            );
+        }
+    }
+}
+
+/// The exact baseline must behave indistinguishably from a reference
+/// `HashMap` on every calibrated profile and every adversarial regime:
+/// identical record multiset, exact per-flow sizes, exact cardinality,
+/// and zero for absent flows.
+#[test]
+fn exact_baseline_matches_a_reference_hash_map_everywhere() {
+    let regimes: Vec<TraceRegime> = ALL_PROFILES
+        .iter()
+        .map(|p| TraceRegime::Calibrated(*p))
+        .chain(REGIME_MATRIX.iter().copied())
+        .collect();
+    for regime in regimes {
+        let trace = regime.generate(0xacc6, 3_000);
+        let budget = MemoryBudget::from_kib(128).expect("positive");
+        let mut exact = ExactBaselineMonitor::with_memory(budget).expect("fits");
+        exact.process_trace(trace.packets());
+        let truth = truth_map(&trace);
+
+        let records = exact.flow_records();
+        assert_eq!(records.len(), truth.len(), "{regime}: flow count");
+        for rec in &records {
+            assert_eq!(
+                rec.count(),
+                truth[&rec.key()],
+                "{regime}: record diverges for {:?}",
+                rec.key()
+            );
+        }
+        for (key, &count) in &truth {
+            assert_eq!(exact.estimate_size(key), count, "{regime}: size query");
+        }
+        assert_eq!(
+            exact.estimate_cardinality(),
+            truth.len() as f64,
+            "{regime}: cardinality"
+        );
+        for i in 5_000_000..5_000_016u64 {
+            assert_eq!(
+                exact.estimate_size(&FlowKey::from_index(i)),
+                0,
+                "{regime}: absent flow must answer 0"
+            );
+        }
+    }
+}

@@ -147,6 +147,25 @@ proptest! {
         assert_equivalent(make(), make(), &packets);
     }
 
+    /// Registry sweep: every registered algorithm — including the
+    /// estimate-only sketches, whose contract covers size and cardinality
+    /// estimates rather than records — honors the batched-ingestion
+    /// contract through the builder path.
+    #[test]
+    fn every_registered_algorithm_batches_equivalently(packets in stream(400, 700)) {
+        let budget = MemoryBudget::from_kib(32).expect("positive");
+        for kind in AlgorithmKind::ALL {
+            let make = || {
+                MonitorBuilder::new(kind)
+                    .budget(budget)
+                    .seed(0xba7c)
+                    .build()
+                    .expect("budget fits")
+            };
+            assert_equivalent(make(), make(), &packets);
+        }
+    }
+
     /// The chunked process_trace default is just another batch plan, and
     /// the sharded monitor's batched dispatch composes with HashFlow's
     /// batched hot path: both must match the scalar loop end to end.

@@ -135,6 +135,58 @@ proptest! {
         prop_assert_eq!(threaded.cost(), sequential.cost());
     }
 
+    /// Registry sweep: every merge-layer algorithm runs sharded through
+    /// the builder with scalar and batched dispatch observationally
+    /// identical; the non-mergeable kinds are rejected with the typed
+    /// merge-layer error instead of silently building.
+    #[test]
+    fn registry_sharding_capability_is_honored(packets in stream(300, 500)) {
+        let budget = MemoryBudget::from_kib(64).expect("positive");
+        for kind in AlgorithmKind::ALL {
+            let built = MonitorBuilder::new(kind)
+                .budget(budget)
+                .seed(0x5a5a)
+                .shards(SHARDS)
+                .build();
+            if !kind.supports_sharding() {
+                let err = built
+                    .err()
+                    .unwrap_or_else(|| panic!("{kind} must reject sharding"))
+                    .to_string();
+                prop_assert!(err.contains("merge layer"), "{}: {}", kind, err);
+                continue;
+            }
+            let mut scalar = built.expect("split budget fits");
+            let mut batched = MonitorBuilder::new(kind)
+                .budget(budget)
+                .seed(0x5a5a)
+                .shards(SHARDS)
+                .build()
+                .expect("split budget fits");
+            for p in &packets {
+                scalar.process_packet(p);
+            }
+            batched.process_batch(&packets);
+            prop_assert_eq!(batched.cost(), scalar.cost(), "{} cost diverges", kind);
+            let mut a = scalar.flow_records();
+            let mut b = batched.flow_records();
+            a.sort_by_key(|r| (r.key(), r.count()));
+            b.sort_by_key(|r| (r.key(), r.count()));
+            prop_assert_eq!(a, b, "{} records diverge", kind);
+            for key in packets.iter().map(|p| p.key()).collect::<std::collections::HashSet<_>>() {
+                prop_assert_eq!(
+                    batched.estimate_size(&key),
+                    scalar.estimate_size(&key),
+                    "{} size estimate diverges for {:?}",
+                    kind,
+                    key
+                );
+            }
+            let (ca, cb) = (scalar.estimate_cardinality(), batched.estimate_cardinality());
+            prop_assert!((ca - cb).abs() < 1e-9, "{} cardinality diverges: {} vs {}", kind, ca, cb);
+        }
+    }
+
     /// Epoch sealing drains every shard into one report whose records are
     /// the merged query surface at sealing time, and leaves the monitor
     /// clean for the next epoch.

@@ -211,6 +211,34 @@ proptest! {
         assert_snapshot_equivalent(sharded, &packets, false);
     }
 
+    /// Registry sweep: every registered algorithm — the paper's five plus
+    /// the extended sketch zoo — seals snapshots that answer like the live
+    /// monitor. Unreported-flow equality extends to the monitors whose
+    /// live lookup is record-derived (FlowRadar, NetFlow, HashPipe,
+    /// BeauCoup, Exact); HashFlow and ElasticSketch keep auxiliary
+    /// estimators, and the estimate-only sketches answer live point
+    /// queries no snapshot record can reproduce.
+    #[test]
+    fn every_registered_algorithm_snapshot_equivalent(packets in stream(300, 600)) {
+        let budget = MemoryBudget::from_kib(64).expect("positive");
+        for kind in AlgorithmKind::ALL {
+            let monitor = MonitorBuilder::new(kind)
+                .budget(budget)
+                .seed(0x57a9)
+                .build()
+                .expect("fits");
+            let exact_unreported = matches!(
+                kind,
+                AlgorithmKind::FlowRadar
+                    | AlgorithmKind::NetFlow
+                    | AlgorithmKind::HashPipe
+                    | AlgorithmKind::BeauCoup
+                    | AlgorithmKind::Exact
+            );
+            assert_snapshot_equivalent(monitor, &packets, exact_unreported);
+        }
+    }
+
     /// The registry path composes: a boxed registry-built monitor seals
     /// exactly like the concrete one.
     #[test]
