@@ -27,6 +27,21 @@ commands:
                             the single-monitor budget (the remainder of
                             the division is dropped, not rounded up);
                             supported by hashflow, flowradar and netflow
+      --metrics-out <file>  also write the run's pipeline metrics
+                            (Prometheus text; JSON lines when the path
+                            ends in .jsonl)
+  stats <capture.pcap>      stream a capture and report the pipeline's
+                            runtime metrics (ingest/rotation/sink/shard/
+                            query counters, gauges and histograms)
+      --memory-kib <N>      memory budget in KiB        [default: 256]
+      --algorithm <name>    hashflow|hashpipe|elastic|flowradar|netflow
+                                                        [default: hashflow]
+      --shards <N>          parallel ingest shards      [default: 1]
+      --epoch-ms <N>        epoch length in ms; 0 seals one epoch at the
+                            end of the capture          [default: 0]
+      --format <name>       prom (Prometheus text) or jsonl (JSON lines)
+                                                        [default: prom]
+      --out <file>          write the metrics to a file instead of stdout
   generate                  write a synthetic trace as pcap
       --profile <name>      caida|campus|isp1|isp2      [default: caida]
       --flows <N>           number of flows             [default: 10000]
@@ -66,6 +81,9 @@ commands:
                             shows the exact streaming answer next to the
                             answer recovered from the monitor's sealed
                             records
+      --metrics-out <file>  also write the run's pipeline metrics
+                            (Prometheus text; JSON lines when the path
+                            ends in .jsonl)
 ";
 
 /// Argument parsing failure with a message for the user.
@@ -113,6 +131,27 @@ impl ExportFormat {
     }
 }
 
+/// Exposition format for runtime pipeline metrics (`stats --format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition.
+    Prometheus,
+    /// JSON lines, one metric per line.
+    JsonLines,
+}
+
+impl MetricsFormat {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        match s.to_ascii_lowercase().as_str() {
+            "prom" | "prometheus" => Ok(MetricsFormat::Prometheus),
+            "jsonl" | "json-lines" => Ok(MetricsFormat::JsonLines),
+            other => Err(ArgError::new(format!(
+                "unknown metrics format '{other}'; valid formats: prom, jsonl"
+            ))),
+        }
+    }
+}
+
 /// A fully parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedArgs {
@@ -137,6 +176,26 @@ pub enum Command {
         top: usize,
         /// Parallel ingest shards (1 = the single-core paper setup).
         shards: usize,
+        /// Optional file receiving the run's pipeline metrics.
+        metrics_out: Option<String>,
+    },
+    /// Stream a capture and report the pipeline's runtime metrics.
+    Stats {
+        /// Path to the capture.
+        path: String,
+        /// Memory budget in KiB.
+        memory_kib: usize,
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Parallel ingest shards.
+        shards: usize,
+        /// Epoch length in milliseconds; 0 seals a single epoch at the
+        /// end of the capture.
+        epoch_ms: u64,
+        /// Exposition format.
+        format: MetricsFormat,
+        /// Optional output file (stdout otherwise).
+        out: Option<String>,
     },
     /// Generate a synthetic pcap.
     Generate {
@@ -185,6 +244,8 @@ pub enum Command {
         algorithm: AlgorithmKind,
         /// How many result rows to print.
         top: usize,
+        /// Optional file receiving the run's pipeline metrics.
+        metrics_out: Option<String>,
     },
     /// Print utilization-model predictions.
     Model {
@@ -289,7 +350,14 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
         "help" | "--help" | "-h" => Command::Help,
         "analyze" => {
             let opts = split_options(rest)?;
-            opts.reject_unknown(&["memory-kib", "algorithm", "threshold", "top", "shards"])?;
+            opts.reject_unknown(&[
+                "memory-kib",
+                "algorithm",
+                "threshold",
+                "top",
+                "shards",
+                "metrics-out",
+            ])?;
             let path = opts
                 .positional
                 .first()
@@ -309,6 +377,41 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 threshold: opts.parse_or("threshold", 100)?,
                 top: opts.parse_or("top", 10)?,
                 shards,
+                metrics_out: opts.get("metrics-out").map(String::from),
+            }
+        }
+        "stats" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&[
+                "memory-kib",
+                "algorithm",
+                "shards",
+                "epoch-ms",
+                "format",
+                "out",
+            ])?;
+            let shards: usize = opts.parse_or("shards", 1)?;
+            if shards == 0 {
+                return Err(ArgError::new("--shards must be at least 1"));
+            }
+            Command::Stats {
+                path: opts
+                    .positional
+                    .first()
+                    .ok_or_else(|| ArgError::new("stats needs a capture path"))?
+                    .to_string(),
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                algorithm: match opts.get("algorithm") {
+                    Some(v) => parse_algorithm(v)?,
+                    None => AlgorithmKind::HashFlow,
+                },
+                shards,
+                epoch_ms: opts.parse_or("epoch-ms", 0)?,
+                format: match opts.get("format") {
+                    Some(v) => MetricsFormat::parse(v)?,
+                    None => MetricsFormat::Prometheus,
+                },
+                out: opts.get("out").map(String::from),
             }
         }
         "generate" => {
@@ -387,7 +490,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
         }
         "query" => {
             let opts = split_options(rest)?;
-            opts.reject_unknown(&["plan", "memory-kib", "algorithm", "top"])?;
+            opts.reject_unknown(&["plan", "memory-kib", "algorithm", "top", "metrics-out"])?;
             Command::Query {
                 path: opts
                     .positional
@@ -405,6 +508,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                     None => AlgorithmKind::HashFlow,
                 },
                 top: opts.parse_or("top", 10)?,
+                metrics_out: opts.get("metrics-out").map(String::from),
             }
         }
         other => return Err(ArgError::new(format!("unknown command '{other}'"))),
@@ -437,6 +541,7 @@ mod tests {
                 threshold,
                 top,
                 shards,
+                metrics_out,
             } => {
                 assert_eq!(path, "cap.pcap");
                 assert_eq!(memory_kib, 256);
@@ -444,6 +549,7 @@ mod tests {
                 assert_eq!(threshold, 100);
                 assert_eq!(top, 10);
                 assert_eq!(shards, 1);
+                assert_eq!(metrics_out, None);
             }
             other => panic!("{other:?}"),
         }
@@ -565,12 +671,14 @@ mod tests {
                 memory_kib,
                 algorithm,
                 top,
+                metrics_out,
             } => {
                 assert_eq!(path, "cap.pcap");
                 assert_eq!(memory_kib, 256);
                 assert_eq!(algorithm, AlgorithmKind::FlowRadar);
                 assert_eq!(top, 5);
                 assert_eq!(plan.threshold(), Some(40));
+                assert_eq!(metrics_out, None);
             }
             other => panic!("{other:?}"),
         }
@@ -584,6 +692,83 @@ mod tests {
         let err = parse(&args).unwrap_err().to_string();
         assert!(err.contains("reduce"), "{err}");
         assert!(USAGE.contains("query <capture.pcap>"));
+    }
+
+    #[test]
+    fn stats_parses_knobs_and_format() {
+        let p = parse(&argv("stats cap.pcap")).unwrap();
+        match p.command {
+            Command::Stats {
+                path,
+                memory_kib,
+                algorithm,
+                shards,
+                epoch_ms,
+                format,
+                out,
+            } => {
+                assert_eq!(path, "cap.pcap");
+                assert_eq!(memory_kib, 256);
+                assert_eq!(algorithm, AlgorithmKind::HashFlow);
+                assert_eq!(shards, 1);
+                assert_eq!(epoch_ms, 0);
+                assert_eq!(format, MetricsFormat::Prometheus);
+                assert_eq!(out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let p = parse(&argv(
+            "stats cap.pcap --shards 4 --epoch-ms 10 --format jsonl --out m.jsonl",
+        ))
+        .unwrap();
+        match p.command {
+            Command::Stats {
+                shards,
+                epoch_ms,
+                format,
+                out,
+                ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(epoch_ms, 10);
+                assert_eq!(format, MetricsFormat::JsonLines);
+                assert_eq!(out.as_deref(), Some("m.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("stats")).is_err());
+        assert!(parse(&argv("stats cap.pcap --shards 0")).is_err());
+        assert!(parse(&argv("stats cap.pcap --format xml")).is_err());
+        assert!(USAGE.contains("stats <capture.pcap>"));
+    }
+
+    #[test]
+    fn metrics_out_rides_analyze_and_query() {
+        let p = parse(&argv("analyze cap.pcap --metrics-out m.prom")).unwrap();
+        match p.command {
+            Command::Analyze { metrics_out, .. } => {
+                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let args: Vec<String> = [
+            "query",
+            "cap.pcap",
+            "--plan",
+            "map src | reduce count",
+            "--metrics-out",
+            "m.jsonl",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        match parse(&args).unwrap().command {
+            Command::Query { metrics_out, .. } => {
+                assert_eq!(metrics_out.as_deref(), Some("m.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(USAGE.contains("--metrics-out"));
     }
 
     #[test]

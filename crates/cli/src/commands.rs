@@ -1,12 +1,14 @@
 //! Command execution: each subcommand renders its report into a `String`
 //! so the logic is unit-testable without capturing stdout.
 
-use crate::args::{Command, ExportFormat, ParsedArgs, USAGE};
-use hashflow_collector::{AlgorithmKind, MonitorBuilder};
+use crate::args::{Command, ExportFormat, MetricsFormat, ParsedArgs, USAGE};
+use hashflow_collector::{
+    AlgorithmKind, Collector, MetricsRegistry, MetricsSnapshot, MonitorBuilder,
+};
 use hashflow_core::model;
 use hashflow_metrics::{evaluate, GroundTruth};
 use hashflow_monitor::{FlowMonitor, JsonLinesSink, MemoryBudget, RecordSink, INGEST_BATCH};
-use hashflow_query::{execute_snapshot, QueryMonitor, QueryPlan};
+use hashflow_query::{execute_snapshot, QueryPlan};
 use hashflow_trace::{read_pcap, write_pcap, PcapReader, TraceGenerator};
 use hashflow_types::Packet;
 use netflow_export::NetFlowV5Sink;
@@ -43,6 +45,17 @@ fn stream_capture(
     Ok(total)
 }
 
+/// Writes a metrics snapshot to `path`: JSON lines when the path ends in
+/// `.jsonl`, Prometheus text otherwise.
+fn write_metrics(snapshot: &MetricsSnapshot, path: &str) -> std::io::Result<()> {
+    let rendered = if path.ends_with(".jsonl") {
+        snapshot.to_jsonl()
+    } else {
+        snapshot.to_prometheus()
+    };
+    std::fs::write(path, rendered)
+}
+
 /// Executes a parsed command and returns its rendered report.
 ///
 /// # Errors
@@ -58,7 +71,33 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             threshold,
             top,
             shards,
-        } => analyze(path, *memory_kib, *algorithm, *threshold, *top, *shards),
+            metrics_out,
+        } => analyze(
+            path,
+            *memory_kib,
+            *algorithm,
+            *threshold,
+            *top,
+            *shards,
+            metrics_out.as_deref(),
+        ),
+        Command::Stats {
+            path,
+            memory_kib,
+            algorithm,
+            shards,
+            epoch_ms,
+            format,
+            out,
+        } => stats(
+            path,
+            *memory_kib,
+            *algorithm,
+            *shards,
+            *epoch_ms,
+            *format,
+            out.as_deref(),
+        ),
         Command::Generate {
             profile,
             flows,
@@ -94,7 +133,15 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             memory_kib,
             algorithm,
             top,
-        } => query_capture(path, plan, *memory_kib, *algorithm, *top),
+            metrics_out,
+        } => query_capture(
+            path,
+            plan,
+            *memory_kib,
+            *algorithm,
+            *top,
+            metrics_out.as_deref(),
+        ),
         Command::Model { load, depth, alpha } => {
             let mut out = String::new();
             match alpha {
@@ -164,16 +211,33 @@ fn query_capture(
     memory_kib: usize,
     algorithm: AlgorithmKind,
     top: usize,
+    metrics_out: Option<&str>,
 ) -> Result<String, Box<dyn Error>> {
     let budget = MemoryBudget::from_kib(memory_kib)?;
-    let mut monitor = QueryMonitor::new(MonitorBuilder::new(algorithm).budget(budget).build()?);
-    let id = monitor.attach(plan.clone());
-    let packets = stream_capture(path, &mut monitor, |_| {})?;
+    // The whole pipeline runs instrumented; the end-of-run report reads
+    // its packet count from the same metrics snapshot `--metrics-out`
+    // exports, so the printed and exported numbers cannot disagree.
+    let registry = MetricsRegistry::new();
+    let mut collector = Collector::builder(algorithm)
+        .budget(budget)
+        .query(plan.clone())
+        .with_metrics(registry.clone())
+        .build()?;
+    stream_capture(path, &mut collector, |_| {})?;
 
-    let streaming = monitor.answer(id);
-    let snapshot = monitor.seal();
+    let streaming = collector.query_answer(0);
+    let snapshot = collector.seal();
     let sealed = execute_snapshot(plan, &snapshot);
     let group = streaming.group();
+    let metrics = collector
+        .metrics_snapshot()
+        .expect("registry attached at build");
+    let packets = metrics
+        .counter("hashflow_ingest_packets_total", &[])
+        .unwrap_or(0);
+    if let Some(out_path) = metrics_out {
+        write_metrics(&metrics, out_path)?;
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "capture: {path}   packets: {packets}");
@@ -181,7 +245,7 @@ fn query_capture(
     let _ = writeln!(
         out,
         "algorithm: {} ({budget} budget, {} sealed records)",
-        monitor.name(),
+        collector.name(),
         snapshot.len()
     );
     let _ = writeln!(
@@ -227,6 +291,7 @@ fn analyze(
     threshold: u32,
     top: usize,
     shards: usize,
+    metrics_out: Option<&str>,
 ) -> Result<String, Box<dyn Error>> {
     let budget = MemoryBudget::from_kib(memory_kib)?;
     // The registry is the single construction path: shards > 1 wraps the
@@ -235,15 +300,28 @@ fn analyze(
     // Analyze prints the flow report and top flows, so the estimate-only
     // sketches are rejected up front with the registry's typed error
     // instead of rendering an empty table.
-    let mut monitor = MonitorBuilder::new(algorithm)
+    let registry = MetricsRegistry::new();
+    let mut collector = Collector::builder(algorithm)
         .budget(budget)
         .shards(shards)
         .require_records()
+        .with_metrics(registry.clone())
         .build()?;
     // One streaming pass: the capture is never materialized; ground
     // truth folds packet by packet while the monitor ingests batches.
     let mut truth = GroundTruth::default();
-    let packets = stream_capture(path, &mut monitor, |p| truth.observe(p))?;
+    stream_capture(path, &mut collector, |p| truth.observe(p))?;
+    // The printed packet count and the `--metrics-out` export render
+    // from the same snapshot — they cannot disagree.
+    let metrics = collector
+        .metrics_snapshot()
+        .expect("registry attached at build");
+    let packets = metrics
+        .counter("hashflow_ingest_packets_total", &[])
+        .unwrap_or(0);
+    if let Some(out_path) = metrics_out {
+        write_metrics(&metrics, out_path)?;
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "capture: {path}");
@@ -257,22 +335,22 @@ fn analyze(
         let _ = writeln!(
             out,
             "algorithm: {} ({} budget over {} shards of {} each)\n",
-            monitor.name(),
+            collector.name(),
             budget,
             shards,
             budget.split(shards)?,
         );
     } else {
-        let _ = writeln!(out, "algorithm: {} ({} budget)\n", monitor.name(), budget);
+        let _ = writeln!(out, "algorithm: {} ({} budget)\n", collector.name(), budget);
     }
-    let records = monitor.flow_records();
+    let records = collector.flow_records();
     let _ = writeln!(out, "records reported:    {}", records.len());
     let _ = writeln!(
         out,
         "cardinality estimate: {:.0}",
-        monitor.estimate_cardinality()
+        collector.estimate_cardinality()
     );
-    let hh = monitor.heavy_hitters(threshold);
+    let hh = collector.heavy_hitters(threshold);
     let _ = writeln!(
         out,
         "heavy hitters (>= {threshold} pkts): {} reported, {} true\n",
@@ -292,8 +370,53 @@ fn analyze(
             rec.key()
         );
     }
-    let _ = writeln!(out, "\nper-packet cost: {}", monitor.cost());
+    let _ = writeln!(out, "\nper-packet cost: {}", collector.cost());
     Ok(out)
+}
+
+/// Streams a capture through a fully instrumented pipeline and renders
+/// the resulting runtime metrics — the operational "what did the
+/// collector actually do" view (packets, bytes, epochs, drops, shard
+/// split, latencies) next to `analyze`'s accuracy view.
+fn stats(
+    path: &str,
+    memory_kib: usize,
+    algorithm: AlgorithmKind,
+    shards: usize,
+    epoch_ms: u64,
+    format: MetricsFormat,
+    out: Option<&str>,
+) -> Result<String, Box<dyn Error>> {
+    let budget = MemoryBudget::from_kib(memory_kib)?;
+    let registry = MetricsRegistry::new();
+    let mut builder = Collector::builder(algorithm)
+        .budget(budget)
+        .shards(shards)
+        .with_metrics(registry.clone());
+    if epoch_ms > 0 {
+        builder = builder.epoch_ns(epoch_ms.saturating_mul(1_000_000));
+    }
+    let mut collector = builder.build()?;
+    stream_capture(path, &mut collector, |_| {})?;
+    collector.seal();
+    collector.finish()?;
+    let metrics = collector
+        .metrics_snapshot()
+        .expect("registry attached at build");
+    let rendered = match format {
+        MetricsFormat::Prometheus => metrics.to_prometheus(),
+        MetricsFormat::JsonLines => metrics.to_jsonl(),
+    };
+    match out {
+        Some(out_path) => {
+            std::fs::write(out_path, &rendered)?;
+            Ok(format!(
+                "wrote {} metric samples to {out_path}\n",
+                metrics.samples().len()
+            ))
+        }
+        None => Ok(rendered),
+    }
 }
 
 fn compare(
@@ -507,6 +630,100 @@ mod tests {
         .map(String::from)
         .collect();
         run(&parse(&args).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn stats_command_renders_both_formats() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("stats.pcap");
+        run_line(&format!(
+            "generate --profile isp2 --flows 300 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        let prom = run_line(&format!(
+            "stats {} --memory-kib 64 --shards 2 --epoch-ms 1",
+            pcap.display()
+        ))
+        .unwrap();
+        assert!(
+            prom.contains("# TYPE hashflow_ingest_packets_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("hashflow_shard_packets_total{shard=\"1\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("hashflow_epochs_sealed_total"), "{prom}");
+        let jsonl = run_line(&format!("stats {} --format jsonl", pcap.display())).unwrap();
+        assert!(
+            jsonl.contains(r#""name":"hashflow_ingest_packets_total""#),
+            "{jsonl}"
+        );
+        // --out writes the file and reports the sample count instead.
+        let out_file = dir.join("stats.prom");
+        let report = run_line(&format!(
+            "stats {} --out {}",
+            pcap.display(),
+            out_file.display()
+        ))
+        .unwrap();
+        assert!(report.contains("metric samples"), "{report}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(written.contains("hashflow_ingest_packets_total"));
+    }
+
+    #[test]
+    fn metrics_out_agrees_with_the_printed_report() {
+        let dir = std::env::temp_dir().join("hashflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("agree.pcap");
+        run_line(&format!(
+            "generate --profile caida --flows 300 --seed 4 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        let metrics_file = dir.join("agree.prom");
+        let out = run_line(&format!(
+            "analyze {} --memory-kib 64 --metrics-out {}",
+            pcap.display(),
+            metrics_file.display()
+        ))
+        .unwrap();
+        // The printed packet count and the exported counter come from one
+        // snapshot; cross-check them literally.
+        let printed: u64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("packets: "))
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        let exported = std::fs::read_to_string(&metrics_file).unwrap();
+        assert!(
+            exported.contains(&format!("hashflow_ingest_packets_total {printed}")),
+            "printed {printed} not in:\n{exported}"
+        );
+        // A .jsonl path switches the exposition format.
+        let jsonl_file = dir.join("agree.jsonl");
+        let args: Vec<String> = [
+            "query",
+            pcap.to_str().unwrap(),
+            "--plan",
+            "map src | reduce count",
+            "--metrics-out",
+            jsonl_file.to_str().unwrap(),
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        run(&parse(&args).unwrap()).unwrap();
+        let jsonl = std::fs::read_to_string(&jsonl_file).unwrap();
+        assert!(
+            jsonl.contains(r#""name":"hashflow_query_eval_packets_total""#),
+            "{jsonl}"
+        );
     }
 
     #[test]

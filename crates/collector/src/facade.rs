@@ -3,8 +3,10 @@
 
 use crate::registry::{AlgorithmKind, MonitorBuilder};
 use hashflow_monitor::{
-    CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, MemoryBudget, RecordSink,
+    CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, MemoryBudget,
+    PipelineMetrics, RecordSink,
 };
+use hashflow_obs::{MetricsRegistry, MetricsSnapshot};
 use hashflow_query::{QueryId, QueryMonitor, QueryPlan, QueryResult};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::io;
@@ -30,6 +32,7 @@ use std::io;
 /// whole pipeline unchanged.
 pub struct Collector {
     rotator: EpochRotator<QueryMonitor<Box<dyn FlowMonitor + Send>>>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -50,6 +53,7 @@ impl Collector {
             epoch_len_ns: u64::MAX,
             sinks: Vec::new(),
             queries: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -58,7 +62,36 @@ impl Collector {
     pub fn from_monitor(monitor: Box<dyn FlowMonitor + Send>, epoch_len_ns: u64) -> Self {
         Collector {
             rotator: EpochRotator::new(QueryMonitor::new(monitor), epoch_len_ns),
+            metrics: None,
         }
+    }
+
+    /// Attaches a runtime-metrics registry to every layer of the running
+    /// pipeline: the rotation layer registers its ingest/seal/sink
+    /// counters ([`PipelineMetrics`]), the query layer its per-plan
+    /// evaluation counters and answer-bank drop accounting. (The monitor
+    /// layer registers at construction — see
+    /// [`CollectorBuilder::with_metrics`], which wires all three at
+    /// build time.)
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.rotator.inner_mut().set_metrics(registry);
+        self.rotator
+            .set_metrics(PipelineMetrics::register(registry));
+        self.metrics = Some(registry.clone());
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Flushes locally accumulated counts and snapshots the attached
+    /// registry — the single source every end-of-run report and export
+    /// renders from, so printed and exported numbers cannot disagree.
+    /// Returns `None` when no registry is attached.
+    pub fn metrics_snapshot(&mut self) -> Option<MetricsSnapshot> {
+        self.rotator.flush_metrics();
+        self.metrics.as_ref().map(MetricsRegistry::snapshot)
     }
 
     /// Attaches a sink; every epoch sealed from now on streams to it.
@@ -192,6 +225,7 @@ pub struct CollectorBuilder {
     epoch_len_ns: u64,
     sinks: Vec<Box<dyn RecordSink + Send>>,
     queries: Vec<QueryPlan>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl CollectorBuilder {
@@ -246,13 +280,39 @@ impl CollectorBuilder {
         self
     }
 
+    /// Declares that records-derived queries (flow report, heavy
+    /// hitters, `top_k`) will be run, rejecting estimate-only sketches
+    /// at build time ([`MonitorBuilder::require_records`]).
+    #[must_use]
+    pub fn require_records(mut self) -> Self {
+        self.monitor = self.monitor.require_records();
+        self
+    }
+
+    /// Attaches a runtime-metrics registry; every pipeline layer
+    /// (monitor shards, query plans, rotation, sinks) registers into it
+    /// at build time and [`Collector::metrics_snapshot`] exposes the
+    /// combined state.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Errors
     ///
     /// Propagates every registry error ([`MonitorBuilder::build`]).
     pub fn build(self) -> Result<Collector, ConfigError> {
-        let mut collector = Collector::from_monitor(self.monitor.build()?, self.epoch_len_ns);
+        let mut monitor = self.monitor;
+        if let Some(registry) = &self.metrics {
+            monitor = monitor.metrics(registry.clone());
+        }
+        let mut collector = Collector::from_monitor(monitor.build()?, self.epoch_len_ns);
+        if let Some(registry) = &self.metrics {
+            collector.set_metrics(registry);
+        }
         for sink in self.sinks {
             collector.add_sink(sink);
         }
@@ -361,6 +421,58 @@ mod tests {
         assert_eq!(second, 1);
         collector.process_packet(&Packet::new(key(9), 2_100_000, 64));
         assert_eq!(collector.query_answer(second).rows()[0].value, 1);
+    }
+
+    #[test]
+    fn metrics_cover_every_pipeline_layer() {
+        use hashflow_obs::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let trace = TraceGenerator::new(TraceProfile::Isp2, 3).generate(2_000);
+        let mut collector = Collector::builder(AlgorithmKind::HashFlow)
+            .budget(budget())
+            .shards(2)
+            .epoch_ns(500_000)
+            .query("map src | distinct dst | reduce count".parse().unwrap())
+            .sink(Box::new(MemorySink::new()))
+            .with_metrics(registry.clone())
+            .build()
+            .unwrap();
+        collector.process_trace(trace.packets());
+        collector.seal();
+        let packets = trace.packets().len() as u64;
+        let snap = collector.metrics_snapshot().expect("registry attached");
+        // Rotation layer: every packet counted, epochs sealed.
+        assert_eq!(
+            snap.counter("hashflow_ingest_packets_total", &[]),
+            Some(packets)
+        );
+        let sealed = snap.counter("hashflow_epochs_sealed_total", &[]).unwrap();
+        assert_eq!(sealed, collector.completed_epochs().len() as u64);
+        assert!(sealed >= 2);
+        // Query layer: the plan evaluated every packet.
+        assert_eq!(
+            snap.counter_sum("hashflow_query_eval_packets_total"),
+            packets
+        );
+        // Monitor layer: the sharded merge layer split the same packets.
+        assert_eq!(snap.counter_sum("hashflow_shard_packets_total"), packets);
+        // No sink trouble on the happy path.
+        assert_eq!(snap.counter("hashflow_sink_errors_total", &[]), Some(0));
+        assert!(collector.metrics().is_some());
+    }
+
+    #[test]
+    fn require_records_gate_reaches_the_builder() {
+        let err = match Collector::builder(AlgorithmKind::CountMin)
+            .budget(budget())
+            .require_records()
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("estimate-only kind must be rejected"),
+        };
+        assert!(err.to_string().contains("estimate-only"), "{err}");
     }
 
     #[test]

@@ -55,10 +55,12 @@ mod registry;
 pub use facade::{Collector, CollectorBuilder};
 pub use registry::{AlgorithmKind, MonitorBuilder};
 
-// Re-exported so registry users name budgets, sinks and query plans
-// without a direct hashflow-monitor / hashflow-query dependency.
+// Re-exported so registry users name budgets, sinks, query plans and
+// metrics registries without a direct hashflow-monitor /
+// hashflow-query / hashflow-obs dependency.
 pub use hashflow_monitor::{
     EpochSnapshot, FlowMonitor, JsonLinesSink, MemoryBudget, MemorySink, RecordSink,
 };
+pub use hashflow_obs::{MetricsRegistry, MetricsSnapshot};
 pub use hashflow_query::{QueryId, QueryPlan, QueryResult};
 pub use netflow_export::NetFlowV5Sink;

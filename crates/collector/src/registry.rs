@@ -5,6 +5,7 @@ use elastic_sketch::ElasticSketch;
 use flowradar::FlowRadar;
 use hashflow_core::{HashFlow, HashFlowConfig};
 use hashflow_monitor::{FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_obs::MetricsRegistry;
 use hashflow_shard::ShardedMonitor;
 use hashflow_sketches::{BeauCoupMonitor, CountMinMonitor, ExactBaselineMonitor, FcmMonitor};
 use hashflow_types::ConfigError;
@@ -206,6 +207,7 @@ pub struct MonitorBuilder {
     shards: usize,
     sampling_n: u32,
     require_records: bool,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl MonitorBuilder {
@@ -218,6 +220,7 @@ impl MonitorBuilder {
             shards: 1,
             sampling_n: 1,
             require_records: false,
+            metrics: None,
         }
     }
 
@@ -276,6 +279,18 @@ impl MonitorBuilder {
     #[must_use]
     pub fn require_records(mut self) -> Self {
         self.require_records = true;
+        self
+    }
+
+    /// Attaches a runtime-metrics registry. Monitors with their own
+    /// telemetry (currently the sharded merge layer: per-shard packet
+    /// counters, queue-depth gauges, dispatch/merge/seal histograms)
+    /// register into it at construction; bare single-instance monitors
+    /// are unaffected — pipeline-level counters live in the rotation
+    /// layer ([`hashflow_monitor::PipelineMetrics`]).
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -394,20 +409,34 @@ impl MonitorBuilder {
         fn shard<M: MergeableMonitor + Send + 'static>(
             shards: usize,
             budget: MemoryBudget,
+            metrics: Option<&MetricsRegistry>,
             build: impl FnMut(usize, MemoryBudget) -> Result<M, ConfigError>,
         ) -> Result<Box<dyn FlowMonitor + Send>, ConfigError> {
-            Ok(Box::new(ShardedMonitor::with_budget(
-                shards, budget, build,
-            )?))
+            let mut monitor = ShardedMonitor::with_budget(shards, budget, build)?;
+            if let Some(registry) = metrics {
+                monitor.set_metrics(registry);
+            }
+            Ok(Box::new(monitor))
         }
+        let metrics = self.metrics.as_ref();
         match self.kind {
-            AlgorithmKind::HashFlow => shard(self.shards, budget, |_, b| self.build_hashflow(b)),
-            AlgorithmKind::FlowRadar => shard(self.shards, budget, |_, b| self.build_flowradar(b)),
-            AlgorithmKind::NetFlow => shard(self.shards, budget, |_, b| self.build_netflow(b)),
-            AlgorithmKind::CountMin => shard(self.shards, budget, |_, b| self.build_countmin(b)),
-            AlgorithmKind::Fcm => shard(self.shards, budget, |_, b| self.build_fcm(b)),
-            AlgorithmKind::BeauCoup => shard(self.shards, budget, |_, b| self.build_beaucoup(b)),
-            AlgorithmKind::Exact => shard(self.shards, budget, |_, b| match self.seed {
+            AlgorithmKind::HashFlow => {
+                shard(self.shards, budget, metrics, |_, b| self.build_hashflow(b))
+            }
+            AlgorithmKind::FlowRadar => {
+                shard(self.shards, budget, metrics, |_, b| self.build_flowradar(b))
+            }
+            AlgorithmKind::NetFlow => {
+                shard(self.shards, budget, metrics, |_, b| self.build_netflow(b))
+            }
+            AlgorithmKind::CountMin => {
+                shard(self.shards, budget, metrics, |_, b| self.build_countmin(b))
+            }
+            AlgorithmKind::Fcm => shard(self.shards, budget, metrics, |_, b| self.build_fcm(b)),
+            AlgorithmKind::BeauCoup => {
+                shard(self.shards, budget, metrics, |_, b| self.build_beaucoup(b))
+            }
+            AlgorithmKind::Exact => shard(self.shards, budget, metrics, |_, b| match self.seed {
                 Some(seed) => ExactBaselineMonitor::with_memory_seeded(b, seed),
                 None => ExactBaselineMonitor::with_memory(b),
             }),

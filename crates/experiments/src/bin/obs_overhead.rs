@@ -1,0 +1,45 @@
+//! Regenerates the `obs_overhead` exhibit (beyond the paper: what a live
+//! metrics registry costs on the hot path) and fails the process when any
+//! path drops below the smoke floor — the CI regression gate. See
+//! `experiments::figs::obs_overhead`.
+use experiments::output::Cell;
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!(
+        "running obs_overhead (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
+    let tables = figs::obs_overhead::run(&cfg);
+    output::emit(&tables, &cfg.out_dir);
+    // Extend the repository-level perf trajectory next to the sources.
+    let emitted = cfg.out_dir.join("BENCH_obs.json");
+    match std::fs::copy(&emitted, "BENCH_obs.json") {
+        Ok(_) => println!("   -> BENCH_obs.json"),
+        Err(e) => eprintln!("   !! failed to copy {}: {e}", emitted.display()),
+    }
+
+    // Regression gate: every path must keep at least SMOKE_FLOOR of its
+    // bare throughput with the registry attached.
+    let mut worst = f64::INFINITY;
+    for row in tables[0].rows() {
+        if let Cell::Float(ratio) = &row[7] {
+            worst = worst.min(*ratio);
+        }
+    }
+    if worst < figs::obs_overhead::SMOKE_FLOOR {
+        eprintln!(
+            "obs overhead regression: worst instrumented/bare ratio {:.3} \
+             below floor {:.2}",
+            worst,
+            figs::obs_overhead::SMOKE_FLOOR
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "worst instrumented/bare ratio {:.3} (floor {:.2})",
+        worst,
+        figs::obs_overhead::SMOKE_FLOOR
+    );
+}

@@ -28,6 +28,7 @@ fn main() {
         ("fig11", figs::fig11_throughput::run),
         ("scaling_shards", figs::scaling_shards::run),
         ("hotpath", figs::hotpath::run),
+        ("obs_overhead", figs::obs_overhead::run),
         ("query", figs::query::run),
         ("queryapps", figs::queryapps::run),
         ("equal_memory", figs::equal_memory::run),

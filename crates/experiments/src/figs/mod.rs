@@ -18,6 +18,7 @@ pub mod fig09_hh_f1;
 pub mod fig10_hh_are;
 pub mod fig11_throughput;
 pub mod hotpath;
+pub mod obs_overhead;
 pub mod query;
 pub mod queryapps;
 pub mod scaling_shards;

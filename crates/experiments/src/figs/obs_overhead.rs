@@ -1,0 +1,305 @@
+//! Beyond the paper: what runtime observability costs on the hot path.
+//!
+//! PR 7 threads a live [`MetricsRegistry`] through every pipeline stage —
+//! ingest counters and batch histograms in the rotator, per-shard packet
+//! counters and lane histograms in the merge layer, per-plan evaluation
+//! counters in the query engine. Instrumentation that a collector cannot
+//! afford to run is instrumentation that gets turned off, so this exhibit
+//! measures the registry's packet-rate cost directly: the same monitor,
+//! the same CAIDA trace, the same production-tier budget, replayed bare
+//! and then with a registry attached.
+//!
+//! Three ingest paths, because the accounting strategy differs on each:
+//!
+//! * `scalar` — one packet at a time through the full collector pipeline.
+//!   The rotator amortizes counter traffic behind a local pending block
+//!   (flushed every few thousand packets), so the per-packet cost is a
+//!   couple of integer adds.
+//! * `batched` — the batched hot path; counters flush once per batch.
+//! * `sharded4` — a 4-shard [`ShardedMonitor`] on the threaded ingest
+//!   path, where each worker owns its per-shard counter and the queue
+//!   gauges move once per batch, not per packet.
+//!
+//! Every instrumented run also proves the books balance: the registry's
+//! packet counters must equal exactly `TRIALS x` the trace's packet count
+//! when the run ends — observability that drops events under load would
+//! be worse than none.
+//!
+//! The run writes `BENCH_obs.json` (the `obs_overhead` binary copies it
+//! to the working directory and fails below [`SMOKE_FLOOR`]); the
+//! committed copy carries the release-mode claim that every path keeps
+//! >= 97% of its bare throughput at the production tier.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_collector::{AlgorithmKind, Collector, MetricsRegistry};
+use hashflow_core::HashFlow;
+use hashflow_monitor::{FlowMonitor, MemoryBudget};
+use hashflow_shard::ShardedMonitor;
+use hashflow_trace::{Trace, TraceProfile};
+use simswitch::SoftwareSwitch;
+use std::fmt::Write as _;
+
+/// Wall-clock repetitions per path; the fastest is kept (same estimator
+/// as the `hotpath` exhibit). Bare and instrumented replays interleave
+/// within one trial loop so transient machine noise lands on both sides
+/// of the ratio instead of biasing whichever side ran later.
+pub const TRIALS: usize = 7;
+
+/// Shard count on the threaded path — the N >= 4 tier the acceptance
+/// criteria call out.
+pub const SHARDS: usize = 4;
+
+/// Floor on `instrumented / bare` enforced by the `obs_overhead` binary
+/// (and the CI smoke run). Deliberately loose: scaled-down smoke traces
+/// finish in microseconds, where timer noise dwarfs the real cost. The
+/// <= 3% overhead claim is carried by the committed full-scale
+/// `BENCH_obs.json`, not by this floor.
+pub const SMOKE_FLOOR: f64 = 0.80;
+
+/// One bare-vs-instrumented measurement on a single ingest path.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    /// Ingest path (`scalar`, `batched`, or `sharded4`).
+    pub path: &'static str,
+    /// Memory budget in bytes.
+    pub budget_bytes: usize,
+    /// Distinct flows in the trace.
+    pub flows: usize,
+    /// Packets replayed per trial.
+    pub packets: u64,
+    /// Throughput with no registry attached (Kpps, best of [`TRIALS`]).
+    pub bare_kpps: f64,
+    /// Throughput with a live registry (Kpps, best of [`TRIALS`]).
+    pub instrumented_kpps: f64,
+}
+
+impl ObsRow {
+    /// Instrumented over bare throughput; 1.0 = free, 0.97 = 3% tax.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.instrumented_kpps / self.bare_kpps
+    }
+}
+
+fn collector(budget: MemoryBudget, metrics: Option<&MetricsRegistry>) -> Collector {
+    let mut builder = Collector::builder(AlgorithmKind::HashFlow).budget(budget);
+    if let Some(registry) = metrics {
+        builder = builder.with_metrics(registry.clone());
+    }
+    builder.build().expect("exhibit budget fits HashFlow")
+}
+
+fn measure_pipeline(
+    path: &'static str,
+    batched: bool,
+    budget: MemoryBudget,
+    flows: usize,
+    trace: &Trace,
+) -> ObsRow {
+    let switch = SoftwareSwitch::default();
+    let mut bare = collector(budget, None);
+    let registry = MetricsRegistry::new();
+    let mut instrumented = collector(budget, Some(&registry));
+
+    let mut bare_kpps = 0.0f64;
+    let mut instrumented_kpps = 0.0f64;
+    let mut packets = 0u64;
+    for _ in 0..TRIALS {
+        let (b, i) = if batched {
+            (
+                switch.replay(&mut bare, trace),
+                switch.replay(&mut instrumented, trace),
+            )
+        } else {
+            (
+                switch.replay_scalar(&mut bare, trace),
+                switch.replay_scalar(&mut instrumented, trace),
+            )
+        };
+        bare_kpps = bare_kpps.max(b.native_pps / 1e3);
+        instrumented_kpps = instrumented_kpps.max(i.native_pps / 1e3);
+        packets = b.packets;
+    }
+
+    // Exact accounting under load: counters survive the per-trial resets,
+    // so TRIALS replays must land exactly TRIALS x packets on the ingest
+    // counter. A lossy registry would invalidate the whole exhibit.
+    let snapshot = instrumented
+        .metrics_snapshot()
+        .expect("registry attached at build time");
+    assert_eq!(
+        snapshot.counter("hashflow_ingest_packets_total", &[]),
+        Some(TRIALS as u64 * packets),
+        "{path}: ingest counter lost packets"
+    );
+
+    ObsRow {
+        path,
+        budget_bytes: budget.bytes(),
+        flows,
+        packets,
+        bare_kpps,
+        instrumented_kpps,
+    }
+}
+
+fn sharded(budget: MemoryBudget) -> ShardedMonitor<HashFlow> {
+    ShardedMonitor::with_budget(SHARDS, budget, |_, b| HashFlow::with_memory(b))
+        .expect("exhibit budget splits across shards")
+}
+
+/// One threaded-ingest pass; Kpps from the report's own wall clock.
+fn ingest_kpps(monitor: &mut ShardedMonitor<HashFlow>, trace: &Trace) -> f64 {
+    monitor.reset();
+    let report = monitor.ingest(trace.packets());
+    if report.elapsed_ns == 0 {
+        f64::INFINITY
+    } else {
+        trace.packets().len() as f64 * 1e6 / report.elapsed_ns as f64
+    }
+}
+
+fn measure_sharded(budget: MemoryBudget, flows: usize, trace: &Trace) -> ObsRow {
+    let mut bare = sharded(budget);
+    let registry = MetricsRegistry::new();
+    let mut instrumented = sharded(budget);
+    instrumented.set_metrics(&registry);
+
+    let mut bare_kpps = 0.0f64;
+    let mut instrumented_kpps = 0.0f64;
+    for _ in 0..TRIALS {
+        bare_kpps = bare_kpps.max(ingest_kpps(&mut bare, trace));
+        instrumented_kpps = instrumented_kpps.max(ingest_kpps(&mut instrumented, trace));
+    }
+
+    let packets = trace.packets().len() as u64;
+    // Same books-balance check as the pipeline paths, summed across the
+    // per-shard counters (resets leave registered counters cumulative).
+    assert_eq!(
+        registry
+            .snapshot()
+            .counter_sum("hashflow_shard_packets_total"),
+        TRIALS as u64 * packets,
+        "sharded4: shard counters lost packets"
+    );
+
+    ObsRow {
+        path: "sharded4",
+        budget_bytes: budget.bytes(),
+        flows,
+        packets,
+        bare_kpps,
+        instrumented_kpps,
+    }
+}
+
+/// Runs the bare-vs-instrumented sweep on the CAIDA production tier.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let paper_budget = setup::standard_budget(cfg);
+    let budget =
+        MemoryBudget::from_bytes(paper_budget.bytes() * 8).expect("8x standard budget is positive");
+    let flows = cfg.scaled(800_000, 4_000);
+    let trace = setup::trace_for(cfg, TraceProfile::Caida, flows);
+
+    let rows = vec![
+        measure_pipeline("scalar", false, budget, flows, &trace),
+        measure_pipeline("batched", true, budget, flows, &trace),
+        measure_sharded(budget, flows, &trace),
+    ];
+
+    let mut table = Table::new(
+        "obs_overhead",
+        &[
+            "trace",
+            "path",
+            "budget_bytes",
+            "flows",
+            "packets",
+            "bare_kpps",
+            "instrumented_kpps",
+            "overhead_ratio",
+        ],
+    );
+    for row in &rows {
+        table.push_row(vec![
+            Cell::from("CAIDA"),
+            Cell::from(row.path),
+            Cell::Int(row.budget_bytes as i64),
+            Cell::Int(row.flows as i64),
+            Cell::Int(row.packets as i64),
+            Cell::Float(row.bare_kpps),
+            Cell::Float(row.instrumented_kpps),
+            Cell::Float(row.overhead_ratio()),
+        ]);
+    }
+
+    let json = bench_json(&rows);
+    let path = cfg.out_dir.join("BENCH_obs.json");
+    if std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|()| std::fs::write(&path, &json))
+        .is_err()
+    {
+        eprintln!("   !! failed to write {}", path.display());
+    }
+
+    vec![table]
+}
+
+/// Renders the machine-readable summary (hand-rolled flat JSON, like the
+/// other `BENCH_*.json` emitters).
+fn bench_json(rows: &[ObsRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"exhibit\": \"obs_overhead\",");
+    let _ = writeln!(out, "  \"profile\": \"CAIDA\",");
+    let _ = writeln!(out, "  \"workload\": \"production\",");
+    let _ = writeln!(out, "  \"trials\": {TRIALS},");
+    let _ = writeln!(out, "  \"smoke_floor\": {SMOKE_FLOOR},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"path\": \"{}\", \"budget_bytes\": {}, \"flows\": {}, \"packets\": {}, \
+             \"bare_kpps\": {:.3}, \"instrumented_kpps\": {:.3}, \"overhead_ratio\": {:.4}}}{comma}",
+            r.path,
+            r.budget_bytes,
+            r.flows,
+            r.packets,
+            r.bare_kpps,
+            r.instrumented_kpps,
+            r.overhead_ratio(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_three_paths_and_emits_json() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables[0].len(), 3);
+        for row in tables[0].rows() {
+            if let Cell::Float(ratio) = &row[7] {
+                // The measurement (and its exact-accounting asserts) must
+                // hold at any scale; the throughput claim itself belongs
+                // to the committed release-mode BENCH_obs.json.
+                assert!(*ratio > 0.0, "overhead ratio must be positive");
+            } else {
+                panic!("overhead_ratio column must be a float");
+            }
+        }
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_obs.json")).unwrap();
+        assert!(json.contains("\"exhibit\": \"obs_overhead\""));
+        assert!(json.contains("\"path\": \"scalar\""));
+        assert!(json.contains("\"path\": \"batched\""));
+        assert!(json.contains("\"path\": \"sharded4\""));
+        assert!(json.contains("overhead_ratio"));
+    }
+}

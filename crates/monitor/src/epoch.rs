@@ -31,7 +31,10 @@
 //!    epoch's reported `start_ns`/`end_ns` span the *observed* min/max
 //!    timestamps, which may extend before `base`.
 
-use crate::{CostSnapshot, EpochSnapshot, FlowMonitor, RecordSink, SinkSet};
+use crate::{
+    CostSnapshot, EpochSnapshot, FlowMonitor, PipelineMetrics, RecordSink, SinkSet,
+    SCALAR_FLUSH_PACKETS,
+};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
 /// A completed measurement epoch: its records and bookkeeping.
@@ -127,6 +130,12 @@ pub struct EpochRotator<M> {
     last_ns: Option<u64>,
     completed: Vec<EpochReport>,
     sinks: SinkSet,
+    metrics: Option<PipelineMetrics>,
+    // Packet/byte counts accumulated locally and flushed to the shared
+    // atomic counters per batch (or per SCALAR_FLUSH_PACKETS packets on
+    // the scalar path), keeping instrumentation off the per-packet path.
+    pending_packets: u64,
+    pending_bytes: u64,
 }
 
 impl<M: std::fmt::Debug> std::fmt::Debug for EpochRotator<M> {
@@ -159,6 +168,44 @@ impl<M: FlowMonitor> EpochRotator<M> {
             last_ns: None,
             completed: Vec::new(),
             sinks: SinkSet::new(),
+            metrics: None,
+            pending_packets: 0,
+            pending_bytes: 0,
+        }
+    }
+
+    /// Attaches pipeline metrics: ingest counters and histograms, seal
+    /// and rotation-gap counts, sink export latency and error counts all
+    /// start updating from here on. Sinks added before or after both
+    /// report into the same error counter.
+    pub fn set_metrics(&mut self, metrics: PipelineMetrics) {
+        self.sinks.set_error_counter(metrics.sink_errors.clone());
+        self.metrics = Some(metrics);
+    }
+
+    /// Builder-style [`Self::set_metrics`].
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.set_metrics(metrics);
+        self
+    }
+
+    /// The attached pipeline metrics, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Pushes locally accumulated packet/byte counts into the shared
+    /// counters, so a registry snapshot taken mid-epoch is current.
+    /// Called automatically at batch boundaries and rotations.
+    pub fn flush_metrics(&mut self) {
+        if let Some(m) = &self.metrics {
+            if self.pending_packets > 0 {
+                m.packets.add(self.pending_packets);
+                m.bytes.add(self.pending_bytes);
+                self.pending_packets = 0;
+                self.pending_bytes = 0;
+            }
         }
     }
 
@@ -231,6 +278,7 @@ impl<M: FlowMonitor> EpochRotator<M> {
     /// with the default `seal` (capture + reset) this is the same drain
     /// as reading the report and resetting.
     pub fn rotate_now(&mut self) -> EpochReport {
+        self.flush_metrics();
         let mut report = self.inner.seal().into_report();
         report.epoch = self.current_epoch;
         report.start_ns = self.first_ns;
@@ -239,8 +287,13 @@ impl<M: FlowMonitor> EpochRotator<M> {
             // Snapshot once, export, recover the report — the record
             // store is never cloned for the sinks.
             let snapshot = report.into_snapshot();
+            let export_timer = self.metrics.as_ref().map(|m| m.export_ns.start_timer());
             self.sinks.export(&snapshot);
+            drop(export_timer);
             report = snapshot.into_report();
+        }
+        if let Some(m) = &self.metrics {
+            m.epochs_sealed.inc();
         }
         self.completed.push(report.clone());
         self.current_epoch += 1;
@@ -286,6 +339,13 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
                 // rotates. Timestamps before `base` (out-of-order
                 // arrivals) never rotate — time only moves forward.
                 if ts >= base.saturating_add(self.epoch_len_ns) {
+                    if let Some(m) = &self.metrics {
+                        // A quiet gap: the packet skipped at least one
+                        // whole window beyond the epoch it sealed.
+                        if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                            m.rotation_gaps.inc();
+                        }
+                    }
                     self.rotate_now();
                     self.epoch_base_ns = Some(ts);
                 }
@@ -295,6 +355,13 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
         // may extend start_ns before the epoch base.
         self.first_ns = Some(self.first_ns.map_or(ts, |f| f.min(ts)));
         self.last_ns = Some(self.last_ns.map_or(ts, |l| l.max(ts)));
+        if self.metrics.is_some() {
+            self.pending_packets += 1;
+            self.pending_bytes += u64::from(packet.wire_len());
+            if self.pending_packets >= SCALAR_FLUSH_PACKETS {
+                self.flush_metrics();
+            }
+        }
         self.inner.process_packet(packet);
     }
 
@@ -307,6 +374,11 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
     /// scalar loop. Observationally identical to routing every packet
     /// through [`Self::process_packet`].
     fn process_batch(&mut self, packets: &[Packet]) {
+        let batch_timer = self.metrics.as_ref().map(|m| {
+            m.batches.inc();
+            m.batch_size.observe(packets.len() as u64);
+            m.batch_ns.start_timer()
+        });
         let mut start = 0usize;
         let mut run_first: Option<u64> = None;
         let mut run_last: Option<u64> = None;
@@ -316,6 +388,11 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
                 None => self.epoch_base_ns = Some(ts),
                 Some(base) => {
                     if ts >= base.saturating_add(self.epoch_len_ns) {
+                        if let Some(m) = &self.metrics {
+                            if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                                m.rotation_gaps.inc();
+                            }
+                        }
                         // Seal everything before the boundary packet,
                         // then re-anchor the new epoch at it.
                         self.ingest_run(&packets[start..i], run_first, run_last);
@@ -331,6 +408,12 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
             run_last = Some(run_last.map_or(ts, |l| l.max(ts)));
         }
         self.ingest_run(&packets[start..], run_first, run_last);
+        if batch_timer.is_some() {
+            self.pending_packets += packets.len() as u64;
+            self.pending_bytes += packets.iter().map(|p| u64::from(p.wire_len())).sum::<u64>();
+            self.flush_metrics();
+        }
+        drop(batch_timer);
     }
 
     fn flow_records(&self) -> Vec<FlowRecord> {
@@ -358,6 +441,7 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
     }
 
     fn reset(&mut self) {
+        self.flush_metrics();
         self.inner.reset();
         self.current_epoch = 0;
         self.epoch_base_ns = None;
@@ -666,6 +750,78 @@ mod tests {
         assert_eq!(r.completed_epochs().len(), 1);
         r.process_packet(&pkt(2, 30));
         assert_eq!(r.seal().epoch(), 1);
+    }
+
+    #[test]
+    fn metrics_track_ingest_seals_and_gaps() {
+        use crate::PipelineMetrics;
+        use hashflow_obs::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut r = EpochRotator::new(Exact::default(), 1_000)
+            .with_metrics(PipelineMetrics::register(&registry));
+        // Scalar path: 3 packets in epoch 0, then a quiet gap of several
+        // windows (one rotation, one gap), then a boundary rotation
+        // (no gap).
+        r.process_packet(&pkt(1, 0));
+        r.process_packet(&pkt(1, 10));
+        r.process_packet(&pkt(2, 999));
+        r.process_packet(&pkt(2, 50_000)); // gap: skipped many windows
+        r.process_packet(&pkt(3, 51_000)); // plain boundary rotation
+                                           // Batched path: one batch crossing one boundary.
+        r.process_batch(&[pkt(4, 51_100), pkt(4, 52_000), pkt(5, 52_100)]);
+        r.rotate_now();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hashflow_ingest_packets_total", &[]), Some(8));
+        assert_eq!(
+            snap.counter("hashflow_ingest_bytes_total", &[]),
+            Some(8 * 64)
+        );
+        assert_eq!(snap.counter("hashflow_epochs_sealed_total", &[]), Some(4));
+        assert_eq!(snap.counter("hashflow_rotation_gaps_total", &[]), Some(1));
+        assert_eq!(snap.counter("hashflow_ingest_batches_total", &[]), Some(1));
+        // Un-flushed scalar counts appear after the next flush point.
+        r.process_packet(&pkt(6, 60_000));
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("hashflow_ingest_packets_total", &[]),
+            Some(8),
+            "scalar counts are batched locally until a flush point"
+        );
+        r.flush_metrics();
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("hashflow_ingest_packets_total", &[]),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn metrics_time_sink_exports_and_count_errors() {
+        use crate::{PipelineMetrics, RecordSink};
+        use hashflow_obs::MetricsRegistry;
+
+        struct Broken;
+        impl RecordSink for Broken {
+            fn export_epoch(&mut self, _s: &crate::EpochSnapshot) -> std::io::Result<()> {
+                Err(std::io::Error::other("down"))
+            }
+        }
+
+        let registry = MetricsRegistry::new();
+        let mut r = EpochRotator::new(Exact::default(), u64::MAX)
+            .with_metrics(PipelineMetrics::register(&registry))
+            .with_sink(Box::new(Broken));
+        r.process_packet(&pkt(1, 0));
+        r.rotate_now();
+        r.process_packet(&pkt(2, 5));
+        r.rotate_now();
+        let snap = registry.snapshot();
+        // Every failed export counts (not just the first parked error).
+        assert_eq!(snap.counter("hashflow_sink_errors_total", &[]), Some(2));
+        assert!(r.take_sink_error().is_some());
     }
 
     #[test]

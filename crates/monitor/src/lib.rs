@@ -36,6 +36,7 @@ mod epoch;
 mod merge;
 mod sink;
 mod snapshot;
+mod stats;
 
 pub use budget::MemoryBudget;
 pub use cost::{CostRecorder, CostSnapshot};
@@ -43,6 +44,7 @@ pub use epoch::{EpochReport, EpochRotator};
 pub use merge::MergeableMonitor;
 pub use sink::{JsonLinesSink, MemorySink, RecordSink, SinkSet};
 pub use snapshot::EpochSnapshot;
+pub use stats::{DropStats, PipelineMetrics, SCALAR_FLUSH_PACKETS};
 
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 

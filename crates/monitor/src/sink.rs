@@ -13,7 +13,8 @@
 //! in-process consumers. The NetFlow v5 sink lives in the
 //! `netflow-export` crate next to its wire format.
 
-use crate::EpochSnapshot;
+use crate::{DropStats, EpochSnapshot};
+use hashflow_obs::Counter;
 use std::io::{self, Write};
 
 /// A destination for sealed measurement epochs.
@@ -51,6 +52,7 @@ pub trait RecordSink {
 pub struct SinkSet {
     sinks: Vec<Box<dyn RecordSink + Send>>,
     first_error: Option<io::Error>,
+    error_counter: Option<Counter>,
 }
 
 impl std::fmt::Debug for SinkSet {
@@ -83,11 +85,22 @@ impl SinkSet {
         self.sinks.is_empty()
     }
 
+    /// Attaches a metrics counter incremented once per sink error —
+    /// unlike the parked [`Self::take_error`] (first error only), the
+    /// counter sees *every* failed export or flush, so exposition
+    /// reflects the true failure volume of a long run.
+    pub fn set_error_counter(&mut self, counter: Counter) {
+        self.error_counter = Some(counter);
+    }
+
     /// Streams one sealed epoch to every sink; the first error is parked
     /// (later sinks still receive the epoch).
     pub fn export(&mut self, snapshot: &EpochSnapshot) {
         for sink in &mut self.sinks {
             if let Err(e) = sink.export_epoch(snapshot) {
+                if let Some(c) = &self.error_counter {
+                    c.inc();
+                }
                 self.first_error.get_or_insert(e);
             }
         }
@@ -109,6 +122,9 @@ impl SinkSet {
         let mut first_err = self.first_error.take();
         for sink in &mut self.sinks {
             if let Err(e) = sink.finish() {
+                if let Some(c) = &self.error_counter {
+                    c.inc();
+                }
                 first_err.get_or_insert(e);
             }
         }
@@ -205,18 +221,18 @@ impl<W: Write> RecordSink for JsonLinesSink<W> {
 /// policy is oldest-first retention, whole epochs only: an arriving epoch
 /// is kept iff its record count fits in the remaining capacity; otherwise
 /// the *entire* epoch is dropped (snapshots are immutable — truncating one
-/// would silently corrupt its query answers) and counted in
-/// [`MemorySink::dropped_records`] / [`MemorySink::dropped_epochs`].
-/// Export never errors for a dropped epoch: a full dashboard buffer must
-/// not park the rotation layer's sink error.
+/// would silently corrupt its query answers) and counted in the sink's
+/// [`DropStats`] ([`MemorySink::dropped_records`] /
+/// [`MemorySink::dropped_epochs`]). Export never errors for a dropped
+/// epoch: a full dashboard buffer must not park the rotation layer's sink
+/// error.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     epochs: Vec<EpochSnapshot>,
     /// Maximum total retained records across all epochs (`None` = unbounded).
     capacity: Option<usize>,
     retained_records: usize,
-    dropped_epochs: u64,
-    dropped_records: u64,
+    drops: DropStats,
 }
 
 impl MemorySink {
@@ -245,13 +261,20 @@ impl MemorySink {
     }
 
     /// Epochs dropped whole because they did not fit the capacity limit.
-    pub const fn dropped_epochs(&self) -> u64 {
-        self.dropped_epochs
+    pub fn dropped_epochs(&self) -> u64 {
+        self.drops.dropped_epochs()
     }
 
     /// Records inside dropped epochs (what a downstream consumer lost).
-    pub const fn dropped_records(&self) -> u64 {
-        self.dropped_records
+    pub fn dropped_records(&self) -> u64 {
+        self.drops.dropped_records()
+    }
+
+    /// The sink's drop accounting, as a shared handle — clone it into a
+    /// `MetricsRegistry` ([`DropStats::register`]) to expose this sink's
+    /// drops, even after the sink is boxed into a rotation pipeline.
+    pub fn drop_stats(&self) -> DropStats {
+        self.drops.clone()
     }
 
     /// Consumes the sink, returning the retained epochs.
@@ -264,8 +287,7 @@ impl RecordSink for MemorySink {
     fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
         if let Some(cap) = self.capacity {
             if self.retained_records + snapshot.len() > cap {
-                self.dropped_epochs += 1;
-                self.dropped_records += snapshot.len() as u64;
+                self.drops.record_drop(snapshot.len() as u64);
                 return Ok(());
             }
         }

@@ -1,0 +1,228 @@
+//! Runtime self-telemetry for the rotation pipeline: the uniform drop
+//! accounting every bounded buffer shares ([`DropStats`]) and the metric
+//! handles the epoch layer updates ([`PipelineMetrics`]).
+//!
+//! These are thin compositions over `hashflow-obs` primitives. A pipeline
+//! runs un-instrumented by default — stages hold `Option<PipelineMetrics>`
+//! and the bare path pays only the `None` check. When a
+//! [`MetricsRegistry`] is attached (e.g. via the collector facade), every
+//! stage registers into the same registry and one snapshot covers the
+//! whole pipeline.
+
+use hashflow_obs::{Counter, Histogram, MetricsRegistry};
+
+/// How many scalar-path packets may accumulate locally before the
+/// pending counts are flushed into the shared atomic counters.
+///
+/// Batched paths flush per batch; the scalar path amortizes the two
+/// atomic read-modify-writes over this many packets so per-packet
+/// instrumentation stays far under the pipeline's 3% overhead budget.
+/// Registry reads may therefore lag the scalar path by at most this many
+/// packets until the next batch boundary, rotation or explicit flush.
+pub const SCALAR_FLUSH_PACKETS: u64 = 4096;
+
+/// Uniform drop accounting for bounded buffers — the first piece of the
+/// pipeline's backpressure contract.
+///
+/// Every stage that sheds load under a capacity limit (`MemorySink`'s
+/// retained-epoch cap, `QueryMonitor`'s banked-answer cap) counts what it
+/// dropped the same way: whole epochs, and the records (or answers)
+/// inside them. The counters are shared atomic handles, so the same
+/// `DropStats` can sit inside the buffer *and* be registered in a
+/// [`MetricsRegistry`] for exposition.
+///
+/// # Examples
+///
+/// ```
+/// use hashflow_monitor::DropStats;
+/// use hashflow_obs::MetricsRegistry;
+///
+/// let drops = DropStats::new();
+/// let registry = MetricsRegistry::new();
+/// drops.register(&registry, "memory_sink");
+/// drops.record_drop(17); // one epoch of 17 records shed
+/// assert_eq!(drops.dropped_epochs(), 1);
+/// assert_eq!(
+///     registry.snapshot().counter(
+///         "hashflow_dropped_records_total",
+///         &[("component", "memory_sink")],
+///     ),
+///     Some(17),
+/// );
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DropStats {
+    epochs: Counter,
+    records: Counter,
+}
+
+impl DropStats {
+    /// Fresh drop accounting with both counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one dropped epoch carrying `records` records (answers, for
+    /// an answer bank).
+    pub fn record_drop(&self, records: u64) {
+        self.epochs.inc();
+        self.records.add(records);
+    }
+
+    /// Epochs dropped whole.
+    pub fn dropped_epochs(&self) -> u64 {
+        self.epochs.get()
+    }
+
+    /// Records (or answers) inside dropped epochs.
+    pub fn dropped_records(&self) -> u64 {
+        self.records.get()
+    }
+
+    /// Clears both counters, for buffers whose own `reset()` contract
+    /// wipes accumulated state.
+    pub fn reset(&self) {
+        self.epochs.reset();
+        self.records.reset();
+    }
+
+    /// Registers both counters under the uniform names
+    /// `hashflow_dropped_epochs_total` / `hashflow_dropped_records_total`
+    /// with a `component` label identifying the buffer.
+    pub fn register(&self, registry: &MetricsRegistry, component: &str) {
+        registry.register_counter(
+            "hashflow_dropped_epochs_total",
+            &[("component", component)],
+            self.epochs.clone(),
+        );
+        registry.register_counter(
+            "hashflow_dropped_records_total",
+            &[("component", component)],
+            self.records.clone(),
+        );
+    }
+}
+
+/// The metric handles an instrumented [`crate::EpochRotator`] updates.
+///
+/// | Metric | Type | Meaning |
+/// |---|---|---|
+/// | `hashflow_ingest_packets_total` | counter | packets ingested |
+/// | `hashflow_ingest_bytes_total` | counter | wire bytes ingested |
+/// | `hashflow_ingest_batches_total` | counter | `process_batch` calls |
+/// | `hashflow_ingest_batch_size` | histogram | packets per batch |
+/// | `hashflow_ingest_batch_ns` | histogram | wall time per batch |
+/// | `hashflow_epochs_sealed_total` | counter | epochs sealed |
+/// | `hashflow_rotation_gaps_total` | counter | rotations that skipped ≥ 1 quiet window |
+/// | `hashflow_sink_export_ns` | histogram | sink fan-out time per sealed epoch |
+/// | `hashflow_sink_errors_total` | counter | sink export/flush errors |
+#[derive(Clone, Debug)]
+pub struct PipelineMetrics {
+    pub(crate) packets: Counter,
+    pub(crate) bytes: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) batch_size: Histogram,
+    pub(crate) batch_ns: Histogram,
+    pub(crate) epochs_sealed: Counter,
+    pub(crate) rotation_gaps: Counter,
+    pub(crate) export_ns: Histogram,
+    pub(crate) sink_errors: Counter,
+}
+
+impl PipelineMetrics {
+    /// Creates the handles, registering every metric (unlabelled) in
+    /// `registry`. Registration is get-or-create, so two pipeline stages
+    /// given the same registry share the same counters.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        PipelineMetrics {
+            packets: registry.counter("hashflow_ingest_packets_total", &[]),
+            bytes: registry.counter("hashflow_ingest_bytes_total", &[]),
+            batches: registry.counter("hashflow_ingest_batches_total", &[]),
+            batch_size: registry.histogram("hashflow_ingest_batch_size", &[]),
+            batch_ns: registry.histogram("hashflow_ingest_batch_ns", &[]),
+            epochs_sealed: registry.counter("hashflow_epochs_sealed_total", &[]),
+            rotation_gaps: registry.counter("hashflow_rotation_gaps_total", &[]),
+            export_ns: registry.histogram("hashflow_sink_export_ns", &[]),
+            sink_errors: registry.counter("hashflow_sink_errors_total", &[]),
+        }
+    }
+
+    /// Packets-ingested counter (shared handle).
+    pub fn packets(&self) -> &Counter {
+        &self.packets
+    }
+
+    /// Bytes-ingested counter (shared handle).
+    pub fn bytes(&self) -> &Counter {
+        &self.bytes
+    }
+
+    /// Epochs-sealed counter (shared handle).
+    pub fn epochs_sealed(&self) -> &Counter {
+        &self.epochs_sealed
+    }
+
+    /// Sink-error counter (shared handle).
+    pub fn sink_errors(&self) -> &Counter {
+        &self.sink_errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_stats_count_epochs_and_records() {
+        let d = DropStats::new();
+        d.record_drop(10);
+        d.record_drop(0);
+        assert_eq!(d.dropped_epochs(), 2);
+        assert_eq!(d.dropped_records(), 10);
+        d.reset();
+        assert_eq!(d.dropped_epochs(), 0);
+        assert_eq!(d.dropped_records(), 0);
+    }
+
+    #[test]
+    fn drop_stats_register_under_component_label() {
+        let registry = MetricsRegistry::new();
+        let sink = DropStats::new();
+        let bank = DropStats::new();
+        sink.register(&registry, "memory_sink");
+        bank.register(&registry, "query_answers");
+        sink.record_drop(3);
+        bank.record_drop(1);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(
+                "hashflow_dropped_epochs_total",
+                &[("component", "memory_sink")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "hashflow_dropped_records_total",
+                &[("component", "query_answers")]
+            ),
+            Some(1)
+        );
+        assert_eq!(snap.counter_sum("hashflow_dropped_records_total"), 4);
+    }
+
+    #[test]
+    fn pipeline_metrics_share_a_registry() {
+        let registry = MetricsRegistry::new();
+        let a = PipelineMetrics::register(&registry);
+        let b = PipelineMetrics::register(&registry);
+        a.packets().add(5);
+        b.packets().add(7);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("hashflow_ingest_packets_total", &[]),
+            Some(12)
+        );
+    }
+}

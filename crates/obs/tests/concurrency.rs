@@ -1,0 +1,82 @@
+//! Concurrency contract: one registry hammered from N worker threads
+//! (the shard-ingestion topology) must lose no updates — counter totals
+//! sum exactly, histograms account for every observation.
+
+use hashflow_obs::MetricsRegistry;
+
+const WORKERS: usize = 8;
+const UPDATES_PER_WORKER: u64 = 10_000;
+
+#[test]
+fn counters_sum_exactly_across_workers() {
+    let registry = MetricsRegistry::new();
+    // A shared counter every worker contends on, plus one per-worker
+    // counter each owns — the two shapes the shard layer uses.
+    let shared = registry.counter("shared_total", &[]);
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let shared = shared.clone();
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let shard = w.to_string();
+                let own = registry.counter("per_shard_total", &[("shard", &shard)]);
+                for _ in 0..UPDATES_PER_WORKER {
+                    shared.inc();
+                    own.inc();
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let expected = WORKERS as u64 * UPDATES_PER_WORKER;
+    assert_eq!(snap.counter("shared_total", &[]), Some(expected));
+    assert_eq!(snap.counter_sum("per_shard_total"), expected);
+    for w in 0..WORKERS {
+        assert_eq!(
+            snap.counter("per_shard_total", &[("shard", &w.to_string())]),
+            Some(UPDATES_PER_WORKER)
+        );
+    }
+}
+
+#[test]
+fn histogram_accounts_for_every_observation() {
+    let registry = MetricsRegistry::new();
+    let hist = registry.histogram("obs_ns", &[]);
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..UPDATES_PER_WORKER {
+                    hist.observe(w as u64 * 1000 + i % 7);
+                }
+            });
+        }
+    });
+    let expected = WORKERS as u64 * UPDATES_PER_WORKER;
+    assert_eq!(hist.count(), expected);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), expected);
+}
+
+#[test]
+fn concurrent_get_or_create_yields_one_metric_per_pair() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                for i in 0..100u32 {
+                    registry
+                        .counter("raced", &[("i", &(i % 4).to_string())])
+                        .inc();
+                }
+            });
+        }
+    });
+    // 4 label sets, no duplicates despite every worker racing to create.
+    assert_eq!(registry.len(), 4);
+    assert_eq!(
+        registry.snapshot().counter_sum("raced"),
+        WORKERS as u64 * 100
+    );
+}

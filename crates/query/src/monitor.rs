@@ -17,7 +17,8 @@
 
 use crate::exec::{QueryResult, StreamingQuery};
 use crate::plan::QueryPlan;
-use hashflow_monitor::{CostSnapshot, EpochSnapshot, FlowMonitor};
+use hashflow_monitor::{CostSnapshot, DropStats, EpochSnapshot, FlowMonitor};
+use hashflow_obs::{Counter, MetricsRegistry};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
 /// Identifier of a plan attached to a [`QueryMonitor`] (its attach
@@ -61,12 +62,20 @@ pub type QueryId = usize;
 pub struct QueryMonitor<M> {
     inner: M,
     queries: Vec<StreamingQuery>,
+    /// Packets evaluated per plan, parallel to `queries` — counters so
+    /// the same handles can live in a [`MetricsRegistry`].
+    eval_packets: Vec<Counter>,
     /// Streaming answers banked at each seal, oldest epoch first; one
     /// entry per attached plan, in attach order.
     sealed: Vec<Vec<QueryResult>>,
     /// Maximum banked epochs (`None` = unbounded).
     answer_limit: Option<usize>,
-    dropped_answer_epochs: u64,
+    /// Whole epochs of answers shed at the answer limit (uniform drop
+    /// accounting, `component="query_answers"` when registered).
+    drops: DropStats,
+    /// Registry plans attached *after* [`Self::set_metrics`] register
+    /// into.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl<M: FlowMonitor> QueryMonitor<M> {
@@ -77,9 +86,11 @@ impl<M: FlowMonitor> QueryMonitor<M> {
         QueryMonitor {
             inner,
             queries: Vec::new(),
+            eval_packets: Vec::new(),
             sealed: Vec::new(),
             answer_limit: None,
-            dropped_answer_epochs: 0,
+            drops: DropStats::new(),
+            metrics: None,
         }
     }
 
@@ -103,8 +114,8 @@ impl<M: FlowMonitor> QueryMonitor<M> {
 
     /// Epochs whose streaming answers were dropped whole because the
     /// bank was at its [`answer limit`](Self::with_answer_limit).
-    pub const fn dropped_answer_epochs(&self) -> u64 {
-        self.dropped_answer_epochs
+    pub fn dropped_answer_epochs(&self) -> u64 {
+        self.drops.dropped_epochs()
     }
 
     /// Attaches a plan; its streaming state starts empty **now** (packets
@@ -112,7 +123,28 @@ impl<M: FlowMonitor> QueryMonitor<M> {
     /// addressing this plan's answers.
     pub fn attach(&mut self, plan: QueryPlan) -> QueryId {
         self.queries.push(StreamingQuery::new(plan));
-        self.queries.len() - 1
+        self.eval_packets.push(Counter::new());
+        let id = self.queries.len() - 1;
+        if let Some(registry) = &self.metrics {
+            register_eval_counter(registry, id, &self.eval_packets[id]);
+        }
+        id
+    }
+
+    /// Registers this adapter's telemetry in `registry` and remembers it
+    /// so plans attached later register too:
+    ///
+    /// | Metric | Type | Meaning |
+    /// |---|---|---|
+    /// | `hashflow_query_eval_packets_total{plan=i}` | counter | packets evaluated against plan `i` |
+    /// | `hashflow_dropped_epochs_total{component="query_answers"}` | counter | answer epochs shed at the bank limit |
+    /// | `hashflow_dropped_records_total{component="query_answers"}` | counter | per-plan answers inside shed epochs |
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.drops.register(registry, "query_answers");
+        for (id, counter) in self.eval_packets.iter().enumerate() {
+            register_eval_counter(registry, id, counter);
+        }
+        self.metrics = Some(registry.clone());
     }
 
     /// Number of attached plans.
@@ -163,17 +195,28 @@ impl<M: FlowMonitor> QueryMonitor<M> {
     }
 }
 
+/// Registers one plan's evaluation counter under its attach id.
+fn register_eval_counter(registry: &MetricsRegistry, id: QueryId, counter: &Counter) {
+    registry.register_counter(
+        "hashflow_query_eval_packets_total",
+        &[("plan", &id.to_string())],
+        counter.clone(),
+    );
+}
+
 impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
     fn process_packet(&mut self, packet: &Packet) {
-        for q in &mut self.queries {
+        for (q, evals) in self.queries.iter_mut().zip(&self.eval_packets) {
             q.observe(packet);
+            evals.inc();
         }
         self.inner.process_packet(packet);
     }
 
     fn process_batch(&mut self, packets: &[Packet]) {
-        for q in &mut self.queries {
+        for (q, evals) in self.queries.iter_mut().zip(&self.eval_packets) {
             q.observe_batch(packets);
+            evals.add(packets.len() as u64);
         }
         // The inner batched hot path (hash lanes, prefetch) is preserved.
         self.inner.process_batch(packets);
@@ -210,14 +253,18 @@ impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
     /// Resets the inner monitor, every plan's running state, **and** the
     /// banked per-epoch answers — a reset is a fresh collection run, so
     /// stale banked epochs must not prepend themselves to the next run's
-    /// drains.
+    /// drains. The per-plan evaluation counters and drop accounting
+    /// restart too (registered registry views included).
     fn reset(&mut self) {
         self.inner.reset();
         for q in &mut self.queries {
             q.reset();
         }
+        for evals in &self.eval_packets {
+            evals.reset();
+        }
         self.sealed.clear();
-        self.dropped_answer_epochs = 0;
+        self.drops.reset();
     }
 
     fn process_trace(&mut self, packets: &[Packet]) {
@@ -233,7 +280,8 @@ impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
         if self.answer_limit.is_none_or(|max| self.sealed.len() < max) {
             self.sealed.push(self.answer_all());
         } else {
-            self.dropped_answer_epochs += 1;
+            // One whole epoch shed; it carried one answer per plan.
+            self.drops.record_drop(self.queries.len() as u64);
         }
         let snapshot = self.inner.seal();
         for q in &mut self.queries {
@@ -379,6 +427,60 @@ mod tests {
         qm.seal();
         assert_eq!(qm.sealed_answers().len(), 1);
         assert_eq!(qm.dropped_answer_epochs(), 2, "no further drops");
+    }
+
+    #[test]
+    fn metrics_expose_per_plan_evals_and_answer_drops() {
+        use hashflow_obs::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut qm = QueryMonitor::with_answer_limit(Exact::default(), 1);
+        let early = qm.attach(fanout_plan()); // attached before the registry
+        qm.process_packet(&pkt(1, 1));
+        qm.set_metrics(&registry);
+        let late = qm.attach(fanout_plan()); // attached after the registry
+        qm.process_batch(&[pkt(1, 2), pkt(1, 3)]);
+        qm.seal(); // banked
+        qm.seal(); // dropped whole: bank is full
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(
+                "hashflow_query_eval_packets_total",
+                &[("plan", &early.to_string())]
+            ),
+            Some(3),
+            "pre-registry counts carry over at registration"
+        );
+        assert_eq!(
+            snap.counter(
+                "hashflow_query_eval_packets_total",
+                &[("plan", &late.to_string())]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter(
+                "hashflow_dropped_epochs_total",
+                &[("component", "query_answers")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "hashflow_dropped_records_total",
+                &[("component", "query_answers")]
+            ),
+            Some(2),
+            "the shed epoch carried one answer per attached plan"
+        );
+        assert_eq!(qm.dropped_answer_epochs(), 1);
+        qm.reset();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_sum("hashflow_query_eval_packets_total"),
+            0,
+            "reset restarts the registered counters too"
+        );
     }
 
     #[test]

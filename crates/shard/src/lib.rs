@@ -61,8 +61,57 @@ use hashflow_hashing::fast_range;
 use hashflow_monitor::{
     CostSnapshot, EpochReport, FlowMonitor, MemoryBudget, MergeableMonitor, RecordSink, SinkSet,
 };
+use hashflow_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::time::Instant;
+
+/// Metric handles of an instrumented [`ShardedMonitor`] — attached with
+/// [`ShardedMonitor::set_metrics`].
+///
+/// | Metric | Type | Meaning |
+/// |---|---|---|
+/// | `hashflow_shard_packets_total{shard=i}` | counter | packets owned by shard `i` |
+/// | `hashflow_shard_queue_depth{shard=i}` | gauge | in-flight batches on shard `i`'s queue |
+/// | `hashflow_shard_dispatch_ns` | histogram | RSS split time per serial batch |
+/// | `hashflow_shard_lane_ns{shard=i}` | histogram | serial lane time per [`ShardedMonitor::lane_timings`] run |
+/// | `hashflow_shard_merge_ns` | histogram | per-seal merge of shard reports |
+/// | `hashflow_shard_seal_ns` | histogram | whole [`ShardedMonitor::seal_epoch`] |
+///
+/// Counter updates are batched (per published batch or per seal), so the
+/// threaded ingest path pays a handful of relaxed atomics per thousand
+/// packets, not per packet.
+#[derive(Clone, Debug)]
+pub struct ShardMetrics {
+    dispatch_ns: Histogram,
+    merge_ns: Histogram,
+    seal_ns: Histogram,
+    lane_packets: Vec<Counter>,
+    queue_depth: Vec<Gauge>,
+    lane_ns: Vec<Histogram>,
+}
+
+impl ShardMetrics {
+    /// Registers the per-shard and per-stage metrics for a monitor of
+    /// `shards` shards.
+    pub fn register(registry: &MetricsRegistry, shards: usize) -> Self {
+        ShardMetrics {
+            dispatch_ns: registry.histogram("hashflow_shard_dispatch_ns", &[]),
+            merge_ns: registry.histogram("hashflow_shard_merge_ns", &[]),
+            seal_ns: registry.histogram("hashflow_shard_seal_ns", &[]),
+            lane_packets: (0..shards)
+                .map(|i| {
+                    registry.counter("hashflow_shard_packets_total", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            queue_depth: (0..shards)
+                .map(|i| registry.gauge("hashflow_shard_queue_depth", &[("shard", &i.to_string())]))
+                .collect(),
+            lane_ns: (0..shards)
+                .map(|i| registry.histogram("hashflow_shard_lane_ns", &[("shard", &i.to_string())]))
+                .collect(),
+        }
+    }
+}
 
 /// Packets accumulated per shard before a batch is published to its queue
 /// (amortizes one lock round-trip over this many packets).
@@ -229,6 +278,7 @@ pub struct ShardedMonitor<M> {
     epoch: u64,
     scratch: DispatchScratch,
     sinks: SinkSet,
+    metrics: Option<ShardMetrics>,
 }
 
 impl<M: std::fmt::Debug> std::fmt::Debug for ShardedMonitor<M> {
@@ -265,7 +315,25 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             epoch: 0,
             scratch: DispatchScratch::default(),
             sinks: SinkSet::new(),
+            metrics: None,
         })
+    }
+
+    /// Registers this monitor's per-shard counters, queue-depth gauges
+    /// and dispatch/merge/seal histograms in `registry` and starts
+    /// updating them ([`ShardMetrics`] lists the catalog). Sink export
+    /// errors report into the registry's shared
+    /// `hashflow_sink_errors_total` counter, so a sharded monitor and an
+    /// epoch rotator given the same registry share one error count.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.sinks
+            .set_error_counter(registry.counter("hashflow_sink_errors_total", &[]));
+        self.metrics = Some(ShardMetrics::register(registry, self.shards.len()));
+    }
+
+    /// The attached metric handles, if [`Self::set_metrics`] was called.
+    pub fn metrics(&self) -> Option<&ShardMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Attaches a sink; every epoch sealed by [`Self::seal_epoch`] from
@@ -380,19 +448,34 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// machine — like a 1-core CI runner — the serial lane timings are the
     /// only contention-free signal available. State afterwards is
     /// identical to an [`Self::ingest`] of the same packets.
+    ///
+    /// When metrics are attached ([`Self::set_metrics`]), the same
+    /// timings also stream into the registry — the dispatch time into
+    /// `hashflow_shard_dispatch_ns`, each lane's serial time into
+    /// `hashflow_shard_lane_ns{shard=i}` — so this accessor is now a
+    /// measurement shim kept for the modeled-throughput exhibits; new
+    /// consumers should read the registry instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "attach a MetricsRegistry via set_metrics and read the \
+                hashflow_shard_dispatch_ns / hashflow_shard_lane_ns histograms; \
+                this accessor remains for the modeled-throughput exhibits"
+    )]
     pub fn lane_timings(&mut self, packets: &[Packet]) -> LaneTimings {
         self.note_timestamps(packets);
         if self.shards.len() == 1 {
             // No dispatch work for a single shard (mirrors `ingest`).
             let start = Instant::now();
             self.shards[0].process_trace(packets);
-            return LaneTimings {
+            let timings = LaneTimings {
                 dispatch_ns: 0,
                 lanes: vec![LaneTiming {
                     packets: packets.len() as u64,
                     elapsed_ns: start.elapsed().as_nanos(),
                 }],
             };
+            self.record_lane_timings(&timings);
+            return timings;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         let start = Instant::now();
@@ -415,7 +498,24 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             })
             .collect();
         self.scratch = scratch;
-        LaneTimings { dispatch_ns, lanes }
+        let timings = LaneTimings { dispatch_ns, lanes };
+        self.record_lane_timings(&timings);
+        timings
+    }
+
+    /// Streams one [`LaneTimings`] measurement into the attached
+    /// registry: dispatch and per-lane histograms plus per-shard packet
+    /// counters. No-op without metrics.
+    fn record_lane_timings(&self, timings: &LaneTimings) {
+        let Some(m) = &self.metrics else { return };
+        if timings.dispatch_ns > 0 || self.shards.len() > 1 {
+            m.dispatch_ns
+                .observe(u64::try_from(timings.dispatch_ns).unwrap_or(u64::MAX));
+        }
+        for (i, lane) in timings.lanes.iter().enumerate() {
+            m.lane_packets[i].add(lane.packets);
+            m.lane_ns[i].observe(u64::try_from(lane.elapsed_ns).unwrap_or(u64::MAX));
+        }
     }
 
     /// Drains every shard into one collector-side [`EpochReport`] and
@@ -425,6 +525,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// The merged epoch is streamed to every attached sink (one snapshot
     /// for all shards, not one per shard).
     pub fn seal_epoch(&mut self) -> EpochReport {
+        let seal_timer = self.metrics.as_ref().map(|m| m.seal_ns.start_timer());
         let estimates: Vec<f64> = self
             .shards
             .iter()
@@ -451,7 +552,9 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
         self.epoch += 1;
         self.first_ns = None;
         self.last_ns = None;
+        let merge_timer = self.metrics.as_ref().map(|m| m.merge_ns.start_timer());
         let mut report = EpochReport::merged(reports, cardinality);
+        drop(merge_timer);
         if !self.sinks.is_empty() {
             // Snapshot once, export, recover the report — the merged
             // record store is never cloned for the sinks.
@@ -459,6 +562,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             self.sinks.export(&snapshot);
             report = snapshot.into_report();
         }
+        drop(seal_timer);
         report
     }
 
@@ -497,6 +601,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             // running the inner monitor directly.
             self.shards[0].process_trace(packets);
             per_shard[0] = packets.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.lane_packets[0].add(packets.len() as u64);
+            }
             return IngestReport {
                 packets: packets.len() as u64,
                 per_shard_packets: per_shard,
@@ -504,6 +611,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             };
         }
 
+        // Clone the gauge handles out of `self` before the scope borrows
+        // the shards; both sides of each queue update its depth gauge.
+        let depth_gauges: Option<Vec<Gauge>> = self.metrics.as_ref().map(|m| m.queue_depth.clone());
         let queues: Vec<BatchQueue<Packet>> = (0..shard_count)
             .map(|_| BatchQueue::new(QUEUE_DEPTH))
             .collect();
@@ -513,8 +623,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
         // both sides (`try_*`): losing a buffer only costs an allocation.
         let free: BatchQueue<Packet> = BatchQueue::new(shard_count * QUEUE_DEPTH);
         std::thread::scope(|scope| {
-            for (shard, queue) in self.shards.iter_mut().zip(&queues) {
+            for (i, (shard, queue)) in self.shards.iter_mut().zip(&queues).enumerate() {
                 let free = &free;
+                let depth = depth_gauges.as_ref().map(|g| g[i].clone());
                 scope.spawn(move || {
                     // If the monitor panics, close the queue first so the
                     // dispatcher's pushes drain as no-ops instead of
@@ -522,6 +633,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                     // the scope joins this thread.
                     let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         while let Some(mut batch) = queue.pop() {
+                            if let Some(d) = &depth {
+                                d.set(queue.len() as i64);
+                            }
                             shard.process_batch(&batch);
                             batch.clear();
                             let _ = free.try_push(batch);
@@ -549,6 +663,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 if pending[s].len() >= BATCH_PACKETS {
                     let full = std::mem::replace(&mut pending[s], fresh_batch());
                     let _ = queues[s].push(full);
+                    if let Some(g) = &depth_gauges {
+                        g[s].set(queues[s].len() as i64);
+                    }
                 }
             }
             for (queue, rest) in queues.iter().zip(pending) {
@@ -559,6 +676,11 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             }
         });
         self.dispatch_hashes += packets.len() as u64;
+        if let Some(m) = &self.metrics {
+            for (counter, &n) in m.lane_packets.iter().zip(&per_shard) {
+                counter.add(n);
+            }
+        }
 
         IngestReport {
             packets: packets.len() as u64,
@@ -573,11 +695,17 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         self.note_timestamps(std::slice::from_ref(packet));
         if self.shards.len() == 1 {
             // Mirror `ingest`: a single shard pays no dispatch work.
+            if let Some(m) = &self.metrics {
+                m.lane_packets[0].inc();
+            }
             self.shards[0].process_packet(packet);
             return;
         }
         let s = self.shard_of(&packet.key());
         self.dispatch_hashes += 1;
+        if let Some(m) = &self.metrics {
+            m.lane_packets[s].inc();
+        }
         self.shards[s].process_packet(packet);
     }
 
@@ -589,11 +717,22 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
     fn process_batch(&mut self, packets: &[Packet]) {
         self.note_timestamps(packets);
         if self.shards.len() == 1 {
+            if let Some(m) = &self.metrics {
+                m.lane_packets[0].add(packets.len() as u64);
+            }
             self.shards[0].process_batch(packets);
             return;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
+        let dispatch_start = self.metrics.as_ref().map(|_| Instant::now());
         scratch.split(self.shards.len(), packets);
+        if let (Some(m), Some(start)) = (&self.metrics, dispatch_start) {
+            m.dispatch_ns
+                .observe(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            for (counter, part) in m.lane_packets.iter().zip(&scratch.parts) {
+                counter.add(part.len() as u64);
+            }
+        }
         self.dispatch_hashes += packets.len() as u64;
         for (shard, part) in self.shards.iter_mut().zip(&scratch.parts) {
             shard.process_batch(part);
@@ -942,6 +1081,74 @@ mod tests {
     }
 
     #[test]
+    fn metrics_account_for_every_packet_on_all_paths() {
+        use hashflow_obs::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut m = sharded_hashflow(4, 256);
+        m.set_metrics(&registry);
+        let trace = TraceGenerator::new(TraceProfile::Caida, 9).generate(5_000);
+        let expected = trace.packets().len() as u64 + 300 + 50;
+        m.ingest(trace.packets()); // threaded path
+        m.process_batch(&trace.packets()[..300]); // serial batched path
+        for p in &trace.packets()[..50] {
+            m.process_packet(p); // scalar dispatch path
+        }
+        m.seal_epoch();
+        let snap = registry.snapshot();
+        // Every packet of every path lands in exactly one shard counter.
+        assert_eq!(snap.counter_sum("hashflow_shard_packets_total"), expected);
+        // The serial batch recorded one dispatch split; the seal recorded
+        // one merge and one seal duration.
+        let hist_count = |name: &str| {
+            snap.samples()
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| match &s.value {
+                    hashflow_obs::SampleValue::Histogram(h) => h.count,
+                    _ => 0,
+                })
+                .sum::<u64>()
+        };
+        assert_eq!(hist_count("hashflow_shard_dispatch_ns"), 1);
+        assert_eq!(hist_count("hashflow_shard_merge_ns"), 1);
+        assert_eq!(hist_count("hashflow_shard_seal_ns"), 1);
+        // Queue-depth gauges exist for every shard (back to 0 once the
+        // scope joins and the queues drain).
+        for i in 0..4 {
+            assert_eq!(
+                snap.gauge("hashflow_shard_queue_depth", &[("shard", &i.to_string())]),
+                Some(0)
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn lane_timings_feed_the_registry() {
+        use hashflow_obs::MetricsRegistry;
+
+        let registry = MetricsRegistry::new();
+        let mut m = sharded_hashflow(4, 128);
+        m.set_metrics(&registry);
+        let trace = TraceGenerator::new(TraceProfile::Caida, 17).generate(1_000);
+        let timings = m.lane_timings(trace.packets());
+        let snap = registry.snapshot();
+        // The shim reports the same packet split the registry records.
+        for (i, lane) in timings.lanes.iter().enumerate() {
+            assert_eq!(
+                snap.counter("hashflow_shard_packets_total", &[("shard", &i.to_string())]),
+                Some(lane.packets)
+            );
+        }
+        assert_eq!(
+            snap.counter_sum("hashflow_shard_packets_total"),
+            trace.packets().len() as u64
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn lane_timings_match_ingest_state() {
         let trace = TraceGenerator::new(TraceProfile::Caida, 13).generate(1_000);
         let mut timed = sharded_hashflow(4, 128);

@@ -64,6 +64,23 @@ impl<T> BatchQueue<T> {
         self.capacity
     }
 
+    /// Batches currently in flight (pushed, not yet popped). A racing
+    /// producer or consumer can change the answer immediately — use it
+    /// for telemetry (queue-depth gauges), not for flow control.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue mutex poisoned")
+            .batches
+            .len()
+    }
+
+    /// Whether no batches are currently in flight (same caveat as
+    /// [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Enqueues a batch, blocking while the queue is full. Returns `true`
     /// on success; `false` if the queue is (or becomes) closed, in which
     /// case the batch is dropped — the consumer is gone, so blocking the
@@ -210,6 +227,18 @@ mod tests {
             q.close();
             assert!(!blocked.join().unwrap());
         });
+    }
+
+    #[test]
+    fn len_tracks_in_flight_batches() {
+        let q = BatchQueue::new(4);
+        assert!(q.is_empty());
+        assert!(q.push(vec![1u8]));
+        assert!(q.push(vec![2]));
+        assert_eq!(q.len(), 2);
+        q.close();
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

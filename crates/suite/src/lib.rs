@@ -42,7 +42,9 @@ pub use simswitch;
 pub mod prelude {
     pub use elastic_sketch::{BasicElasticSketch, ElasticSketch};
     pub use flowradar::FlowRadar;
-    pub use hashflow_collector::{AlgorithmKind, Collector, MonitorBuilder};
+    pub use hashflow_collector::{
+        AlgorithmKind, Collector, MetricsRegistry, MetricsSnapshot, MonitorBuilder,
+    };
     pub use hashflow_core::adaptive::{AdaptiveController, AdaptiveHashFlow};
     pub use hashflow_core::{model, HashFlow, HashFlowConfig, TableScheme};
     pub use hashflow_metrics::{evaluate, EvaluationReport, GroundTruth};
