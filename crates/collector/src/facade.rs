@@ -3,8 +3,8 @@
 
 use crate::registry::{AlgorithmKind, MonitorBuilder};
 use hashflow_monitor::{
-    CostSnapshot, EpochReport, EpochRotator, EpochSnapshot, FlowMonitor, MemoryBudget,
-    PipelineMetrics, RecordSink,
+    BackpressurePolicy, CostSnapshot, DropStats, EpochReport, EpochRotator, EpochSnapshot,
+    FlowMonitor, HealthPolicy, MemoryBudget, PipelineMetrics, RecordSink, SinkErrors, SinkStatus,
 };
 use hashflow_obs::{MetricsRegistry, MetricsSnapshot};
 use hashflow_query::{QueryId, QueryMonitor, QueryPlan, QueryResult};
@@ -33,6 +33,9 @@ use std::io;
 pub struct Collector {
     rotator: EpochRotator<QueryMonitor<Box<dyn FlowMonitor + Send>>>,
     metrics: Option<MetricsRegistry>,
+    /// Set by [`Collector::finish`]; the `Drop` impl flushes sinks
+    /// best-effort when the pipeline is dropped without finishing.
+    finished: bool,
 }
 
 impl std::fmt::Debug for Collector {
@@ -54,6 +57,9 @@ impl Collector {
             sinks: Vec::new(),
             queries: Vec::new(),
             metrics: None,
+            answer_limit: None,
+            retention: None,
+            sink_health: None,
         }
     }
 
@@ -63,6 +69,7 @@ impl Collector {
         Collector {
             rotator: EpochRotator::new(QueryMonitor::new(monitor), epoch_len_ns),
             metrics: None,
+            finished: false,
         }
     }
 
@@ -156,19 +163,74 @@ impl Collector {
         self.rotator.inner().inner()
     }
 
-    /// Takes the first sink I/O error observed since the last call.
+    /// Takes the **oldest** parked sink I/O error observed since the
+    /// last call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "inspect sink_health() for per-sink state and counts; \
+                finish() returns every parked error"
+    )]
     pub fn take_sink_error(&mut self) -> Option<io::Error> {
+        #[allow(deprecated)]
         self.rotator.take_sink_error()
     }
 
-    /// Ends the collection run: flushes every sink.
+    /// Per-sink health: state-machine position (healthy / degraded /
+    /// quarantined), failure counts, epochs skipped while quarantined and
+    /// the most recent error. Indexed in attach order.
+    pub fn sink_health(&self) -> Vec<SinkStatus> {
+        self.rotator.sink_health()
+    }
+
+    /// Sets the failure thresholds of the sink health state machine (see
+    /// [`HealthPolicy`]).
+    pub fn set_sink_health_policy(&mut self, policy: HealthPolicy) {
+        self.rotator.set_sink_health_policy(policy);
+    }
+
+    /// Bounds the completed-epoch store to `max_epochs` reports, shed
+    /// under `policy` (`Block` degrades to `DropNewest`, counted — the
+    /// seal path must not stall). Sheds are accounted in
+    /// [`Self::retention_drop_stats`].
+    pub fn set_retention(&mut self, max_epochs: usize, policy: BackpressurePolicy) {
+        self.rotator.set_retention(max_epochs, policy);
+    }
+
+    /// The completed-epoch retention ledger (offered / dropped /
+    /// delivered, conserved by construction).
+    pub fn retention_drop_stats(&self) -> DropStats {
+        self.rotator.retention_drop_stats()
+    }
+
+    /// The query answer bank's drop ledger (see
+    /// [`CollectorBuilder::answer_limit`]).
+    pub fn answer_drop_stats(&self) -> DropStats {
+        self.rotator.inner().answer_drop_stats().clone()
+    }
+
+    /// Ends the collection run: flushes every sink (quarantined ones
+    /// included — a final flush is the last chance to drain buffers).
     ///
     /// # Errors
     ///
-    /// Returns the first sink I/O error, including errors parked from
-    /// earlier rotations.
-    pub fn finish(&mut self) -> io::Result<()> {
+    /// Returns **every** sink error parked from earlier rotations plus
+    /// any flush failures, as one [`SinkErrors`] bundle (which converts
+    /// into `io::Error` via `?` where an `io::Result` is expected).
+    pub fn finish(&mut self) -> Result<(), SinkErrors> {
+        self.finished = true;
         self.rotator.finish_sinks()
+    }
+}
+
+impl Drop for Collector {
+    /// Best-effort sink flush for pipelines dropped without
+    /// [`Collector::finish`]: buffered exports are not silently lost.
+    /// Errors are discarded — panicking in `Drop` is never acceptable —
+    /// so call `finish()` explicitly when you need to observe them.
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.rotator.finish_sinks();
+        }
     }
 }
 
@@ -226,6 +288,9 @@ pub struct CollectorBuilder {
     sinks: Vec<Box<dyn RecordSink + Send>>,
     queries: Vec<QueryPlan>,
     metrics: Option<MetricsRegistry>,
+    answer_limit: Option<(usize, BackpressurePolicy)>,
+    retention: Option<(usize, BackpressurePolicy)>,
+    sink_health: Option<HealthPolicy>,
 }
 
 impl CollectorBuilder {
@@ -299,6 +364,30 @@ impl CollectorBuilder {
         self
     }
 
+    /// Bounds the banked query answers to `max_epochs` between drains,
+    /// shed under `policy` (see [`QueryMonitor::with_answer_policy`]).
+    #[must_use]
+    pub fn answer_limit(mut self, max_epochs: usize, policy: BackpressurePolicy) -> Self {
+        self.answer_limit = Some((max_epochs, policy));
+        self
+    }
+
+    /// Bounds the completed-epoch store to `max_epochs` reports, shed
+    /// under `policy` (see [`Collector::set_retention`]).
+    #[must_use]
+    pub fn retention(mut self, max_epochs: usize, policy: BackpressurePolicy) -> Self {
+        self.retention = Some((max_epochs, policy));
+        self
+    }
+
+    /// Sets the sink health-state-machine thresholds (see
+    /// [`HealthPolicy`]).
+    #[must_use]
+    pub fn sink_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.sink_health = Some(policy);
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Errors
@@ -312,6 +401,18 @@ impl CollectorBuilder {
         let mut collector = Collector::from_monitor(monitor.build()?, self.epoch_len_ns);
         if let Some(registry) = &self.metrics {
             collector.set_metrics(registry);
+        }
+        if let Some((max_epochs, policy)) = self.answer_limit {
+            collector
+                .rotator
+                .inner_mut()
+                .set_answer_limit(max_epochs, policy);
+        }
+        if let Some((max_epochs, policy)) = self.retention {
+            collector.set_retention(max_epochs, policy);
+        }
+        if let Some(policy) = self.sink_health {
+            collector.set_sink_health_policy(policy);
         }
         for sink in self.sinks {
             collector.add_sink(sink);
@@ -364,8 +465,94 @@ mod tests {
             .map(|e| e.records.len())
             .sum();
         assert_eq!(exported.load(Ordering::Relaxed), retained);
-        assert!(collector.take_sink_error().is_none());
+        assert!(collector.sink_health().iter().all(|s| s.total_errors == 0));
         collector.finish().unwrap();
+    }
+
+    #[test]
+    fn sink_faults_park_in_the_health_machine_and_finish_reports_all() {
+        use hashflow_monitor::SinkHealth;
+        use hashflow_types::{FlowKey, Packet};
+
+        struct Broken;
+        impl RecordSink for Broken {
+            fn export_epoch(&mut self, _s: &EpochSnapshot) -> io::Result<()> {
+                Err(io::Error::other("export target down"))
+            }
+        }
+
+        let mut collector = Collector::builder(AlgorithmKind::HashFlow)
+            .budget(budget())
+            .sink(Box::new(Broken))
+            .sink_health_policy(HealthPolicy {
+                quarantine_after: 2,
+                probe_interval: 4,
+            })
+            .retention(1, BackpressurePolicy::DropOldest)
+            .answer_limit(1, BackpressurePolicy::DropOldest)
+            .query("map src | distinct dst | reduce count".parse().unwrap())
+            .build()
+            .unwrap();
+        let key = FlowKey::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 1, 80, 6);
+        for epoch in 0..3u64 {
+            collector.process_packet(&Packet::new(key, epoch * 1_000, 64));
+            collector.seal();
+        }
+        // Two consecutive failures quarantined the sink; the third seal
+        // was skipped past it (counted, not exported).
+        let health = collector.sink_health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].health, SinkHealth::Quarantined);
+        assert_eq!(health[0].total_errors, 2);
+        assert_eq!(health[0].skipped_epochs, 1);
+        // The retention window slid: one report kept, two shed, ledger
+        // conserved.
+        assert_eq!(collector.completed_epochs().len(), 1);
+        let retention = collector.retention_drop_stats();
+        assert_eq!(retention.offered_epochs(), 3);
+        assert_eq!(retention.dropped_epochs(), 2);
+        // The answer bank slid the same way.
+        assert_eq!(collector.drain_query_answers().len(), 1);
+        // finish() reports every parked error, not just the first.
+        let errors = collector.finish().unwrap_err();
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_collector_flushes_sinks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct CountingFinish(Arc<AtomicUsize>);
+        impl RecordSink for CountingFinish {
+            fn export_epoch(&mut self, _s: &EpochSnapshot) -> io::Result<()> {
+                Ok(())
+            }
+            fn finish(&mut self) -> io::Result<()> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+
+        let build = |flushes: &Arc<AtomicUsize>| {
+            Collector::builder(AlgorithmKind::HashFlow)
+                .budget(budget())
+                .sink(Box::new(CountingFinish(Arc::clone(flushes))))
+                .build()
+                .unwrap()
+        };
+        let flushes = Arc::new(AtomicUsize::new(0));
+        drop(build(&flushes)); // dropped without finish()
+        assert_eq!(flushes.load(Ordering::Relaxed), 1, "Drop flushes");
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let mut finished = build(&flushes);
+        finished.finish().unwrap();
+        drop(finished);
+        assert_eq!(
+            flushes.load(Ordering::Relaxed),
+            1,
+            "an explicit finish() is not double-flushed by Drop"
+        );
     }
 
     #[test]

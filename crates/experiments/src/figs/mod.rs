@@ -19,6 +19,7 @@ pub mod fig10_hh_are;
 pub mod fig11_throughput;
 pub mod hotpath;
 pub mod obs_overhead;
+pub mod overload;
 pub mod query;
 pub mod queryapps;
 pub mod scaling_shards;

@@ -32,8 +32,8 @@
 //!    timestamps, which may extend before `base`.
 
 use crate::{
-    CostSnapshot, EpochSnapshot, FlowMonitor, PipelineMetrics, RecordSink, SinkSet,
-    SCALAR_FLUSH_PACKETS,
+    BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor, HealthPolicy,
+    PipelineMetrics, RecordSink, SinkErrors, SinkSet, SinkStatus, SCALAR_FLUSH_PACKETS,
 };
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
@@ -52,6 +52,10 @@ pub struct EpochReport {
     pub cardinality: f64,
     /// Cost counters accumulated during the epoch.
     pub cost: CostSnapshot,
+    /// Whether data contributing to this epoch is known to be missing
+    /// (e.g. a shard worker panicked mid-epoch). Merges propagate the
+    /// flag: a merged report is partial if any contributing shard was.
+    pub partial: bool,
 }
 
 impl EpochReport {
@@ -68,6 +72,7 @@ impl EpochReport {
         let start_ns = reports.iter().filter_map(|r| r.start_ns).min();
         let end_ns = reports.iter().filter_map(|r| r.end_ns).max();
         let cost = CostSnapshot::sum(reports.iter().map(|r| &r.cost));
+        let partial = reports.iter().any(|r| r.partial);
         let records = reports.into_iter().flat_map(|r| r.records).collect();
         EpochReport {
             epoch,
@@ -76,6 +81,7 @@ impl EpochReport {
             records,
             cardinality,
             cost,
+            partial,
         }
     }
 
@@ -92,6 +98,7 @@ impl EpochReport {
             self.cardinality,
             self.cost,
         )
+        .with_partial(self.partial)
     }
 }
 
@@ -129,6 +136,10 @@ pub struct EpochRotator<M> {
     first_ns: Option<u64>,
     last_ns: Option<u64>,
     completed: Vec<EpochReport>,
+    /// Bound on `completed` (`None` = unbounded) and the policy applied
+    /// when it is reached.
+    retention: Option<(usize, BackpressurePolicy)>,
+    retention_drops: DropStats,
     sinks: SinkSet,
     metrics: Option<PipelineMetrics>,
     // Packet/byte counts accumulated locally and flushed to the shared
@@ -167,6 +178,8 @@ impl<M: FlowMonitor> EpochRotator<M> {
             first_ns: None,
             last_ns: None,
             completed: Vec::new(),
+            retention: None,
+            retention_drops: DropStats::new(),
             sinks: SinkSet::new(),
             metrics: None,
             pending_packets: 0,
@@ -180,6 +193,10 @@ impl<M: FlowMonitor> EpochRotator<M> {
     /// report into the same error counter.
     pub fn set_metrics(&mut self, metrics: PipelineMetrics) {
         self.sinks.set_error_counter(metrics.sink_errors.clone());
+        self.sinks.set_health_metrics(
+            metrics.sink_skipped_epochs.clone(),
+            metrics.sinks_quarantined.clone(),
+        );
         self.metrics = Some(metrics);
     }
 
@@ -239,23 +256,97 @@ impl<M: FlowMonitor> EpochRotator<M> {
         self.sinks.len()
     }
 
-    /// Takes the first sink I/O error observed since the last call, if
-    /// any. Rotation itself stays infallible — a slow or broken export
-    /// target must not stall measurement — so sink failures are parked
-    /// ([`SinkSet`]) for the driving loop to inspect.
+    /// Takes the oldest parked sink I/O error, if any. Rotation itself
+    /// stays infallible — a slow or broken export target must not stall
+    /// measurement — so sink failures are parked ([`SinkSet`]) for the
+    /// driving loop to inspect.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one error at a time hides concurrent sink failures; read \
+                `sink_health()` for per-sink state and `finish_sinks()` \
+                for every collected error"
+    )]
     pub fn take_sink_error(&mut self) -> Option<std::io::Error> {
+        #[allow(deprecated)]
         self.sinks.take_error()
     }
 
-    /// Flushes every attached sink (end of the collection run). The first
-    /// error is reported; later sinks are still flushed.
+    /// Point-in-time health of every attached sink, in attach order —
+    /// the per-sink view of the healthy → degraded → quarantined state
+    /// machine ([`crate::SinkHealth`]).
+    pub fn sink_health(&self) -> Vec<SinkStatus> {
+        self.sinks.health()
+    }
+
+    /// Replaces the sink health-machine thresholds
+    /// ([`HealthPolicy`]).
+    pub fn set_sink_health_policy(&mut self, policy: HealthPolicy) {
+        self.sinks.set_health_policy(policy);
+    }
+
+    /// Flushes every attached sink (end of the collection run); later
+    /// sinks are still flushed after a failure.
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error any sink reported, including errors
-    /// parked from earlier rotations.
-    pub fn finish_sinks(&mut self) -> std::io::Result<()> {
+    /// Returns **every** collected I/O error — export errors parked from
+    /// earlier rotations and flush errors from this call, in occurrence
+    /// order with their sink indices ([`SinkErrors`], which converts
+    /// into a plain [`std::io::Error`] for `?`-style call sites).
+    pub fn finish_sinks(&mut self) -> Result<(), SinkErrors> {
         self.sinks.finish()
+    }
+
+    /// Bounds the pending-export report store
+    /// ([`Self::completed_epochs`]) at `max_epochs` reports under
+    /// `policy`. Without a driving loop calling
+    /// [`Self::drain_completed`], a long run would otherwise grow the
+    /// store without bound. [`BackpressurePolicy::Block`] degrades to
+    /// `DropNewest` here: the store is filled by the rotation path
+    /// itself, so there is no consumer to wait for. Shed reports are
+    /// counted in [`Self::retention_drop_stats`]; register that handle
+    /// in a `MetricsRegistry` ([`DropStats::register`], conventionally
+    /// under `component="rotator_completed"`) to expose them.
+    pub fn set_retention(&mut self, max_epochs: usize, policy: BackpressurePolicy) {
+        self.retention = Some((max_epochs, policy));
+    }
+
+    /// The report store's drop/delivery ledger (shared handle; counts
+    /// whole reports and their records).
+    pub fn retention_drop_stats(&self) -> DropStats {
+        self.retention_drops.clone()
+    }
+
+    /// Retains `report` in the completed store, honouring the retention
+    /// bound. Every report is offered to the ledger exactly once; sheds
+    /// and evictions are dropped exactly once.
+    fn retain_completed(&mut self, report: EpochReport) {
+        self.retention_drops
+            .record_offer(report.records.len() as u64);
+        if let Some((max, policy)) = self.retention {
+            if self.completed.len() >= max {
+                match policy {
+                    BackpressurePolicy::Block | BackpressurePolicy::DropNewest => {
+                        self.retention_drops
+                            .record_drop(report.records.len() as u64);
+                        return;
+                    }
+                    BackpressurePolicy::DropOldest => {
+                        while self.completed.len() >= max.max(1) {
+                            let evicted = self.completed.remove(0);
+                            self.retention_drops
+                                .record_drop(evicted.records.len() as u64);
+                        }
+                        if max == 0 {
+                            self.retention_drops
+                                .record_drop(report.records.len() as u64);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.completed.push(report);
     }
 
     /// Epoch length in nanoseconds.
@@ -295,7 +386,7 @@ impl<M: FlowMonitor> EpochRotator<M> {
         if let Some(m) = &self.metrics {
             m.epochs_sealed.inc();
         }
-        self.completed.push(report.clone());
+        self.retain_completed(report.clone());
         self.current_epoch += 1;
         self.epoch_base_ns = None;
         self.first_ns = None;
@@ -448,6 +539,7 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
         self.first_ns = None;
         self.last_ns = None;
         self.completed.clear();
+        self.retention_drops.reset();
     }
 
     /// Seals the *current epoch* (rotating it through the sinks like any
@@ -678,7 +770,7 @@ mod tests {
             r.process_packet(&pkt(t, t * 1_000)); // one epoch per packet
         }
         r.rotate_now(); // flush the tail
-        assert!(r.take_sink_error().is_none());
+        assert!(r.sink_health().iter().all(|s| s.total_errors == 0));
         assert!(r.finish_sinks().is_ok());
         // Sealed history and the epoch counter agree with what streamed.
         assert_eq!(r.completed_epochs().len(), 3);
@@ -686,9 +778,87 @@ mod tests {
         let mut broken = EpochRotator::new(Exact::default(), u64::MAX).with_sink(Box::new(Broken));
         broken.process_packet(&pkt(1, 0));
         broken.rotate_now();
-        let err = broken.take_sink_error().expect("export error parked");
-        assert!(err.to_string().contains("wire cut"));
-        assert!(broken.take_sink_error().is_none(), "error is taken once");
+        broken.process_packet(&pkt(2, 5));
+        broken.rotate_now();
+        // Every failure is visible: per-sink health plus the full error
+        // list from finish_sinks — not just the first parked error.
+        let health = broken.sink_health();
+        assert_eq!(health[0].total_errors, 2);
+        assert_eq!(
+            health[0].last_error.as_deref(),
+            Some("wire cut"),
+            "latest error message is surfaced"
+        );
+        let errors = broken.finish_sinks().unwrap_err();
+        assert_eq!(errors.len(), 2);
+        assert!(errors
+            .iter()
+            .all(|(i, e)| i == 0 && e.to_string().contains("wire cut")));
+        // The deprecated one-at-a-time accessor still functions.
+        #[allow(deprecated)]
+        {
+            assert!(broken.take_sink_error().is_none(), "finish drained all");
+        }
+    }
+
+    #[test]
+    fn retention_bounds_the_completed_store() {
+        use crate::BackpressurePolicy;
+
+        // DropOldest: a sliding window over the most recent reports.
+        let mut r = EpochRotator::new(Exact::default(), 10);
+        r.set_retention(2, BackpressurePolicy::DropOldest);
+        for t in 0..5u64 {
+            r.process_packet(&pkt(t, t * 10)); // seals epochs 0..=3
+        }
+        let retained: Vec<u64> = r.completed_epochs().iter().map(|e| e.epoch).collect();
+        assert_eq!(retained, vec![2, 3]);
+        let ledger = r.retention_drop_stats();
+        assert_eq!(ledger.offered_epochs(), 4, "each sealed epoch offered once");
+        assert_eq!(ledger.dropped_epochs(), 2, "two evicted by the window");
+        assert_eq!(ledger.delivered_epochs(), 2);
+        // Conservation: delivered (derived) equals what is retained.
+        assert_eq!(
+            ledger.delivered_records(),
+            r.completed_epochs()
+                .iter()
+                .map(|e| e.records.len() as u64)
+                .sum::<u64>()
+        );
+
+        // DropNewest: the store freezes at the first `max` reports.
+        let mut r = EpochRotator::new(Exact::default(), 10);
+        r.set_retention(2, BackpressurePolicy::DropNewest);
+        for t in 0..5u64 {
+            r.process_packet(&pkt(t, t * 10));
+        }
+        let retained: Vec<u64> = r.completed_epochs().iter().map(|e| e.epoch).collect();
+        assert_eq!(retained, vec![0, 1]);
+        assert_eq!(r.retention_drop_stats().dropped_epochs(), 2);
+        // Draining frees capacity again.
+        r.drain_completed();
+        r.process_packet(&pkt(9, 90));
+        assert_eq!(r.completed_epochs().len(), 1);
+    }
+
+    #[test]
+    fn merged_report_propagates_the_partial_flag() {
+        let clean = EpochReport::merged(
+            vec![EpochRotator::new(Exact::default(), u64::MAX).rotate_now()],
+            0.0,
+        );
+        assert!(!clean.partial);
+        let mut degraded = EpochRotator::new(Exact::default(), u64::MAX).rotate_now();
+        degraded.partial = true;
+        let merged = EpochReport::merged(
+            vec![
+                EpochRotator::new(Exact::default(), u64::MAX).rotate_now(),
+                degraded,
+            ],
+            0.0,
+        );
+        assert!(merged.partial, "any partial shard taints the merge");
+        assert!(merged.into_snapshot().is_partial(), "snapshot carries it");
     }
 
     #[test]
@@ -821,7 +991,41 @@ mod tests {
         let snap = registry.snapshot();
         // Every failed export counts (not just the first parked error).
         assert_eq!(snap.counter("hashflow_sink_errors_total", &[]), Some(2));
-        assert!(r.take_sink_error().is_some());
+        assert_eq!(r.sink_health()[0].total_errors, 2);
+    }
+
+    #[test]
+    fn quarantined_sink_skips_are_counted_in_metrics() {
+        use crate::{HealthPolicy, PipelineMetrics, RecordSink};
+        use hashflow_obs::MetricsRegistry;
+
+        struct Broken;
+        impl RecordSink for Broken {
+            fn export_epoch(&mut self, _s: &crate::EpochSnapshot) -> std::io::Result<()> {
+                Err(std::io::Error::other("down"))
+            }
+        }
+
+        let registry = MetricsRegistry::new();
+        let mut r = EpochRotator::new(Exact::default(), u64::MAX)
+            .with_metrics(PipelineMetrics::register(&registry))
+            .with_sink(Box::new(Broken));
+        r.set_sink_health_policy(HealthPolicy {
+            quarantine_after: 1,
+            probe_interval: 8,
+        });
+        r.process_packet(&pkt(1, 0));
+        r.rotate_now(); // fails once → quarantined
+        r.rotate_now(); // skipped
+        r.rotate_now(); // skipped
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("hashflow_sink_errors_total", &[]), Some(1));
+        assert_eq!(
+            snap.counter("hashflow_sink_skipped_epochs_total", &[]),
+            Some(2)
+        );
+        assert_eq!(snap.gauge("hashflow_sinks_quarantined", &[]), Some(1));
+        assert_eq!(r.sink_health()[0].skipped_epochs, 2);
     }
 
     #[test]

@@ -33,7 +33,11 @@
 mod budget;
 mod cost;
 mod epoch;
+mod fault;
+mod health;
 mod merge;
+mod policy;
+mod retry;
 mod sink;
 mod snapshot;
 mod stats;
@@ -41,7 +45,11 @@ mod stats;
 pub use budget::MemoryBudget;
 pub use cost::{CostRecorder, CostSnapshot};
 pub use epoch::{EpochReport, EpochRotator};
+pub use fault::{FaultInjectingSink, FaultPlan, PanicInjector};
+pub use health::{classify_io_error, ErrorClass, HealthPolicy, SinkErrors, SinkHealth, SinkStatus};
 pub use merge::MergeableMonitor;
+pub use policy::BackpressurePolicy;
+pub use retry::{RetryPolicy, RetrySink};
 pub use sink::{JsonLinesSink, MemorySink, RecordSink, SinkSet};
 pub use snapshot::EpochSnapshot;
 pub use stats::{DropStats, PipelineMetrics, SCALAR_FLUSH_PACKETS};

@@ -1,0 +1,79 @@
+//! The uniform backpressure contract shared by every bounded buffer in
+//! the pipeline.
+//!
+//! A long-running collector has four places where production can outrun
+//! consumption: the sharded dispatcher's per-shard `BatchQueue`s
+//! (`hashflow-shard`), the [`MemorySink`](crate::MemorySink) retention
+//! cap, the `QueryMonitor` answer bank (`hashflow-query`), and the
+//! rotator's pending-export report store. Before this module each buffer
+//! invented its own overflow behaviour; now they all accept one
+//! [`BackpressurePolicy`] and account every shed item through the same
+//! [`DropStats`](crate::DropStats), so `offered == delivered + dropped`
+//! holds by construction at every buffer.
+
+/// What a bounded buffer does when an item arrives and the buffer is
+/// full.
+///
+/// | Policy | Behaviour at capacity | Where it is honoured literally |
+/// |---|---|---|
+/// | `Block` | producer waits for room | queues with a live consumer (`BatchQueue`) |
+/// | `DropNewest` | the arriving item is shed (counted) | every bounded buffer |
+/// | `DropOldest` | the oldest retained item is evicted (counted) to admit the new one | every bounded buffer |
+///
+/// **`Block` on seal-path buffers.** Buffers that are filled *by the
+/// rotation path itself* (`MemorySink` retention, the query answer bank,
+/// the rotator's completed-report store) have no independent consumer to
+/// wait for — blocking there would wedge rotation, which the pipeline's
+/// prime directive forbids (a full dashboard buffer must never stall
+/// measurement). On those buffers `Block` degrades to `DropNewest`, and
+/// the shed is still counted; the per-buffer docs state this explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackpressurePolicy {
+    /// Wait for room. Only honoured where a consumer drains the buffer
+    /// concurrently; degrades to [`Self::DropNewest`] on seal-path
+    /// buffers (see the type-level docs).
+    #[default]
+    Block,
+    /// Shed the arriving item whole, keeping what is already retained.
+    DropNewest,
+    /// Evict the oldest retained item(s) to make room for the arriving
+    /// one — a sliding window over the most recent data.
+    DropOldest,
+}
+
+impl BackpressurePolicy {
+    /// All policies, for sweeps and property tests.
+    pub const ALL: [BackpressurePolicy; 3] = [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::DropNewest,
+        BackpressurePolicy::DropOldest,
+    ];
+
+    /// Short lowercase label (`block` / `drop_newest` / `drop_oldest`)
+    /// for metrics labels and experiment tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::DropNewest => "drop_newest",
+            BackpressurePolicy::DropOldest => "drop_oldest",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = BackpressurePolicy::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn default_is_block() {
+        assert_eq!(BackpressurePolicy::default(), BackpressurePolicy::Block);
+    }
+}

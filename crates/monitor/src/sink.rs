@@ -13,8 +13,11 @@
 //! in-process consumers. The NetFlow v5 sink lives in the
 //! `netflow-export` crate next to its wire format.
 
-use crate::{DropStats, EpochSnapshot};
-use hashflow_obs::Counter;
+use crate::{
+    classify_io_error, BackpressurePolicy, DropStats, EpochSnapshot, ErrorClass, HealthPolicy,
+    SinkErrors, SinkHealth, SinkStatus,
+};
+use hashflow_obs::{Counter, Gauge};
 use std::io::{self, Write};
 
 /// A destination for sealed measurement epochs.
@@ -43,94 +46,265 @@ pub trait RecordSink {
     }
 }
 
-/// An owned set of sinks with first-error parking — the shared plumbing
-/// of every rotation layer ([`crate::EpochRotator`], `hashflow_shard`'s
-/// `ShardedMonitor`): export fan-out, infallible from the caller's side
-/// (a broken export target must not stall measurement), with the first
-/// I/O error parked for the driving loop to inspect.
+/// One managed sink with its health-machine bookkeeping.
+struct SinkEntry {
+    sink: Box<dyn RecordSink + Send>,
+    health: SinkHealth,
+    consecutive_failures: u32,
+    total_errors: u64,
+    skipped_epochs: u64,
+    skipped_records: u64,
+    recoveries: u64,
+    /// Sealed epochs left to skip before the next recovery probe.
+    epochs_until_probe: u64,
+    last_error: Option<String>,
+}
+
+impl SinkEntry {
+    fn new(sink: Box<dyn RecordSink + Send>) -> Self {
+        SinkEntry {
+            sink,
+            health: SinkHealth::Healthy,
+            consecutive_failures: 0,
+            total_errors: 0,
+            skipped_epochs: 0,
+            skipped_records: 0,
+            recoveries: 0,
+            epochs_until_probe: 0,
+            last_error: None,
+        }
+    }
+
+    fn status(&self, index: usize) -> SinkStatus {
+        SinkStatus {
+            index,
+            health: self.health,
+            consecutive_failures: self.consecutive_failures,
+            total_errors: self.total_errors,
+            skipped_epochs: self.skipped_epochs,
+            skipped_records: self.skipped_records,
+            recoveries: self.recoveries,
+            last_error: self.last_error.clone(),
+        }
+    }
+}
+
+/// An owned set of sinks with per-sink health tracking — the shared
+/// plumbing of every rotation layer ([`crate::EpochRotator`],
+/// `hashflow_shard`'s `ShardedMonitor`): export fan-out, infallible from
+/// the caller's side (a broken export target must not stall
+/// measurement), with every I/O error classified
+/// ([`classify_io_error`]), collected (bounded by
+/// [`SinkErrors::MAX_PARKED`]) and driving each sink's
+/// healthy → degraded → quarantined state machine ([`SinkHealth`]).
+/// Quarantined sinks skip-and-count instead of wedging the rotation
+/// path, and recover through periodic probes
+/// ([`HealthPolicy::probe_interval`]).
 #[derive(Default)]
 pub struct SinkSet {
-    sinks: Vec<Box<dyn RecordSink + Send>>,
-    first_error: Option<io::Error>,
+    entries: Vec<SinkEntry>,
+    parked: Vec<(usize, io::Error)>,
+    policy: HealthPolicy,
     error_counter: Option<Counter>,
+    skipped_counter: Option<Counter>,
+    quarantined_gauge: Option<Gauge>,
 }
 
 impl std::fmt::Debug for SinkSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SinkSet")
-            .field("sinks", &self.sinks.len())
-            .field("errored", &self.first_error.is_some())
+            .field("sinks", &self.entries.len())
+            .field("errors", &self.parked.len())
+            .field(
+                "quarantined",
+                &self
+                    .entries
+                    .iter()
+                    .filter(|e| e.health == SinkHealth::Quarantined)
+                    .count(),
+            )
             .finish()
     }
 }
 
 impl SinkSet {
-    /// An empty set.
+    /// An empty set with the default [`HealthPolicy`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds a sink.
+    /// Adds a sink (starting [`SinkHealth::Healthy`]).
     pub fn add(&mut self, sink: Box<dyn RecordSink + Send>) {
-        self.sinks.push(sink);
+        self.entries.push(SinkEntry::new(sink));
     }
 
     /// Number of attached sinks.
     pub fn len(&self) -> usize {
-        self.sinks.len()
+        self.entries.len()
     }
 
     /// Whether no sinks are attached.
     pub fn is_empty(&self) -> bool {
-        self.sinks.is_empty()
+        self.entries.is_empty()
     }
 
-    /// Attaches a metrics counter incremented once per sink error —
-    /// unlike the parked [`Self::take_error`] (first error only), the
+    /// Replaces the health-machine thresholds (applies to subsequent
+    /// exports; current states are kept).
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        assert!(
+            policy.quarantine_after >= 1,
+            "quarantine_after must be at least 1"
+        );
+        self.policy = policy;
+    }
+
+    /// The active health-machine thresholds.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Attaches a metrics counter incremented once per sink error — the
     /// counter sees *every* failed export or flush, so exposition
     /// reflects the true failure volume of a long run.
     pub fn set_error_counter(&mut self, counter: Counter) {
         self.error_counter = Some(counter);
     }
 
-    /// Streams one sealed epoch to every sink; the first error is parked
-    /// (later sinks still receive the epoch).
-    pub fn export(&mut self, snapshot: &EpochSnapshot) {
-        for sink in &mut self.sinks {
-            if let Err(e) = sink.export_epoch(snapshot) {
-                if let Some(c) = &self.error_counter {
-                    c.inc();
-                }
-                self.first_error.get_or_insert(e);
-            }
+    /// Attaches a counter for epochs skipped past quarantined sinks and
+    /// a gauge tracking how many sinks are currently quarantined.
+    pub fn set_health_metrics(&mut self, skipped: Counter, quarantined: Gauge) {
+        self.skipped_counter = Some(skipped);
+        self.quarantined_gauge = Some(quarantined);
+    }
+
+    /// Point-in-time health of every attached sink, in attach order.
+    pub fn health(&self) -> Vec<SinkStatus> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.status(i))
+            .collect()
+    }
+
+    /// Sinks currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.health == SinkHealth::Quarantined)
+            .count()
+    }
+
+    fn park(&mut self, index: usize, error: io::Error) {
+        if self.parked.len() < SinkErrors::MAX_PARKED {
+            self.parked.push((index, error));
         }
     }
 
-    /// Takes the first parked I/O error, if any.
+    fn update_gauge(&self) {
+        if let Some(g) = &self.quarantined_gauge {
+            g.set(self.quarantined() as i64);
+        }
+    }
+
+    /// Streams one sealed epoch to every sink, driving each sink's
+    /// health machine: healthy and degraded sinks are attempted (a
+    /// success heals them), quarantined sinks skip-and-count until their
+    /// probe countdown reaches zero, at which point one export is
+    /// attempted as a recovery probe. Errors never propagate out of the
+    /// rotation path; they are counted, parked (bounded) and reported by
+    /// [`Self::finish`] / [`Self::health`].
+    pub fn export(&mut self, snapshot: &EpochSnapshot) {
+        let policy = self.policy;
+        let error_counter = self.error_counter.clone();
+        let skipped_counter = self.skipped_counter.clone();
+        let mut fresh_errors: Vec<(usize, io::Error)> = Vec::new();
+        for (index, entry) in self.entries.iter_mut().enumerate() {
+            // A quarantined sink skips-and-counts until its probe
+            // countdown reaches zero, then falls through to one real
+            // export attempt.
+            if entry.health == SinkHealth::Quarantined && entry.epochs_until_probe > 0 {
+                entry.epochs_until_probe -= 1;
+                entry.skipped_epochs += 1;
+                entry.skipped_records += snapshot.len() as u64;
+                if let Some(c) = &skipped_counter {
+                    c.inc();
+                }
+                continue;
+            }
+            match entry.sink.export_epoch(snapshot) {
+                Ok(()) => {
+                    if entry.health == SinkHealth::Quarantined {
+                        entry.recoveries += 1;
+                    }
+                    entry.health = SinkHealth::Healthy;
+                    entry.consecutive_failures = 0;
+                }
+                Err(error) => {
+                    entry.total_errors += 1;
+                    entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+                    entry.last_error = Some(error.to_string());
+                    let fatal = classify_io_error(&error) == ErrorClass::Fatal;
+                    if fatal || entry.consecutive_failures >= policy.quarantine_after {
+                        entry.health = SinkHealth::Quarantined;
+                        entry.epochs_until_probe = policy.probe_interval;
+                    } else {
+                        entry.health = SinkHealth::Degraded;
+                    }
+                    if let Some(c) = &error_counter {
+                        c.inc();
+                    }
+                    fresh_errors.push((index, error));
+                }
+            }
+        }
+        for (index, error) in fresh_errors {
+            self.park(index, error);
+        }
+        self.update_gauge();
+    }
+
+    /// Takes the oldest collected I/O error, if any.
+    #[deprecated(
+        since = "0.1.0",
+        note = "a single parked error hides every later failure; read the \
+                per-sink view via `health()` and collect everything via \
+                `finish()` instead"
+    )]
     pub fn take_error(&mut self) -> Option<io::Error> {
-        self.first_error.take()
+        if self.parked.is_empty() {
+            None
+        } else {
+            Some(self.parked.remove(0).1)
+        }
     }
 
     /// Flushes every sink (end of the collection run); later sinks are
-    /// still flushed after a failure.
+    /// still flushed after a failure, and quarantined sinks are flushed
+    /// too (whatever they buffered before failing should still reach
+    /// disk if it can).
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error any sink reported, including parked
-    /// export errors.
-    pub fn finish(&mut self) -> io::Result<()> {
-        let mut first_err = self.first_error.take();
-        for sink in &mut self.sinks {
-            if let Err(e) = sink.finish() {
+    /// Returns **every** collected I/O error — export errors from earlier
+    /// rotations and flush errors from this call, in occurrence order
+    /// with their sink indices ([`SinkErrors`]).
+    pub fn finish(&mut self) -> Result<(), SinkErrors> {
+        for index in 0..self.entries.len() {
+            let entry = &mut self.entries[index];
+            if let Err(error) = entry.sink.finish() {
+                entry.total_errors += 1;
+                entry.last_error = Some(error.to_string());
                 if let Some(c) = &self.error_counter {
                     c.inc();
                 }
-                first_err.get_or_insert(e);
+                self.park(index, error);
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
+        let errors = std::mem::take(&mut self.parked);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(SinkErrors::new(errors))
         }
     }
 }
@@ -217,20 +391,34 @@ impl<W: Write> RecordSink for JsonLinesSink<W> {
 ///
 /// By default retention is unbounded. [`MemorySink::with_capacity_limit`]
 /// caps the **total retained records** across all epochs, so a
-/// long-running rotation pipeline cannot grow the sink without bound. The
-/// policy is oldest-first retention, whole epochs only: an arriving epoch
-/// is kept iff its record count fits in the remaining capacity; otherwise
-/// the *entire* epoch is dropped (snapshots are immutable — truncating one
-/// would silently corrupt its query answers) and counted in the sink's
-/// [`DropStats`] ([`MemorySink::dropped_records`] /
-/// [`MemorySink::dropped_epochs`]). Export never errors for a dropped
-/// epoch: a full dashboard buffer must not park the rotation layer's sink
-/// error.
+/// long-running rotation pipeline cannot grow the sink without bound.
+/// What happens at the cap follows the sink's [`BackpressurePolicy`]
+/// ([`MemorySink::with_policy`]), always whole epochs (snapshots are
+/// immutable — truncating one would silently corrupt its query answers):
+///
+/// - [`BackpressurePolicy::DropNewest`] (the `with_capacity_limit`
+///   default): the arriving epoch is dropped whole iff it does not fit
+///   the remaining capacity — retention is a prefix-by-fit.
+/// - [`BackpressurePolicy::DropOldest`]: the oldest retained epochs are
+///   evicted (and counted) until the arriving epoch fits — a sliding
+///   window over the most recent epochs. An epoch larger than the whole
+///   capacity is dropped without evicting anything.
+/// - [`BackpressurePolicy::Block`] degrades to `DropNewest`: the sink is
+///   filled by the rotation path itself, so there is no consumer to wait
+///   for and blocking would wedge rotation.
+///
+/// Every arriving epoch lands in the sink's [`DropStats`] ledger — either
+/// as a delivery or as a drop (plus evictions), so
+/// `offered == delivered + dropped` holds by construction
+/// ([`DropStats::offered_records`]). Export never errors for a dropped
+/// epoch: a full dashboard buffer must not degrade the rotation layer's
+/// sink health.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     epochs: Vec<EpochSnapshot>,
     /// Maximum total retained records across all epochs (`None` = unbounded).
     capacity: Option<usize>,
+    policy: BackpressurePolicy,
     retained_records: usize,
     drops: DropStats,
 }
@@ -242,12 +430,28 @@ impl MemorySink {
     }
 
     /// Creates an empty sink retaining at most `max_records` total records
-    /// (see the type-level drop policy).
+    /// with the [`BackpressurePolicy::DropNewest`] policy (see the
+    /// type-level drop policy).
     pub fn with_capacity_limit(max_records: usize) -> Self {
+        Self::with_policy(max_records, BackpressurePolicy::DropNewest)
+    }
+
+    /// Creates an empty sink retaining at most `max_records` total
+    /// records under the given overflow `policy`
+    /// ([`BackpressurePolicy::Block`] degrades to `DropNewest` here — see
+    /// the type-level drop policy).
+    pub fn with_policy(max_records: usize, policy: BackpressurePolicy) -> Self {
         MemorySink {
             capacity: Some(max_records),
+            policy,
             ..Self::default()
         }
+    }
+
+    /// The sink's overflow policy (meaningful only when a capacity limit
+    /// is set).
+    pub fn policy(&self) -> BackpressurePolicy {
+        self.policy
     }
 
     /// Sealed epochs received and retained so far, in arrival order.
@@ -260,7 +464,7 @@ impl MemorySink {
         self.retained_records
     }
 
-    /// Epochs dropped whole because they did not fit the capacity limit.
+    /// Epochs dropped or evicted whole under the capacity limit.
     pub fn dropped_epochs(&self) -> u64 {
         self.drops.dropped_epochs()
     }
@@ -281,14 +485,39 @@ impl MemorySink {
     pub fn into_epochs(self) -> Vec<EpochSnapshot> {
         self.epochs
     }
+
+    /// Evicts oldest epochs until `incoming` more records fit, counting
+    /// each eviction as a drop. Returns false if the epoch can never fit.
+    fn evict_for(&mut self, cap: usize, incoming: usize) -> bool {
+        if incoming > cap {
+            return false;
+        }
+        while self.retained_records + incoming > cap {
+            // Eviction is rare (overflow only), so O(n) removal is fine
+            // and keeps `epochs()` a contiguous slice.
+            let evicted = self.epochs.remove(0);
+            self.retained_records -= evicted.len();
+            self.drops.record_drop(evicted.len() as u64);
+        }
+        true
+    }
 }
 
 impl RecordSink for MemorySink {
     fn export_epoch(&mut self, snapshot: &EpochSnapshot) -> io::Result<()> {
+        self.drops.record_offer(snapshot.len() as u64);
         if let Some(cap) = self.capacity {
             if self.retained_records + snapshot.len() > cap {
-                self.drops.record_drop(snapshot.len() as u64);
-                return Ok(());
+                let admitted = match self.policy {
+                    // Block degrades to DropNewest: the rotation path is
+                    // the producer, there is no consumer to wait for.
+                    BackpressurePolicy::Block | BackpressurePolicy::DropNewest => false,
+                    BackpressurePolicy::DropOldest => self.evict_for(cap, snapshot.len()),
+                };
+                if !admitted {
+                    self.drops.record_drop(snapshot.len() as u64);
+                    return Ok(());
+                }
             }
         }
         self.retained_records += snapshot.len();
@@ -379,6 +608,44 @@ mod tests {
         assert_eq!(sink.total_records(), 500);
         assert_eq!(sink.dropped_epochs(), 0);
         assert_eq!(sink.dropped_records(), 0);
+        // The unbounded sink still keeps the delivered side of the
+        // ledger, so conservation is checkable uniformly.
+        assert_eq!(sink.drop_stats().delivered_records(), 500);
+        assert_eq!(sink.drop_stats().offered_epochs(), 50);
+    }
+
+    #[test]
+    fn drop_oldest_slides_the_retention_window() {
+        let mut sink = MemorySink::with_policy(6, BackpressurePolicy::DropOldest);
+        sink.export_epoch(&snapshot(0, 4)).unwrap();
+        sink.export_epoch(&snapshot(1, 2)).unwrap();
+        // Admitting epoch 2 (3 records) evicts epoch 0 (4 records).
+        sink.export_epoch(&snapshot(2, 3)).unwrap();
+        let retained: Vec<u64> = sink.epochs().iter().map(|s| s.epoch()).collect();
+        assert_eq!(retained, vec![1, 2]);
+        assert_eq!(sink.total_records(), 5);
+        assert_eq!(sink.dropped_epochs(), 1);
+        assert_eq!(sink.dropped_records(), 4);
+        // An epoch larger than the whole capacity is shed without
+        // evicting what is retained.
+        sink.export_epoch(&snapshot(3, 7)).unwrap();
+        assert_eq!(sink.total_records(), 5);
+        assert_eq!(sink.dropped_records(), 11);
+        // offered == delivered + dropped, in records — evictions do not
+        // double-count because delivered is derived.
+        let ledger = sink.drop_stats();
+        assert_eq!(ledger.offered_records(), 4 + 2 + 3 + 7);
+        assert_eq!(ledger.delivered_records(), sink.total_records() as u64);
+    }
+
+    #[test]
+    fn block_policy_degrades_to_drop_newest_on_memory_sink() {
+        let mut sink = MemorySink::with_policy(3, BackpressurePolicy::Block);
+        assert_eq!(sink.policy(), BackpressurePolicy::Block);
+        sink.export_epoch(&snapshot(0, 3)).unwrap();
+        sink.export_epoch(&snapshot(1, 1)).unwrap();
+        assert_eq!(sink.epochs().len(), 1);
+        assert_eq!(sink.dropped_records(), 1);
     }
 
     #[test]
@@ -391,5 +658,135 @@ mod tests {
             s.export_epoch(&snapshot(0, 1)).unwrap();
             s.finish().unwrap();
         }
+    }
+
+    /// Fails the first `fail_first` exports with the given kind, then
+    /// succeeds, counting successful deliveries.
+    struct FlakySink {
+        fail_first: u64,
+        kind: io::ErrorKind,
+        attempts: u64,
+        delivered: u64,
+    }
+
+    impl FlakySink {
+        fn new(fail_first: u64, kind: io::ErrorKind) -> Self {
+            FlakySink {
+                fail_first,
+                kind,
+                attempts: 0,
+                delivered: 0,
+            }
+        }
+    }
+
+    impl RecordSink for FlakySink {
+        fn export_epoch(&mut self, _snapshot: &EpochSnapshot) -> io::Result<()> {
+            self.attempts += 1;
+            if self.attempts <= self.fail_first {
+                Err(io::Error::new(self.kind, "injected"))
+            } else {
+                self.delivered += 1;
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_degrade_then_quarantine_then_recover() {
+        let mut set = SinkSet::new();
+        set.set_health_policy(HealthPolicy {
+            quarantine_after: 2,
+            probe_interval: 2,
+        });
+        set.add(Box::new(FlakySink::new(3, io::ErrorKind::TimedOut)));
+        let snap = snapshot(0, 1);
+
+        set.export(&snap); // failure 1 → degraded
+        assert_eq!(set.health()[0].health, SinkHealth::Degraded);
+        set.export(&snap); // failure 2 → quarantined
+        assert_eq!(set.health()[0].health, SinkHealth::Quarantined);
+        assert_eq!(set.quarantined(), 1);
+
+        set.export(&snap); // skipped (probe in 2)
+        set.export(&snap); // skipped (probe in 1)
+        let status = &set.health()[0];
+        assert_eq!(status.skipped_epochs, 2);
+        assert_eq!(status.skipped_records, 2);
+        assert_eq!(status.health, SinkHealth::Quarantined);
+
+        set.export(&snap); // probe: third failure, re-quarantined
+        assert_eq!(set.health()[0].health, SinkHealth::Quarantined);
+        set.export(&snap); // skipped
+        set.export(&snap); // skipped
+        set.export(&snap); // probe succeeds → healthy
+        let status = &set.health()[0];
+        assert_eq!(status.health, SinkHealth::Healthy);
+        assert_eq!(status.recoveries, 1);
+        assert_eq!(status.total_errors, 3);
+
+        set.export(&snap); // healthy again: delivered normally
+        let errors = set.finish().unwrap_err();
+        assert_eq!(errors.len(), 3);
+    }
+
+    #[test]
+    fn fatal_error_quarantines_immediately() {
+        let mut set = SinkSet::new();
+        set.add(Box::new(FlakySink::new(1, io::ErrorKind::PermissionDenied)));
+        set.export(&snapshot(0, 1));
+        assert_eq!(set.health()[0].health, SinkHealth::Quarantined);
+    }
+
+    #[test]
+    fn finish_collects_every_sink_error_and_flushes_all() {
+        let mut set = SinkSet::new();
+        set.set_health_policy(HealthPolicy {
+            quarantine_after: 10,
+            probe_interval: 0,
+        });
+        set.add(Box::new(FlakySink::new(u64::MAX, io::ErrorKind::TimedOut)));
+        set.add(Box::new(MemorySink::new()));
+        set.add(Box::new(FlakySink::new(
+            u64::MAX,
+            io::ErrorKind::BrokenPipe,
+        )));
+        let snap = snapshot(0, 2);
+        set.export(&snap);
+        set.export(&snap);
+        let errors = set.finish().unwrap_err();
+        // Two failing sinks × two exports; the healthy MemorySink between
+        // them was still exported to and flushed.
+        assert_eq!(errors.len(), 4);
+        let indices: Vec<usize> = errors.iter().map(|(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn parked_errors_are_bounded() {
+        let mut set = SinkSet::new();
+        set.set_health_policy(HealthPolicy {
+            quarantine_after: u32::MAX,
+            probe_interval: 0,
+        });
+        set.add(Box::new(FlakySink::new(u64::MAX, io::ErrorKind::TimedOut)));
+        let snap = snapshot(0, 1);
+        for _ in 0..(SinkErrors::MAX_PARKED + 10) {
+            set.export(&snap);
+        }
+        let status = &set.health()[0];
+        assert_eq!(status.total_errors, (SinkErrors::MAX_PARKED + 10) as u64);
+        let errors = set.finish().unwrap_err();
+        assert_eq!(errors.len(), SinkErrors::MAX_PARKED);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_take_error_still_surfaces_oldest() {
+        let mut set = SinkSet::new();
+        set.add(Box::new(FlakySink::new(1, io::ErrorKind::TimedOut)));
+        set.export(&snapshot(0, 1));
+        assert!(set.take_error().is_some());
+        assert!(set.take_error().is_none());
     }
 }

@@ -76,6 +76,9 @@ pub struct EpochSnapshot {
     by_key: HashMap<FlowKey, u32>,
     cardinality: f64,
     cost: CostSnapshot,
+    /// Whether any contributing shard lost data (e.g. a worker panic)
+    /// before this epoch was sealed.
+    partial: bool,
 }
 
 impl EpochSnapshot {
@@ -105,7 +108,22 @@ impl EpochSnapshot {
             by_key,
             cardinality,
             cost,
+            partial: false,
         }
+    }
+
+    /// Marks (or clears) the partial-data flag — set by sharded seals
+    /// whose workers lost data to a panic, so downstream consumers can
+    /// tell a complete epoch from a degraded one.
+    pub fn with_partial(mut self, partial: bool) -> Self {
+        self.partial = partial;
+        self
+    }
+
+    /// Whether this epoch is known to be missing data (a contributing
+    /// shard was degraded when the epoch sealed).
+    pub const fn is_partial(&self) -> bool {
+        self.partial
     }
 
     /// Captures the monitor's current answers **without draining it** —
@@ -134,6 +152,7 @@ impl EpochSnapshot {
             records: self.records,
             cardinality: self.cardinality,
             cost: self.cost,
+            partial: self.partial,
         }
     }
 

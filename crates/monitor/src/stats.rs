@@ -9,7 +9,7 @@
 //! stage registers into the same registry and one snapshot covers the
 //! whole pipeline.
 
-use hashflow_obs::{Counter, Histogram, MetricsRegistry};
+use hashflow_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// How many scalar-path packets may accumulate locally before the
 /// pending counts are flushed into the shared atomic counters.
@@ -21,15 +21,29 @@ use hashflow_obs::{Counter, Histogram, MetricsRegistry};
 /// packets until the next batch boundary, rotation or explicit flush.
 pub const SCALAR_FLUSH_PACKETS: u64 = 4096;
 
-/// Uniform drop accounting for bounded buffers — the first piece of the
-/// pipeline's backpressure contract.
+/// Uniform offer/drop accounting for bounded buffers — the ledger behind
+/// the pipeline's backpressure contract.
 ///
-/// Every stage that sheds load under a capacity limit (`MemorySink`'s
-/// retained-epoch cap, `QueryMonitor`'s banked-answer cap) counts what it
-/// dropped the same way: whole epochs, and the records (or answers)
-/// inside them. The counters are shared atomic handles, so the same
-/// `DropStats` can sit inside the buffer *and* be registered in a
-/// [`MetricsRegistry`] for exposition.
+/// Every stage that sheds load under a capacity limit (the sharded
+/// dispatcher's batch queues, `MemorySink`'s retained-record cap,
+/// `QueryMonitor`'s banked-answer cap, the rotator's completed-report
+/// store) accounts the same way: each arriving unit (an epoch, or a
+/// batch for a packet queue) is **offered** exactly once
+/// ([`DropStats::record_offer`]), and every unit later lost — shed on
+/// arrival, evicted by `DropOldest`, or stranded in a dead worker — is
+/// **dropped** exactly once ([`DropStats::record_drop`]). Delivered is
+/// *derived*, never counted:
+///
+/// ```text
+/// delivered == offered - dropped
+/// ```
+///
+/// so the conservation invariant `offered == delivered + dropped` holds
+/// by construction for **every** [`crate::BackpressurePolicy`] — a
+/// sliding-window eviction cannot double-count, because an item offered
+/// once is dropped at most once. The counters are shared atomic handles,
+/// so the same `DropStats` can sit inside the buffer *and* be registered
+/// in a [`MetricsRegistry`] for exposition.
 ///
 /// # Examples
 ///
@@ -40,8 +54,12 @@ pub const SCALAR_FLUSH_PACKETS: u64 = 4096;
 /// let drops = DropStats::new();
 /// let registry = MetricsRegistry::new();
 /// drops.register(&registry, "memory_sink");
-/// drops.record_drop(17); // one epoch of 17 records shed
+/// drops.record_offer(5); // one epoch of 5 records arrives (retained)
+/// drops.record_offer(17); // another arrives...
+/// drops.record_drop(17); // ...and is shed whole
 /// assert_eq!(drops.dropped_epochs(), 1);
+/// assert_eq!(drops.offered_records(), 22);
+/// assert_eq!(drops.delivered_records(), 5);
 /// assert_eq!(
 ///     registry.snapshot().counter(
 ///         "hashflow_dropped_records_total",
@@ -52,18 +70,29 @@ pub const SCALAR_FLUSH_PACKETS: u64 = 4096;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DropStats {
+    offered_epochs: Counter,
+    offered_records: Counter,
     epochs: Counter,
     records: Counter,
 }
 
 impl DropStats {
-    /// Fresh drop accounting with both counters at zero.
+    /// Fresh accounting with every counter at zero.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Counts one dropped epoch carrying `records` records (answers, for
-    /// an answer bank).
+    /// Counts one offered epoch (or batch) carrying `records` records —
+    /// called exactly once per unit arriving at the buffer, before any
+    /// admission decision.
+    pub fn record_offer(&self, records: u64) {
+        self.offered_epochs.inc();
+        self.offered_records.add(records);
+    }
+
+    /// Counts one dropped epoch (or batch) carrying `records` records —
+    /// a unit previously offered that will never reach the consumer
+    /// (shed on arrival, evicted later, or lost in flight).
     pub fn record_drop(&self, records: u64) {
         self.epochs.inc();
         self.records.add(records);
@@ -74,22 +103,58 @@ impl DropStats {
         self.epochs.get()
     }
 
-    /// Records (or answers) inside dropped epochs.
+    /// Records (or answers, or packets) inside dropped epochs.
     pub fn dropped_records(&self) -> u64 {
         self.records.get()
     }
 
-    /// Clears both counters, for buffers whose own `reset()` contract
+    /// Everything offered to the buffer, in epochs (or batches).
+    pub fn offered_epochs(&self) -> u64 {
+        self.offered_epochs.get()
+    }
+
+    /// Everything offered to the buffer, in records.
+    pub fn offered_records(&self) -> u64 {
+        self.offered_records.get()
+    }
+
+    /// Epochs delivered past (or still retained by) this buffer:
+    /// `offered - dropped`, by construction.
+    pub fn delivered_epochs(&self) -> u64 {
+        self.offered_epochs().saturating_sub(self.dropped_epochs())
+    }
+
+    /// Records delivered past (or still retained by) this buffer.
+    pub fn delivered_records(&self) -> u64 {
+        self.offered_records()
+            .saturating_sub(self.dropped_records())
+    }
+
+    /// Clears every counter, for buffers whose own `reset()` contract
     /// wipes accumulated state.
     pub fn reset(&self) {
+        self.offered_epochs.reset();
+        self.offered_records.reset();
         self.epochs.reset();
         self.records.reset();
     }
 
-    /// Registers both counters under the uniform names
-    /// `hashflow_dropped_epochs_total` / `hashflow_dropped_records_total`
-    /// with a `component` label identifying the buffer.
+    /// Registers the primary counters under the uniform names
+    /// `hashflow_offered_{epochs,records}_total` /
+    /// `hashflow_dropped_{epochs,records}_total` with a `component`
+    /// label identifying the buffer. Delivered counts are derived
+    /// (`offered - dropped`) by exposition consumers.
     pub fn register(&self, registry: &MetricsRegistry, component: &str) {
+        registry.register_counter(
+            "hashflow_offered_epochs_total",
+            &[("component", component)],
+            self.offered_epochs.clone(),
+        );
+        registry.register_counter(
+            "hashflow_offered_records_total",
+            &[("component", component)],
+            self.offered_records.clone(),
+        );
         registry.register_counter(
             "hashflow_dropped_epochs_total",
             &[("component", component)],
@@ -116,6 +181,8 @@ impl DropStats {
 /// | `hashflow_rotation_gaps_total` | counter | rotations that skipped ≥ 1 quiet window |
 /// | `hashflow_sink_export_ns` | histogram | sink fan-out time per sealed epoch |
 /// | `hashflow_sink_errors_total` | counter | sink export/flush errors |
+/// | `hashflow_sink_skipped_epochs_total` | counter | sealed epochs skipped past quarantined sinks |
+/// | `hashflow_sinks_quarantined` | gauge | sinks currently quarantined |
 #[derive(Clone, Debug)]
 pub struct PipelineMetrics {
     pub(crate) packets: Counter,
@@ -127,6 +194,8 @@ pub struct PipelineMetrics {
     pub(crate) rotation_gaps: Counter,
     pub(crate) export_ns: Histogram,
     pub(crate) sink_errors: Counter,
+    pub(crate) sink_skipped_epochs: Counter,
+    pub(crate) sinks_quarantined: Gauge,
 }
 
 impl PipelineMetrics {
@@ -144,6 +213,8 @@ impl PipelineMetrics {
             rotation_gaps: registry.counter("hashflow_rotation_gaps_total", &[]),
             export_ns: registry.histogram("hashflow_sink_export_ns", &[]),
             sink_errors: registry.counter("hashflow_sink_errors_total", &[]),
+            sink_skipped_epochs: registry.counter("hashflow_sink_skipped_epochs_total", &[]),
+            sinks_quarantined: registry.gauge("hashflow_sinks_quarantined", &[]),
         }
     }
 

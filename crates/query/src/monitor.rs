@@ -17,7 +17,7 @@
 
 use crate::exec::{QueryResult, StreamingQuery};
 use crate::plan::QueryPlan;
-use hashflow_monitor::{CostSnapshot, DropStats, EpochSnapshot, FlowMonitor};
+use hashflow_monitor::{BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor};
 use hashflow_obs::{Counter, MetricsRegistry};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
@@ -70,6 +70,9 @@ pub struct QueryMonitor<M> {
     sealed: Vec<Vec<QueryResult>>,
     /// Maximum banked epochs (`None` = unbounded).
     answer_limit: Option<usize>,
+    /// What to shed when the bank is full (see
+    /// [`Self::with_answer_policy`]).
+    answer_policy: BackpressurePolicy,
     /// Whole epochs of answers shed at the answer limit (uniform drop
     /// accounting, `component="query_answers"` when registered).
     drops: DropStats,
@@ -89,6 +92,7 @@ impl<M: FlowMonitor> QueryMonitor<M> {
             eval_packets: Vec::new(),
             sealed: Vec::new(),
             answer_limit: None,
+            answer_policy: BackpressurePolicy::DropNewest,
             drops: DropStats::new(),
             metrics: None,
         }
@@ -104,18 +108,51 @@ impl<M: FlowMonitor> QueryMonitor<M> {
     /// retained epochs stay contiguous from the last drain, and the drop
     /// is counted in [`Self::dropped_answer_epochs`]. Sealing itself
     /// never fails: an operator forgetting to drain must not stall
-    /// rotation.
+    /// rotation. Choose a different shed direction with
+    /// [`Self::with_answer_policy`].
     pub fn with_answer_limit(inner: M, max_epochs: usize) -> Self {
+        Self::with_answer_policy(inner, max_epochs, BackpressurePolicy::DropNewest)
+    }
+
+    /// Like [`Self::with_answer_limit`], but with an explicit
+    /// [`BackpressurePolicy`] for the full bank:
+    /// [`BackpressurePolicy::DropNewest`] keeps the oldest epochs since
+    /// the last drain, [`BackpressurePolicy::DropOldest`] slides the
+    /// window to the freshest epochs. [`BackpressurePolicy::Block`]
+    /// degrades to `DropNewest` (counted): the seal path has no consumer
+    /// to wait on, and stalling rotation is never acceptable.
+    pub fn with_answer_policy(inner: M, max_epochs: usize, policy: BackpressurePolicy) -> Self {
         QueryMonitor {
             answer_limit: Some(max_epochs),
+            answer_policy: policy,
             ..Self::new(inner)
         }
+    }
+
+    /// The shed direction of a full answer bank.
+    pub fn answer_policy(&self) -> BackpressurePolicy {
+        self.answer_policy
+    }
+
+    /// Bounds (or re-bounds) the answer bank at runtime — equivalent to
+    /// constructing with [`Self::with_answer_policy`]. Already-banked
+    /// epochs are kept; an over-full bank sheds at the next seal under
+    /// the new policy.
+    pub fn set_answer_limit(&mut self, max_epochs: usize, policy: BackpressurePolicy) {
+        self.answer_limit = Some(max_epochs);
+        self.answer_policy = policy;
     }
 
     /// Epochs whose streaming answers were dropped whole because the
     /// bank was at its [`answer limit`](Self::with_answer_limit).
     pub fn dropped_answer_epochs(&self) -> u64 {
         self.drops.dropped_epochs()
+    }
+
+    /// The full answer-bank ledger (offered/dropped/delivered epochs and
+    /// per-plan answers; conservation holds by construction).
+    pub fn answer_drop_stats(&self) -> &DropStats {
+        &self.drops
     }
 
     /// Attaches a plan; its streaming state starts empty **now** (packets
@@ -277,11 +314,29 @@ impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
     /// (see [`QueryMonitor::sealed_answers`]) before restarting the query
     /// state for the next epoch.
     fn seal(&mut self) -> EpochSnapshot {
-        if self.answer_limit.is_none_or(|max| self.sealed.len() < max) {
-            self.sealed.push(self.answer_all());
-        } else {
-            // One whole epoch shed; it carried one answer per plan.
-            self.drops.record_drop(self.queries.len() as u64);
+        // One epoch of answers (one per plan) is offered to the bank.
+        self.drops.record_offer(self.queries.len() as u64);
+        match self.answer_limit {
+            Some(max) if self.sealed.len() >= max => match self.answer_policy {
+                // No consumer drains this bank synchronously, so Block
+                // degrades to DropNewest (counted) rather than stalling
+                // the rotation path.
+                BackpressurePolicy::Block | BackpressurePolicy::DropNewest => {
+                    self.drops.record_drop(self.queries.len() as u64);
+                }
+                BackpressurePolicy::DropOldest => {
+                    while self.sealed.len() >= max.max(1) {
+                        let evicted = self.sealed.remove(0);
+                        self.drops.record_drop(evicted.len() as u64);
+                    }
+                    if max == 0 {
+                        self.drops.record_drop(self.queries.len() as u64);
+                    } else {
+                        self.sealed.push(self.answer_all());
+                    }
+                }
+            },
+            _ => self.sealed.push(self.answer_all()),
         }
         let snapshot = self.inner.seal();
         for q in &mut self.queries {
@@ -427,6 +482,30 @@ mod tests {
         qm.seal();
         assert_eq!(qm.sealed_answers().len(), 1);
         assert_eq!(qm.dropped_answer_epochs(), 2, "no further drops");
+    }
+
+    #[test]
+    fn drop_oldest_answer_policy_keeps_the_freshest_epochs() {
+        let mut qm =
+            QueryMonitor::with_answer_policy(Exact::default(), 2, BackpressurePolicy::DropOldest);
+        assert_eq!(qm.answer_policy(), BackpressurePolicy::DropOldest);
+        qm.attach(fanout_plan());
+        for epoch in 0..4u8 {
+            for dst in 0..=epoch {
+                qm.process_packet(&pkt(1, dst));
+            }
+            qm.seal();
+        }
+        // The window slid: the two freshest epochs (3 and 4 distinct
+        // dsts) remain, the oldest were evicted and counted.
+        let banked = qm.sealed_answers();
+        assert_eq!(banked.len(), 2);
+        assert_eq!(banked[0][0].rows()[0].value, 3);
+        assert_eq!(banked[1][0].rows()[0].value, 4);
+        let drops = qm.answer_drop_stats();
+        assert_eq!(drops.offered_epochs(), 4);
+        assert_eq!(drops.dropped_epochs(), 2);
+        assert_eq!(drops.delivered_epochs(), 2);
     }
 
     #[test]

@@ -28,6 +28,16 @@
 //!   [`ShardedMonitor::with_budget`] splits one budget into `N` equal
 //!   shard budgets that sum to at most the parent
 //!   ([`MemoryBudget::split_shards`]).
+//! * **Overload and fault behavior is a contract, not an accident.** The
+//!   per-shard queues shed according to a configurable
+//!   [`BackpressurePolicy`] ([`ShardedMonitor::set_queue_policy`]), every
+//!   shed batch is accounted in a [`DropStats`] ledger
+//!   ([`ShardedMonitor::queue_drop_stats`], exported as
+//!   `component="shard_queue"`), and a panicking worker degrades **only
+//!   its own shard**: the in-flight batch and backlog are counted as
+//!   drops, the remaining shards keep ingesting, the sealed epoch is
+//!   flagged [`EpochReport::partial`], and the shard recovers at the next
+//!   epoch boundary when its state resets cleanly.
 //!
 //! # Examples
 //!
@@ -55,15 +65,28 @@
 
 mod queue;
 
-pub use queue::BatchQueue;
+pub use queue::{BatchQueue, PushOutcome};
 
 use hashflow_hashing::fast_range;
 use hashflow_monitor::{
-    CostSnapshot, EpochReport, FlowMonitor, MemoryBudget, MergeableMonitor, RecordSink, SinkSet,
+    BackpressurePolicy, CostSnapshot, DropStats, EpochReport, FlowMonitor, HealthPolicy,
+    MemoryBudget, MergeableMonitor, RecordSink, SinkErrors, SinkSet, SinkStatus,
 };
 use hashflow_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::time::Instant;
+
+/// Renders a worker panic payload as the fault message recorded against
+/// the degraded shard (panics carry `&str` or `String` in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
 
 /// Metric handles of an instrumented [`ShardedMonitor`] — attached with
 /// [`ShardedMonitor::set_metrics`].
@@ -153,12 +176,18 @@ fn dispatch_hash(key: &FlowKey) -> u64 {
 /// Result of one [`ShardedMonitor::ingest`] call.
 #[derive(Debug, Clone)]
 pub struct IngestReport {
-    /// Packets dispatched (and processed) in this call.
+    /// Packets dispatched in this call (routed, whether or not their
+    /// shard ultimately admitted them).
     pub packets: u64,
     /// Packets routed to each shard — the RSS load split.
     pub per_shard_packets: Vec<u64>,
     /// Wall-clock nanoseconds for the whole call (dispatch + workers).
     pub elapsed_ns: u128,
+    /// Packets shed during this call: batches rejected or displaced by
+    /// the queue policy, plus batches lost when a worker panicked. Every
+    /// one is also in the cumulative [`ShardedMonitor::queue_drop_stats`]
+    /// ledger, so `packets == processed + dropped_packets` per call.
+    pub dropped_packets: u64,
 }
 
 impl IngestReport {
@@ -272,6 +301,9 @@ impl DispatchScratch {
 /// docs for the full contract.
 pub struct ShardedMonitor<M> {
     shards: Vec<M>,
+    /// Per-shard fault message; `Some` marks the shard degraded (its
+    /// worker panicked) and shedding until an epoch-boundary recovery.
+    faults: Vec<Option<String>>,
     dispatch_hashes: u64,
     first_ns: Option<u64>,
     last_ns: Option<u64>,
@@ -279,15 +311,19 @@ pub struct ShardedMonitor<M> {
     scratch: DispatchScratch,
     sinks: SinkSet,
     metrics: Option<ShardMetrics>,
+    queue_policy: BackpressurePolicy,
+    queue_drops: DropStats,
 }
 
 impl<M: std::fmt::Debug> std::fmt::Debug for ShardedMonitor<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedMonitor")
             .field("shards", &self.shards)
+            .field("faults", &self.faults)
             .field("dispatch_hashes", &self.dispatch_hashes)
             .field("epoch", &self.epoch)
             .field("sinks", &self.sinks)
+            .field("queue_policy", &self.queue_policy)
             .finish_non_exhaustive()
     }
 }
@@ -307,8 +343,10 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
         if shards.is_empty() {
             return Err(ConfigError::new("sharded monitor needs at least one shard"));
         }
+        let count = shards.len();
         Ok(ShardedMonitor {
             shards,
+            faults: vec![None; count],
             dispatch_hashes: 0,
             first_ns: None,
             last_ns: None,
@@ -316,6 +354,8 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             scratch: DispatchScratch::default(),
             sinks: SinkSet::new(),
             metrics: None,
+            queue_policy: BackpressurePolicy::default(),
+            queue_drops: DropStats::new(),
         })
     }
 
@@ -328,6 +368,11 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
         self.sinks
             .set_error_counter(registry.counter("hashflow_sink_errors_total", &[]));
+        self.sinks.set_health_metrics(
+            registry.counter("hashflow_sink_skipped_epochs_total", &[]),
+            registry.gauge("hashflow_sinks_quarantined", &[]),
+        );
+        self.queue_drops.register(registry, "shard_queue");
         self.metrics = Some(ShardMetrics::register(registry, self.shards.len()));
     }
 
@@ -342,21 +387,76 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
         self.sinks.add(sink);
     }
 
-    /// Takes the first sink I/O error observed since the last call, if
-    /// any ([`Self::seal_epoch`] itself stays infallible — a broken
-    /// export target must not stall the shards; see [`SinkSet`]).
+    /// Takes the **oldest** parked sink I/O error, if any
+    /// ([`Self::seal_epoch`] itself stays infallible — a broken export
+    /// target must not stall the shards; see [`SinkSet`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "inspect sink_health() for per-sink state and counts; \
+                finish_sinks() returns every parked error"
+    )]
     pub fn take_sink_error(&mut self) -> Option<std::io::Error> {
+        #[allow(deprecated)]
         self.sinks.take_error()
+    }
+
+    /// Per-sink health: state machine position, consecutive and total
+    /// failures, skip counts and the most recent error message. Indexed
+    /// in [`Self::add_sink`] order.
+    pub fn sink_health(&self) -> Vec<SinkStatus> {
+        self.sinks.health()
+    }
+
+    /// Sets the failure thresholds of the sink health state machine
+    /// (quarantine-after and probe-interval; see [`HealthPolicy`]).
+    pub fn set_sink_health_policy(&mut self, policy: HealthPolicy) {
+        self.sinks.set_health_policy(policy);
     }
 
     /// Flushes every attached sink (end of the collection run).
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error any sink reported, including errors
-    /// parked from earlier seals.
-    pub fn finish_sinks(&mut self) -> std::io::Result<()> {
+    /// Returns **every** error still parked from earlier seals plus any
+    /// flush failures, as one [`SinkErrors`] bundle.
+    pub fn finish_sinks(&mut self) -> Result<(), SinkErrors> {
         self.sinks.finish()
+    }
+
+    /// Sets the backpressure policy of the per-shard ingest queues (and
+    /// of the degraded-shard shedding paths). [`BackpressurePolicy::Block`]
+    /// — the default — preserves the historical lossless behavior:
+    /// the dispatcher waits for queue room. The dropping policies bound
+    /// dispatcher latency instead and account every shed batch in
+    /// [`Self::queue_drop_stats`].
+    pub fn set_queue_policy(&mut self, policy: BackpressurePolicy) {
+        self.queue_policy = policy;
+    }
+
+    /// The active ingest-queue backpressure policy.
+    pub fn queue_policy(&self) -> BackpressurePolicy {
+        self.queue_policy
+    }
+
+    /// The cumulative shard-queue ledger: batches offered to the worker
+    /// queues ("epochs" = batches, "records" = packets) and batches lost
+    /// to policy shedding, displacement, or worker panics. Conservation
+    /// (`offered == delivered + dropped`) holds by construction.
+    pub fn queue_drop_stats(&self) -> &DropStats {
+        &self.queue_drops
+    }
+
+    /// Per-shard fault state: `Some(message)` if the shard's worker
+    /// panicked and the shard is currently degraded (shedding its share
+    /// of the load), `None` if healthy. Degraded shards recover at the
+    /// next [`Self::seal_epoch`] when their state resets cleanly.
+    pub fn shard_faults(&self) -> &[Option<String>] {
+        &self.faults
+    }
+
+    /// `true` if any shard is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.faults.iter().any(|f| f.is_some())
     }
 
     /// Builds `shards` monitors from one shared memory budget, split
@@ -524,28 +624,57 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// estimates combine via [`MergeableMonitor::combine_cardinality`].
     /// The merged epoch is streamed to every attached sink (one snapshot
     /// for all shards, not one per shard).
+    ///
+    /// A degraded shard (its worker panicked mid-epoch) contributes an
+    /// empty per-shard report and sets [`EpochReport::partial`] on the
+    /// merged result — its post-panic state is not trusted. Sealing is
+    /// also the recovery point: each shard's state is reset under a panic
+    /// guard, and a clean reset returns a degraded shard to service for
+    /// the next epoch.
     pub fn seal_epoch(&mut self) -> EpochReport {
         let seal_timer = self.metrics.as_ref().map(|m| m.seal_ns.start_timer());
-        let estimates: Vec<f64> = self
+        let estimates: Vec<Option<f64>> = self
             .shards
             .iter()
-            .map(|s| s.estimate_cardinality())
+            .zip(&self.faults)
+            .map(|(s, fault)| fault.is_none().then(|| s.estimate_cardinality()))
             .collect();
-        let cardinality = M::combine_cardinality(&estimates);
+        let healthy: Vec<f64> = estimates.iter().flatten().copied().collect();
+        let cardinality = M::combine_cardinality(&healthy);
         let reports = self
             .shards
             .iter_mut()
+            .zip(self.faults.iter_mut())
             .zip(&estimates)
-            .map(|(shard, &estimate)| {
-                let report = EpochReport {
-                    epoch: self.epoch,
-                    start_ns: self.first_ns,
-                    end_ns: self.last_ns,
-                    records: shard.flow_records(),
-                    cardinality: estimate,
-                    cost: shard.cost(),
+            .map(|((shard, fault), &estimate)| {
+                let report = match estimate {
+                    Some(estimate) => EpochReport {
+                        epoch: self.epoch,
+                        start_ns: self.first_ns,
+                        end_ns: self.last_ns,
+                        records: shard.flow_records(),
+                        cardinality: estimate,
+                        cost: shard.cost(),
+                        partial: false,
+                    },
+                    // Degraded: nothing from this shard is trusted, so
+                    // the epoch ships without its partition and says so.
+                    None => EpochReport {
+                        epoch: self.epoch,
+                        start_ns: self.first_ns,
+                        end_ns: self.last_ns,
+                        records: Vec::new(),
+                        cardinality: 0.0,
+                        cost: CostSnapshot::default(),
+                        partial: true,
+                    },
                 };
-                shard.reset();
+                // Epoch-boundary recovery: a clean reset returns the
+                // shard to service; a reset that panics keeps it parked.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shard.reset())) {
+                    Ok(()) => *fault = None,
+                    Err(payload) => *fault = Some(panic_message(payload)),
+                }
                 report
             })
             .collect();
@@ -590,24 +719,57 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
     /// [`process_packet`](FlowMonitor::process_packet) for every packet in
     /// order — per-flow packet order is preserved because a flow has
     /// exactly one queue and queues are FIFO.
+    ///
+    /// # Fault isolation
+    ///
+    /// A worker that panics degrades **only its own shard**: the panic is
+    /// caught, the in-flight batch and the queue backlog are accounted in
+    /// [`Self::queue_drop_stats`], the lane's queue is closed so the
+    /// dispatcher sheds (counted) instead of blocking, and the remaining
+    /// shards keep ingesting. The call never panics and never deadlocks;
+    /// check [`Self::shard_faults`] / [`IngestReport::dropped_packets`]
+    /// for what was lost. The degraded shard recovers at the next
+    /// [`Self::seal_epoch`].
     pub fn ingest(&mut self, packets: &[Packet]) -> IngestReport {
         let shard_count = self.shards.len();
         let start = Instant::now();
         self.note_timestamps(packets);
         let mut per_shard = vec![0u64; shard_count];
+        let dropped_before = self.queue_drops.dropped_records();
 
         if shard_count == 1 {
             // Single shard: no dispatch hash, no threads — identical to
-            // running the inner monitor directly.
-            self.shards[0].process_trace(packets);
+            // running the inner monitor directly (plus the same panic
+            // guard the worker lanes have).
             per_shard[0] = packets.len() as u64;
-            if let Some(m) = &self.metrics {
-                m.lane_packets[0].add(packets.len() as u64);
+            if self.faults[0].is_some() {
+                // Degraded since a previous call: shed the whole call,
+                // counted as one offered-and-dropped unit.
+                self.queue_drops.record_offer(packets.len() as u64);
+                self.queue_drops.record_drop(packets.len() as u64);
+            } else {
+                let shard = &mut self.shards[0];
+                let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shard.process_trace(packets);
+                }));
+                match worked {
+                    Ok(()) => {
+                        if let Some(m) = &self.metrics {
+                            m.lane_packets[0].add(packets.len() as u64);
+                        }
+                    }
+                    Err(payload) => {
+                        self.faults[0] = Some(panic_message(payload));
+                        self.queue_drops.record_offer(packets.len() as u64);
+                        self.queue_drops.record_drop(packets.len() as u64);
+                    }
+                }
             }
             return IngestReport {
                 packets: packets.len() as u64,
                 per_shard_packets: per_shard,
                 elapsed_ns: start.elapsed().as_nanos(),
+                dropped_packets: self.queue_drops.dropped_records() - dropped_before,
             };
         }
 
@@ -617,43 +779,88 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
         let queues: Vec<BatchQueue<Packet>> = (0..shard_count)
             .map(|_| BatchQueue::new(QUEUE_DEPTH))
             .collect();
+        // A shard already degraded gets no worker; its queue starts
+        // closed, so every offer bounces straight back into the ledger.
+        for (queue, fault) in queues.iter().zip(&self.faults) {
+            if fault.is_some() {
+                queue.close();
+            }
+        }
         // Free-list of drained batch buffers: workers clear and return
         // their batches here, the dispatcher reuses them instead of
         // allocating a fresh `Vec` per published batch. Best-effort on
-        // both sides (`try_*`): losing a buffer only costs an allocation.
+        // both sides (`try_*`): losing a buffer only costs an allocation
+        // and is *not* data loss, so it stays out of the drop ledger.
         let free: BatchQueue<Packet> = BatchQueue::new(shard_count * QUEUE_DEPTH);
+        let policy = self.queue_policy;
+        let drops = &self.queue_drops;
         std::thread::scope(|scope| {
-            for (i, (shard, queue)) in self.shards.iter_mut().zip(&queues).enumerate() {
+            for (i, ((shard, queue), fault)) in self
+                .shards
+                .iter_mut()
+                .zip(&queues)
+                .zip(self.faults.iter_mut())
+                .enumerate()
+            {
+                if fault.is_some() {
+                    continue;
+                }
                 let free = &free;
                 let depth = depth_gauges.as_ref().map(|g| g[i].clone());
                 scope.spawn(move || {
-                    // If the monitor panics, close the queue first so the
-                    // dispatcher's pushes drain as no-ops instead of
-                    // blocking forever; the panic then propagates when
-                    // the scope joins this thread.
-                    let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        while let Some(mut batch) = queue.pop() {
-                            if let Some(d) = &depth {
-                                d.set(queue.len() as i64);
-                            }
-                            shard.process_batch(&batch);
-                            batch.clear();
-                            let _ = free.try_push(batch);
+                    while let Some(mut batch) = queue.pop() {
+                        if let Some(d) = &depth {
+                            d.set(queue.len() as i64);
                         }
-                    }));
-                    if let Err(payload) = worked {
-                        queue.close();
-                        std::panic::resume_unwind(payload);
+                        let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            shard.process_batch(&batch);
+                        }));
+                        match worked {
+                            Ok(()) => {
+                                batch.clear();
+                                let _ = free.try_push(batch);
+                            }
+                            Err(payload) => {
+                                // Panic isolation: close the lane first so
+                                // the dispatcher sheds (counted) instead
+                                // of blocking forever, account the batch
+                                // that died mid-flight and the stranded
+                                // backlog, park the shard, and let the
+                                // other lanes keep working.
+                                queue.close();
+                                drops.record_drop(batch.len() as u64);
+                                while let Some(stranded) = queue.try_pop() {
+                                    drops.record_drop(stranded.len() as u64);
+                                }
+                                *fault = Some(panic_message(payload));
+                                break;
+                            }
+                        }
                     }
                 });
             }
             // Dispatcher: RSS split into per-shard batches, one dispatch
-            // hash per packet. A false push means that shard's worker
-            // died; keep going so the scope can join and surface its
-            // panic.
+            // hash per packet. Every published batch is offered under the
+            // configured policy; whatever the queue gives back (rejected
+            // arrival, displaced elders) is accounted as dropped.
             let fresh_batch = || {
                 free.try_pop()
                     .unwrap_or_else(|| Vec::with_capacity(BATCH_PACKETS))
+            };
+            let publish = |s: usize, batch: Vec<Packet>| {
+                drops.record_offer(batch.len() as u64);
+                match queues[s].offer(batch, policy) {
+                    PushOutcome::Enqueued => {}
+                    PushOutcome::Displaced(old) => {
+                        for shed in old {
+                            drops.record_drop(shed.len() as u64);
+                        }
+                    }
+                    PushOutcome::Rejected(shed) => drops.record_drop(shed.len() as u64),
+                }
+                if let Some(g) = &depth_gauges {
+                    g[s].set(queues[s].len() as i64);
+                }
             };
             let mut pending: Vec<Vec<Packet>> = (0..shard_count).map(|_| fresh_batch()).collect();
             for p in packets {
@@ -662,17 +869,14 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 pending[s].push(*p);
                 if pending[s].len() >= BATCH_PACKETS {
                     let full = std::mem::replace(&mut pending[s], fresh_batch());
-                    let _ = queues[s].push(full);
-                    if let Some(g) = &depth_gauges {
-                        g[s].set(queues[s].len() as i64);
-                    }
+                    publish(s, full);
                 }
             }
-            for (queue, rest) in queues.iter().zip(pending) {
+            for (s, rest) in pending.into_iter().enumerate() {
                 if !rest.is_empty() {
-                    let _ = queue.push(rest);
+                    publish(s, rest);
                 }
-                queue.close();
+                queues[s].close();
             }
         });
         self.dispatch_hashes += packets.len() as u64;
@@ -686,17 +890,27 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             packets: packets.len() as u64,
             per_shard_packets: per_shard,
             elapsed_ns: start.elapsed().as_nanos(),
+            dropped_packets: self.queue_drops.dropped_records() - dropped_before,
         }
     }
 }
 
 impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
+    /// Scalar dispatch. A degraded shard (see [`ShardedMonitor::ingest`])
+    /// sheds its packets with full [`DropStats`] accounting; panics on
+    /// this caller-thread path propagate to the caller as usual — only
+    /// the worker lanes isolate them.
     fn process_packet(&mut self, packet: &Packet) {
         self.note_timestamps(std::slice::from_ref(packet));
         if self.shards.len() == 1 {
             // Mirror `ingest`: a single shard pays no dispatch work.
             if let Some(m) = &self.metrics {
                 m.lane_packets[0].inc();
+            }
+            if self.faults[0].is_some() {
+                self.queue_drops.record_offer(1);
+                self.queue_drops.record_drop(1);
+                return;
             }
             self.shards[0].process_packet(packet);
             return;
@@ -705,6 +919,11 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         self.dispatch_hashes += 1;
         if let Some(m) = &self.metrics {
             m.lane_packets[s].inc();
+        }
+        if self.faults[s].is_some() {
+            self.queue_drops.record_offer(1);
+            self.queue_drops.record_drop(1);
+            return;
         }
         self.shards[s].process_packet(packet);
     }
@@ -720,6 +939,11 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
             if let Some(m) = &self.metrics {
                 m.lane_packets[0].add(packets.len() as u64);
             }
+            if self.faults[0].is_some() {
+                self.queue_drops.record_offer(packets.len() as u64);
+                self.queue_drops.record_drop(packets.len() as u64);
+                return;
+            }
             self.shards[0].process_batch(packets);
             return;
         }
@@ -734,7 +958,15 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
             }
         }
         self.dispatch_hashes += packets.len() as u64;
-        for (shard, part) in self.shards.iter_mut().zip(&scratch.parts) {
+        for ((shard, part), fault) in self.shards.iter_mut().zip(&scratch.parts).zip(&self.faults) {
+            if fault.is_some() {
+                // Degraded shard: its partition sheds, fully accounted.
+                if !part.is_empty() {
+                    self.queue_drops.record_offer(part.len() as u64);
+                    self.queue_drops.record_drop(part.len() as u64);
+                }
+                continue;
+            }
             shard.process_batch(part);
         }
         self.scratch = scratch;
@@ -782,6 +1014,10 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         for s in &mut self.shards {
             s.reset();
         }
+        for fault in &mut self.faults {
+            *fault = None;
+        }
+        self.queue_drops.reset();
         self.dispatch_hashes = 0;
         self.first_ns = None;
         self.last_ns = None;
@@ -1013,7 +1249,10 @@ mod tests {
         // One merged snapshot per sealed epoch — not one per shard.
         assert_eq!(epochs.load(Ordering::Relaxed), 2);
         assert_eq!(records.load(Ordering::Relaxed), 201);
-        assert!(m.take_sink_error().is_none());
+        assert!(m
+            .sink_health()
+            .iter()
+            .all(|s| s.total_errors == 0 && s.health == hashflow_monitor::SinkHealth::Healthy));
         assert!(m.finish_sinks().is_ok());
     }
 
@@ -1074,6 +1313,7 @@ mod tests {
                 packets: 0,
                 per_shard_packets: vec![0, 0],
                 elapsed_ns: 0,
+                dropped_packets: 0,
             }
             .imbalance(),
             1.0
@@ -1113,6 +1353,23 @@ mod tests {
         assert_eq!(hist_count("hashflow_shard_dispatch_ns"), 1);
         assert_eq!(hist_count("hashflow_shard_merge_ns"), 1);
         assert_eq!(hist_count("hashflow_shard_seal_ns"), 1);
+        // The shard-queue ledger is registered: the threaded path offered
+        // every one of its packets, nothing dropped, and the healthy
+        // serial paths bypass the ledger entirely.
+        assert_eq!(
+            snap.counter(
+                "hashflow_offered_records_total",
+                &[("component", "shard_queue")]
+            ),
+            Some(trace.packets().len() as u64)
+        );
+        assert_eq!(
+            snap.counter(
+                "hashflow_dropped_records_total",
+                &[("component", "shard_queue")]
+            ),
+            Some(0)
+        );
         // Queue-depth gauges exist for every shard (back to 0 once the
         // scope joins and the queues drain).
         for i in 0..4 {
@@ -1184,21 +1441,171 @@ mod tests {
         );
     }
 
-    #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn worker_panic_propagates_instead_of_deadlocking() {
-        use hashflow_monitor::CostRecorder;
+    use hashflow_monitor::CostRecorder;
 
-        // A monitor that blows up on its first packet: the worker must
-        // close its queue so the dispatcher never blocks, and the panic
-        // must surface from `ingest` (a deadlock here would hang CI).
+    /// A monitor that panics exactly once (on the first packet after it
+    /// is armed) and behaves as a packet counter afterwards — the
+    /// recovery-capable chaos probe.
+    #[derive(Default)]
+    struct Bomb {
+        armed: bool,
+        cost: CostRecorder,
+    }
+    impl Bomb {
+        fn armed() -> Self {
+            Bomb {
+                armed: true,
+                cost: CostRecorder::default(),
+            }
+        }
+    }
+    impl FlowMonitor for Bomb {
+        fn process_packet(&mut self, _p: &Packet) {
+            if self.armed {
+                self.armed = false;
+                panic!("bomb in shard");
+            }
+            self.cost.start_packet();
+        }
+        fn flow_records(&self) -> Vec<FlowRecord> {
+            Vec::new()
+        }
+        fn estimate_size(&self, _k: &FlowKey) -> u32 {
+            0
+        }
+        fn estimate_cardinality(&self) -> f64 {
+            0.0
+        }
+        fn memory_bits(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "Bomb"
+        }
+        fn cost(&self) -> CostSnapshot {
+            self.cost.snapshot()
+        }
+        fn reset(&mut self) {
+            self.cost.reset();
+        }
+    }
+    impl MergeableMonitor for Bomb {
+        fn merge_from(&mut self, _other: &Self) {}
+    }
+
+    #[test]
+    fn worker_panic_degrades_only_its_shard_and_recovers_at_the_seal() {
+        // Both workers blow up on their first batch. Historically this
+        // propagated the panic out of `ingest` (after closing the queues
+        // so the dispatcher would not deadlock); now the call must
+        // *complete*, account every lost packet, flag the sealed epoch
+        // partial, and return the shards to service at the epoch
+        // boundary.
+        let mut m = ShardedMonitor::new((0..2).map(|_| Bomb::armed()).collect::<Vec<_>>()).unwrap();
+        // Far more than QUEUE_DEPTH * BATCH_PACKETS per shard: without the
+        // close-on-panic path the dispatcher would block forever.
+        let packets: Vec<Packet> = (0..40_000u64).map(|i| pkt(i, i)).collect();
+        let report = m.ingest(&packets);
+        assert_eq!(report.packets, 40_000);
+        assert_eq!(
+            report.dropped_packets, 40_000,
+            "every packet of a dead shard is accounted"
+        );
+        assert!(m.is_degraded());
+        assert!(m
+            .shard_faults()
+            .iter()
+            .all(|f| f.as_deref() == Some("bomb in shard")));
+        let drops = m.queue_drop_stats();
+        assert_eq!(drops.offered_records(), 40_000);
+        assert_eq!(drops.delivered_records(), 0);
+
+        // Degraded shards shed (and account) the serial paths too.
+        m.process_packet(&pkt(1, 50_000));
+        m.process_batch(&[pkt(2, 50_001), pkt(3, 50_002)]);
+        assert_eq!(m.queue_drop_stats().dropped_records(), 40_003);
+
+        // The seal ships what little it has, flagged partial, and the
+        // clean reset recovers both shards.
+        let sealed = m.seal_epoch();
+        assert!(sealed.partial);
+        assert!(sealed.records.is_empty());
+        assert!(!m.is_degraded(), "clean reset returns shards to service");
+
+        // Next epoch: the bombs are spent, ingest is healthy again.
+        let next = m.ingest(&packets[..1_000]);
+        assert_eq!(next.dropped_packets, 0);
+        assert_eq!(m.cost().packets, 1_000);
+        let sealed = m.seal_epoch();
+        assert!(!sealed.partial);
+    }
+
+    #[test]
+    fn panic_isolation_preserves_the_healthy_shards() {
+        use hashflow_monitor::PanicInjector;
+
+        // Shard 0 dies mid-epoch (mid-batch, even: the injector arms per
+        // packet); every other shard's partition must come through the
+        // seal byte-for-byte identical to an undisturbed run.
+        let budget = MemoryBudget::from_kib(256).unwrap();
+        let mut m = ShardedMonitor::with_budget(4, budget, |i, b| {
+            let threshold = if i == 0 { 64 } else { u64::MAX };
+            Ok(PanicInjector::new(HashFlow::with_memory(b)?, threshold))
+        })
+        .unwrap();
+        let mut reference = sharded_hashflow(4, 256);
+        let trace = TraceGenerator::new(TraceProfile::Caida, 29).generate(20_000);
+        let report = m.ingest(trace.packets());
+        reference.ingest(trace.packets());
+
+        assert!(m.shard_faults()[0]
+            .as_deref()
+            .is_some_and(|msg| msg.contains("injected worker panic")));
+        assert!(m.shard_faults()[1..].iter().all(|f| f.is_none()));
+        assert!(report.dropped_packets > 0);
+        assert!(
+            report.dropped_packets <= report.per_shard_packets[0],
+            "healthy lanes lose nothing"
+        );
+
+        let sealed = m.seal_epoch();
+        assert!(sealed.partial);
+        let mut got: Vec<_> = sealed
+            .records
+            .iter()
+            .map(|r| (r.key(), r.count()))
+            .collect();
+        let mut expected: Vec<_> = reference
+            .flow_records()
+            .iter()
+            .filter(|r| reference.shard_of(&r.key()) != 0)
+            .map(|r| (r.key(), r.count()))
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "surviving partitions are exact");
+    }
+
+    #[test]
+    fn dropping_policies_shed_under_overload_and_conserve_accounting() {
+        use std::time::Duration;
+
+        // A deliberately slow consumer: the dispatcher outruns it by far,
+        // so the bounded queues must shed — and the ledger must balance
+        // to the packet under both dropping policies.
         #[derive(Default)]
-        struct Bomb {
+        struct Slow {
             cost: CostRecorder,
         }
-        impl FlowMonitor for Bomb {
+        impl FlowMonitor for Slow {
             fn process_packet(&mut self, _p: &Packet) {
-                panic!("bomb in shard");
+                self.cost.start_packet();
+            }
+            fn process_batch(&mut self, packets: &[Packet]) {
+                std::thread::sleep(Duration::from_millis(2));
+                for p in packets {
+                    self.process_packet(p);
+                }
             }
             fn flow_records(&self) -> Vec<FlowRecord> {
                 Vec::new()
@@ -1213,23 +1620,47 @@ mod tests {
                 0
             }
             fn name(&self) -> &'static str {
-                "Bomb"
+                "Slow"
             }
             fn cost(&self) -> CostSnapshot {
                 self.cost.snapshot()
             }
-            fn reset(&mut self) {}
+            fn reset(&mut self) {
+                self.cost.reset();
+            }
         }
-        impl MergeableMonitor for Bomb {
+        impl MergeableMonitor for Slow {
             fn merge_from(&mut self, _other: &Self) {}
         }
 
-        let mut m =
-            ShardedMonitor::new((0..2).map(|_| Bomb::default()).collect::<Vec<_>>()).unwrap();
-        // Far more than QUEUE_DEPTH * BATCH_PACKETS per shard: without the
-        // close-on-panic path the dispatcher would block forever.
-        let packets: Vec<Packet> = (0..40_000u64).map(|i| pkt(i, i)).collect();
-        let _ = m.ingest(&packets);
+        for policy in [
+            BackpressurePolicy::DropNewest,
+            BackpressurePolicy::DropOldest,
+        ] {
+            let mut m =
+                ShardedMonitor::new((0..2).map(|_| Slow::default()).collect::<Vec<_>>()).unwrap();
+            m.set_queue_policy(policy);
+            assert_eq!(m.queue_policy(), policy);
+            let packets: Vec<Packet> = (0..60_000u64).map(|i| pkt(i, i)).collect();
+            let report = m.ingest(&packets);
+            let drops = m.queue_drop_stats();
+            // Every packet was offered exactly once; whatever was not
+            // dropped was processed — conservation to the packet.
+            assert_eq!(drops.offered_records(), 60_000, "{}", policy.label());
+            assert_eq!(report.dropped_packets, drops.dropped_records());
+            assert_eq!(
+                drops.delivered_records(),
+                m.cost().packets,
+                "{}: delivered == processed",
+                policy.label()
+            );
+            assert!(
+                report.dropped_packets > 0,
+                "{}: an overloaded queue must shed",
+                policy.label()
+            );
+            assert!(!m.is_degraded(), "shedding is not a fault");
+        }
     }
 
     #[test]

@@ -9,8 +9,30 @@
 //! the queue bounds how many batches may be in flight so a slow shard
 //! back-pressures the dispatcher instead of buffering the whole trace.
 
+use hashflow_monitor::BackpressurePolicy;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+/// The outcome of a policy-aware [`BatchQueue::offer`].
+///
+/// Returned batches come back to the *producer* so it can account every
+/// shed item (the queue itself never counts — accounting belongs to the
+/// [`hashflow_monitor::DropStats`] ledger of the stage that owns the
+/// queue).
+#[derive(Debug, PartialEq, Eq)]
+#[must_use = "displaced or rejected batches must be accounted as drops"]
+pub enum PushOutcome<T> {
+    /// The batch was enqueued (after blocking, for
+    /// [`BackpressurePolicy::Block`]).
+    Enqueued,
+    /// The batch was enqueued after evicting these older in-flight
+    /// batches ([`BackpressurePolicy::DropOldest`]).
+    Displaced(Vec<Vec<T>>),
+    /// The arriving batch was not enqueued — the queue is closed, or it
+    /// was full under [`BackpressurePolicy::DropNewest`] (and `Block`
+    /// degrades to rejection on a closed queue).
+    Rejected(Vec<T>),
+}
 
 /// A bounded blocking queue of `Vec<T>` batches with explicit shutdown.
 ///
@@ -135,6 +157,56 @@ impl<T> BatchQueue<T> {
         true
     }
 
+    /// Policy-aware enqueue: the uniform backpressure contract applied
+    /// to a live producer/consumer queue.
+    ///
+    /// - [`BackpressurePolicy::Block`] behaves like [`Self::push`]:
+    ///   waits for room, honoured literally because a consumer drains
+    ///   this queue concurrently.
+    /// - [`BackpressurePolicy::DropNewest`] behaves like
+    ///   [`Self::try_push`] but returns the batch for accounting.
+    /// - [`BackpressurePolicy::DropOldest`] evicts the oldest in-flight
+    ///   batches to make room and returns them for accounting.
+    ///
+    /// A closed queue rejects under every policy. The caller owns the
+    /// accounting of whatever comes back (see [`PushOutcome`]).
+    pub fn offer(&self, batch: Vec<T>, policy: BackpressurePolicy) -> PushOutcome<T> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if let BackpressurePolicy::Block = policy {
+            while state.batches.len() >= self.capacity && !state.closed {
+                state = self.not_full.wait(state).expect("queue mutex poisoned");
+            }
+        }
+        if state.closed {
+            return PushOutcome::Rejected(batch);
+        }
+        let mut displaced = Vec::new();
+        match policy {
+            BackpressurePolicy::Block => {}
+            BackpressurePolicy::DropNewest => {
+                if state.batches.len() >= self.capacity {
+                    return PushOutcome::Rejected(batch);
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                while state.batches.len() >= self.capacity {
+                    match state.batches.pop_front() {
+                        Some(old) => displaced.push(old),
+                        None => break,
+                    }
+                }
+            }
+        }
+        state.batches.push_back(batch);
+        drop(state);
+        self.not_empty.notify_one();
+        if displaced.is_empty() {
+            PushOutcome::Enqueued
+        } else {
+            PushOutcome::Displaced(displaced)
+        }
+    }
+
     /// Non-blocking [`Self::pop`]: returns `None` immediately when the
     /// queue is currently empty (whether or not it is closed).
     pub fn try_pop(&self) -> Option<Vec<T>> {
@@ -257,5 +329,69 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = BatchQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn offer_drop_newest_rejects_at_capacity() {
+        let q = BatchQueue::new(1);
+        assert_eq!(
+            q.offer(vec![1u8], BackpressurePolicy::DropNewest),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            q.offer(vec![2], BackpressurePolicy::DropNewest),
+            PushOutcome::Rejected(vec![2]),
+            "the arriving batch comes back for accounting"
+        );
+        assert_eq!(q.try_pop(), Some(vec![1]));
+    }
+
+    #[test]
+    fn offer_drop_oldest_displaces_in_flight_batches() {
+        let q = BatchQueue::new(2);
+        assert_eq!(
+            q.offer(vec![1u8], BackpressurePolicy::DropOldest),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            q.offer(vec![2], BackpressurePolicy::DropOldest),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            q.offer(vec![3], BackpressurePolicy::DropOldest),
+            PushOutcome::Displaced(vec![vec![1]]),
+            "the oldest batch comes back for accounting"
+        );
+        assert_eq!(q.try_pop(), Some(vec![2]));
+        assert_eq!(q.try_pop(), Some(vec![3]));
+    }
+
+    #[test]
+    fn offer_block_waits_for_room() {
+        let q = BatchQueue::new(1);
+        assert_eq!(
+            q.offer(vec![1u8], BackpressurePolicy::Block),
+            PushOutcome::Enqueued
+        );
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| q.offer(vec![2], BackpressurePolicy::Block));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.try_pop(), Some(vec![1]));
+            assert_eq!(blocked.join().unwrap(), PushOutcome::Enqueued);
+        });
+    }
+
+    #[test]
+    fn offer_rejects_on_a_closed_queue_under_every_policy() {
+        for policy in BackpressurePolicy::ALL {
+            let q = BatchQueue::new(1);
+            q.close();
+            assert_eq!(
+                q.offer(vec![7u8], policy),
+                PushOutcome::Rejected(vec![7]),
+                "{}",
+                policy.label()
+            );
+        }
     }
 }
