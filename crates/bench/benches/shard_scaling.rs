@@ -53,8 +53,7 @@ fn shard_scaling(c: &mut Criterion) {
             |b, packets| {
                 b.iter(|| {
                     monitor.reset();
-                    #[allow(deprecated)]
-                    monitor.lane_timings(packets).critical_path_ns()
+                    monitor.record_lane_timings(packets).critical_path_ns()
                 })
             },
         );

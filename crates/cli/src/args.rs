@@ -63,6 +63,31 @@ commands:
       --format <name>       nf5 (NetFlow v5 datagrams) or jsonl (JSON lines)
                                                         [default: nf5]
       --out <file>          output path                 (required)
+  serve                     run the collector as a long-lived daemon with
+                            live UDP ingest and a concurrent HTTP query API
+                            (GET /epochs, /epochs/{n}/top, /queries,
+                            /metrics, /healthz; POST /queries, /shutdown)
+      --http <addr>         HTTP bind address           [default: 127.0.0.1:8640]
+                            use port 0 for an ephemeral port (see --addr-file)
+      --udp <addr>          UDP ingest bind address (HFW1 datagrams);
+                            omitted = no UDP front-end
+      --algorithm <name>    hashflow|hashpipe|elastic|flowradar|netflow|
+                            countmin|fcm|beaucoup|exact [default: hashflow]
+      --memory-kib <N>      memory budget in KiB        [default: 256]
+      --shards <N>          parallel ingest shards      [default: 1]
+      --epoch-ms <N>        wall-clock epoch length     [default: 1000]
+      --retention <N>       sealed epochs kept queryable[default: 64]
+      --workers <N>         HTTP worker threads         [default: 4]
+      --queue-batches <N>   ingest queue bound          [default: 64]
+      --query <plan>        attach a query plan at boot (repeatable)
+      --replay <file.pcap>  also replay a capture through the ingest queue
+      --pps <N>             pace the replay (packets/s; default line rate)
+      --duration-ms <N>     exit after N ms (otherwise run until
+                            POST /shutdown)
+      --seed <S>            hash seed                   [default: 12648430]
+      --addr-file <file>    write the bound HTTP address (line 1) and UDP
+                            address (line 2, if any) for scripts using
+                            ephemeral ports
   query <capture.pcap>      run a declarative telemetry query over a capture
       --plan <string>       pipeline of the form        (required)
                             'filter proto=6 | map dst | distinct src |
@@ -247,6 +272,40 @@ pub enum Command {
         /// Optional file receiving the run's pipeline metrics.
         metrics_out: Option<String>,
     },
+    /// Run the collector as a long-lived daemon.
+    Serve {
+        /// Which algorithm to run.
+        algorithm: AlgorithmKind,
+        /// Memory budget in KiB.
+        memory_kib: usize,
+        /// Parallel ingest shards.
+        shards: usize,
+        /// Wall-clock epoch length in milliseconds.
+        epoch_ms: u64,
+        /// Sealed epochs kept queryable.
+        retention: usize,
+        /// HTTP bind address.
+        http: String,
+        /// UDP ingest bind address, if the front-end is enabled.
+        udp: Option<String>,
+        /// HTTP worker threads.
+        workers: usize,
+        /// Ingest queue bound in batches.
+        queue_batches: usize,
+        /// Query plans (text form) attached at boot.
+        queries: Vec<String>,
+        /// Capture to replay through the ingest queue, if any.
+        replay: Option<String>,
+        /// Replay pacing in packets per second (`None` = line rate).
+        pps: Option<u64>,
+        /// Exit after this many milliseconds (`None` = run until
+        /// `POST /shutdown`).
+        duration_ms: Option<u64>,
+        /// Hash seed.
+        seed: u64,
+        /// File receiving the bound addresses, for ephemeral ports.
+        addr_file: Option<String>,
+    },
     /// Print utilization-model predictions.
     Model {
         /// Traffic load m/n.
@@ -312,6 +371,15 @@ impl Options<'_> {
             .rev()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| *v)
+    }
+
+    /// Every value given for a repeatable option, in order.
+    fn get_all(&self, name: &str) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| (*v).to_string())
+            .collect()
     }
 
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
@@ -435,6 +503,85 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 flows: parse_flows(&opts, 60_000)?,
                 memory_kib: opts.parse_or("memory-kib", 256)?,
                 seed: opts.parse_or("seed", 1)?,
+            }
+        }
+        "serve" => {
+            let opts = split_options(rest)?;
+            opts.reject_unknown(&[
+                "algorithm",
+                "memory-kib",
+                "shards",
+                "epoch-ms",
+                "retention",
+                "http",
+                "udp",
+                "workers",
+                "queue-batches",
+                "query",
+                "replay",
+                "pps",
+                "duration-ms",
+                "seed",
+                "addr-file",
+            ])?;
+            if let Some(extra) = opts.positional.first() {
+                return Err(ArgError::new(format!(
+                    "serve takes no positional argument (got '{extra}'); \
+                     use --replay <file.pcap> to feed a capture"
+                )));
+            }
+            let shards: usize = opts.parse_or("shards", 1)?;
+            if shards == 0 {
+                return Err(ArgError::new("--shards must be at least 1"));
+            }
+            let epoch_ms: u64 = opts.parse_or("epoch-ms", 1_000)?;
+            if epoch_ms == 0 {
+                return Err(ArgError::new("--epoch-ms must be at least 1"));
+            }
+            let retention: usize = opts.parse_or("retention", 64)?;
+            if retention == 0 {
+                return Err(ArgError::new("--retention must be at least 1"));
+            }
+            let pps = match opts.get("pps") {
+                None => None,
+                Some(v) => {
+                    let pps: u64 = v
+                        .parse()
+                        .map_err(|_| ArgError::new(format!("invalid value '{v}' for --pps")))?;
+                    if pps == 0 {
+                        return Err(ArgError::new("--pps must be at least 1"));
+                    }
+                    Some(pps)
+                }
+            };
+            let replay = opts.get("replay").map(String::from);
+            if pps.is_some() && replay.is_none() {
+                return Err(ArgError::new("--pps needs --replay <file.pcap>"));
+            }
+            Command::Serve {
+                algorithm: match opts.get("algorithm") {
+                    Some(v) => parse_algorithm(v)?,
+                    None => AlgorithmKind::HashFlow,
+                },
+                memory_kib: opts.parse_or("memory-kib", 256)?,
+                shards,
+                epoch_ms,
+                retention,
+                http: opts.get("http").unwrap_or("127.0.0.1:8640").to_string(),
+                udp: opts.get("udp").map(String::from),
+                workers: opts.parse_or("workers", 4)?,
+                queue_batches: opts.parse_or("queue-batches", 64)?,
+                queries: opts.get_all("query"),
+                replay,
+                pps,
+                duration_ms: match opts.get("duration-ms") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        ArgError::new(format!("invalid value '{v}' for --duration-ms"))
+                    })?),
+                },
+                seed: opts.parse_or("seed", 0xC0FFEE)?,
+                addr_file: opts.get("addr-file").map(String::from),
             }
         }
         "model" => {
@@ -769,6 +916,92 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(USAGE.contains("--metrics-out"));
+    }
+
+    #[test]
+    fn serve_defaults_overrides_and_validation() {
+        let p = parse(&argv("serve")).unwrap();
+        match p.command {
+            Command::Serve {
+                algorithm,
+                memory_kib,
+                shards,
+                epoch_ms,
+                retention,
+                http,
+                udp,
+                workers,
+                queue_batches,
+                queries,
+                replay,
+                pps,
+                duration_ms,
+                addr_file,
+                ..
+            } => {
+                assert_eq!(algorithm, AlgorithmKind::HashFlow);
+                assert_eq!(memory_kib, 256);
+                assert_eq!(shards, 1);
+                assert_eq!(epoch_ms, 1_000);
+                assert_eq!(retention, 64);
+                assert_eq!(http, "127.0.0.1:8640");
+                assert_eq!(udp, None);
+                assert_eq!(workers, 4);
+                assert_eq!(queue_batches, 64);
+                assert!(queries.is_empty());
+                assert_eq!(replay, None);
+                assert_eq!(pps, None);
+                assert_eq!(duration_ms, None);
+                assert_eq!(addr_file, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let args: Vec<String> = [
+            "serve",
+            "--http",
+            "127.0.0.1:0",
+            "--udp",
+            "127.0.0.1:0",
+            "--query",
+            "map dst | reduce count",
+            "--query",
+            "map src | reduce sum",
+            "--replay",
+            "t.pcap",
+            "--pps",
+            "50000",
+            "--duration-ms",
+            "250",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        match parse(&args).unwrap().command {
+            Command::Serve {
+                udp,
+                queries,
+                replay,
+                pps,
+                duration_ms,
+                ..
+            } => {
+                assert_eq!(udp.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(queries.len(), 2);
+                assert_eq!(replay.as_deref(), Some("t.pcap"));
+                assert_eq!(pps, Some(50_000));
+                assert_eq!(duration_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --epoch-ms 0")).is_err());
+        assert!(parse(&argv("serve --retention 0")).is_err());
+        assert!(parse(&argv("serve --shards 0")).is_err());
+        // --pps only makes sense with a replay source.
+        assert!(parse(&argv("serve --pps 1000")).is_err());
+        // Stray positional arguments are called out.
+        assert!(parse(&argv("serve t.pcap")).is_err());
+        assert!(USAGE.contains("serve"));
+        assert!(USAGE.contains("--addr-file"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hashflow_core::model;
 use hashflow_metrics::{evaluate, GroundTruth};
 use hashflow_monitor::{FlowMonitor, JsonLinesSink, MemoryBudget, RecordSink, INGEST_BATCH};
 use hashflow_query::{execute_snapshot, QueryPlan};
+use hashflow_server::{ReplayPace, Server, ServerConfig};
 use hashflow_trace::{read_pcap, write_pcap, PcapReader, TraceGenerator};
 use hashflow_types::Packet;
 use netflow_export::NetFlowV5Sink;
@@ -142,6 +143,39 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             *top,
             metrics_out.as_deref(),
         ),
+        Command::Serve {
+            algorithm,
+            memory_kib,
+            shards,
+            epoch_ms,
+            retention,
+            http,
+            udp,
+            workers,
+            queue_batches,
+            queries,
+            replay,
+            pps,
+            duration_ms,
+            seed,
+            addr_file,
+        } => serve(&ServeSpec {
+            algorithm: *algorithm,
+            memory_kib: *memory_kib,
+            shards: *shards,
+            epoch_ms: *epoch_ms,
+            retention: *retention,
+            http: http.clone(),
+            udp: udp.clone(),
+            workers: *workers,
+            queue_batches: *queue_batches,
+            queries: queries.clone(),
+            replay: replay.clone(),
+            pps: *pps,
+            duration_ms: *duration_ms,
+            seed: *seed,
+            addr_file: addr_file.clone(),
+        }),
         Command::Model { load, depth, alpha } => {
             let mut out = String::new();
             match alpha {
@@ -167,6 +201,111 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             Ok(out)
         }
     }
+}
+
+/// Owned parameters of the `serve` command (one struct so the daemon
+/// runner has a readable signature).
+struct ServeSpec {
+    algorithm: AlgorithmKind,
+    memory_kib: usize,
+    shards: usize,
+    epoch_ms: u64,
+    retention: usize,
+    http: String,
+    udp: Option<String>,
+    workers: usize,
+    queue_batches: usize,
+    queries: Vec<String>,
+    replay: Option<String>,
+    pps: Option<u64>,
+    duration_ms: Option<u64>,
+    seed: u64,
+    addr_file: Option<String>,
+}
+
+/// Boots the daemon, optionally replays a capture into it, waits for
+/// shutdown (`POST /shutdown` or `--duration-ms`), then renders the
+/// end-of-run conservation report.
+fn serve(spec: &ServeSpec) -> Result<String, Box<dyn Error>> {
+    let mut server = Server::start(ServerConfig {
+        algorithm: spec.algorithm,
+        memory_kib: spec.memory_kib,
+        shards: spec.shards,
+        seed: spec.seed,
+        epoch_ms: spec.epoch_ms,
+        retention: spec.retention,
+        http_addr: spec.http.clone(),
+        udp_addr: spec.udp.clone(),
+        http_workers: spec.workers,
+        ingest_capacity: spec.queue_batches,
+        queries: spec.queries.clone(),
+        ..ServerConfig::default()
+    })?;
+    // Scripts binding port 0 learn the real addresses from this file.
+    if let Some(path) = &spec.addr_file {
+        let mut lines = server.http_addr().to_string();
+        if let Some(udp) = server.udp_addr() {
+            lines.push('\n');
+            lines.push_str(&udp.to_string());
+        }
+        lines.push('\n');
+        std::fs::write(path, lines)?;
+    }
+    if let Some(capture) = &spec.replay {
+        let packets = read_pcap(BufReader::new(File::open(capture)?))?;
+        let pace = match spec.pps {
+            Some(pps) => ReplayPace::Pps(pps),
+            None => ReplayPace::LineRate,
+        };
+        server.start_replay(packets, pace);
+    }
+    eprintln!(
+        "hashflow-server listening on http://{}{}",
+        server.http_addr(),
+        server
+            .udp_addr()
+            .map(|u| format!(", udp ingest on {u}"))
+            .unwrap_or_default()
+    );
+    let deadline = spec
+        .duration_ms
+        .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    while !server.shutdown_requested() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = server.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(out, "packets processed:   {}", report.packets_processed);
+    let _ = writeln!(out, "epochs sealed:       {}", report.epochs_sealed);
+    let _ = writeln!(out, "records offered:     {}", report.offered_records);
+    let _ = writeln!(out, "records dropped:     {}", report.dropped_records);
+    for (i, replay) in report.replays.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "replay {i}:            {} packets in {:.3}s",
+            replay.packets,
+            replay.elapsed.as_secs_f64()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ledger conserved:    {}",
+        if report.conserved() { "yes" } else { "NO" }
+    );
+    if let Some(errors) = &report.sink_errors {
+        return Err(format!("sink flush failed: {errors}").into());
+    }
+    if !report.conserved() {
+        return Err(format!(
+            "drop ledger violated conservation: offered {} != processed {} + dropped {}",
+            report.offered_records, report.packets_processed, report.dropped_records
+        )
+        .into());
+    }
+    Ok(out)
 }
 
 fn export(
@@ -724,6 +863,39 @@ mod tests {
             jsonl.contains(r#""name":"hashflow_query_eval_packets_total""#),
             "{jsonl}"
         );
+    }
+
+    #[test]
+    fn serve_replays_a_capture_and_reports_conservation() {
+        let dir = std::env::temp_dir().join("hashflow-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap = dir.join("serve.pcap");
+        run_line(&format!(
+            "generate --profile isp2 --flows 400 --seed 9 --out {}",
+            pcap.display()
+        ))
+        .unwrap();
+        let addr_file = dir.join("addr.txt");
+        let out = run_line(&format!(
+            "serve --http 127.0.0.1:0 --epoch-ms 50 --duration-ms 400 \
+             --replay {} --query bogus --addr-file {}",
+            pcap.display(),
+            addr_file.display()
+        ));
+        // 'bogus' is not a valid plan; boot must fail with a config error.
+        assert!(out.is_err());
+
+        let out = run_line(&format!(
+            "serve --http 127.0.0.1:0 --epoch-ms 50 --duration-ms 400 \
+             --replay {} --addr-file {}",
+            pcap.display(),
+            addr_file.display()
+        ))
+        .unwrap();
+        assert!(out.contains("ledger conserved:    yes"), "{out}");
+        assert!(out.contains("packets processed:"), "{out}");
+        let addr = std::fs::read_to_string(&addr_file).unwrap();
+        assert!(addr.starts_with("127.0.0.1:"), "{addr}");
     }
 
     #[test]

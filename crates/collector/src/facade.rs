@@ -271,6 +271,14 @@ impl FlowMonitor for Collector {
         self.rotator.cost()
     }
 
+    /// Degradation report of the wrapped pipeline — for a sharded build
+    /// this surfaces any lane whose worker died mid-epoch, which is what
+    /// a service health endpoint wants to know before trusting the
+    /// current epoch's numbers.
+    fn faults(&self) -> Vec<String> {
+        self.rotator.faults()
+    }
+
     fn reset(&mut self) {
         self.rotator.reset();
     }

@@ -23,4 +23,5 @@ pub mod overload;
 pub mod query;
 pub mod queryapps;
 pub mod scaling_shards;
+pub mod server_load;
 pub mod table01_traces;

@@ -531,6 +531,10 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
         self.inner.cost()
     }
 
+    fn faults(&self) -> Vec<String> {
+        self.inner.faults()
+    }
+
     fn reset(&mut self) {
         self.flush_metrics();
         self.inner.reset();

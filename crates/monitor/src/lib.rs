@@ -194,6 +194,17 @@ pub trait FlowMonitor {
         self.reset();
         snapshot
     }
+
+    /// Active degradation in the monitor's machinery, one human-readable
+    /// line per fault — e.g. a sharded merge layer whose worker lane
+    /// panicked mid-epoch and is shedding its partition. Empty means
+    /// fully operational. Plain single-threaded monitors have no failure
+    /// domains, hence the default; adapter layers forward the report of
+    /// whatever they wrap so a health endpoint can ask the outermost
+    /// facade.
+    fn faults(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Boxed monitors are monitors: the registry
@@ -238,6 +249,9 @@ impl<M: FlowMonitor + ?Sized> FlowMonitor for Box<M> {
     }
     fn seal(&mut self) -> EpochSnapshot {
         (**self).seal()
+    }
+    fn faults(&self) -> Vec<String> {
+        (**self).faults()
     }
 }
 

@@ -287,6 +287,10 @@ impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
         self.inner.cost()
     }
 
+    fn faults(&self) -> Vec<String> {
+        self.inner.faults()
+    }
+
     /// Resets the inner monitor, every plan's running state, **and** the
     /// banked per-epoch answers — a reset is a fresh collection run, so
     /// stale banked epochs must not prepend themselves to the next run's

@@ -1,0 +1,93 @@
+//! A minimal blocking HTTP/1.1 client for tests, exhibits and smoke
+//! scripts.
+//!
+//! Only what the harnesses need: single-request connections (the client
+//! sends `Connection: close`), status + UTF-8 body out. Deliberately
+//! not a general client — no redirects, no chunked encoding, no TLS —
+//! because its one job is talking to [`crate::Server`]'s own API, which
+//! uses none of those.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Per-request timeout applied to connect, read and write.
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Issues a `GET` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Any socket error, a timeout, or a malformed status line.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, b"")
+}
+
+/// Issues a `POST` with a plain-text body and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Any socket error, a timeout, or a malformed status line.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, body.as_bytes())
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, TIMEOUT)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let text = String::from_utf8_lossy(raw);
+    let mut lines = text.splitn(2, "\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let body = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "no");
+    }
+
+    #[test]
+    fn rejects_garbage_status() {
+        assert!(parse_response(b"nonsense").is_err());
+    }
+}

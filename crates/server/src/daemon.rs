@@ -1,0 +1,1223 @@
+//! The collector daemon: configuration, lifecycle and the HTTP routes.
+//!
+//! # Thread model
+//!
+//! ```text
+//! UDP listener ──┐                       ┌── HTTP worker 0 ─┐
+//! replay driver ─┼─▶ BatchQueue ─▶ ingest┤     ...          ├─▶ clients
+//! replay driver ─┘    (bounded)    thread└── HTTP worker N ─┘
+//!                                    │
+//!                                    └─▶ Published (Arc swap)
+//! ```
+//!
+//! Exactly one thread — the ingest loop — owns the
+//! [`Collector`]; every front-end hands it packets through one bounded
+//! [`BatchQueue`] via [`IngestPort::offer`] (the uniform backpressure
+//! contract: shed batches come back and are ledgered on the spot), and
+//! every reader sees only immutable [`SealedView`]s published behind an
+//! `Arc` swap. There is no lock anywhere that both the ingest path and a
+//! reader can hold, so slow or numerous HTTP clients cannot stall
+//! ingest.
+//!
+//! # Endpoints
+//!
+//! | Method/path | Serves |
+//! |---|---|
+//! | `GET /` | endpoint index |
+//! | `GET /epochs` | sealed-epoch summaries (retained window) |
+//! | `GET /epochs/{n}` | one epoch's summary |
+//! | `GET /epochs/{n}/top?k=K` | top-K flows of epoch `n` |
+//! | `GET /epochs/{n}/flows/{key}` | size estimate of one flow |
+//! | `GET /queries` | attached plans + banked per-epoch answers |
+//! | `POST /queries` | attach a plan (body = plan text) at runtime |
+//! | `GET /metrics` | Prometheus exposition of the runtime registry |
+//! | `GET /healthz` | sink + shard health (`503` when unhealthy) |
+//! | `POST /shutdown` | trigger graceful shutdown |
+//!
+//! # Epochs
+//!
+//! Rotation here is **wall-clock** driven: the ingest loop seals every
+//! [`ServerConfig::epoch_ms`] of real time, because a deployed collector
+//! cannot wait for packet timestamps to cross an edge — a quiet link
+//! would never seal. Epochs in which no packet arrived are skipped (no
+//! empty snapshots), mirroring the timestamp-driven rotator's quiet-gap
+//! rule. The final epoch sealed during shutdown is marked
+//! [`EpochSnapshot::is_partial`]: it was truncated by the shutdown, not
+//! by the timer.
+
+use crate::http::{self, Request, Response};
+use crate::json::{self, Obj};
+use crate::state::{EpochAnswers, HealthView, Published, QueryInfo, SealedView};
+use crate::{wire, ShutdownFlag};
+use hashflow_collector::{AlgorithmKind, Collector};
+use hashflow_monitor::{
+    BackpressurePolicy, DropStats, EpochSnapshot, FlowMonitor, HealthPolicy, MemoryBudget,
+    RecordSink, SinkErrors,
+};
+use hashflow_obs::MetricsRegistry;
+use hashflow_query::QueryPlan;
+use hashflow_shard::{BatchQueue, PopOutcome, PushOutcome};
+use hashflow_types::{ConfigError, FlowKey, Packet};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::str::FromStr;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Packets per batch offered by the replay driver and expected from
+/// well-behaved UDP taps (one datagram ≈ one batch).
+pub const REPLAY_BATCH: usize = 256;
+
+/// How long the ingest loop waits on the queue before re-checking the
+/// epoch timer and the command channel.
+const INGEST_POLL: Duration = Duration::from_millis(50);
+
+/// Daemon configuration. `Default` is a runnable single-shard HashFlow
+/// collector on ephemeral loopback ports with no UDP front-end.
+pub struct ServerConfig {
+    /// Algorithm to build ([`AlgorithmKind`]).
+    pub algorithm: AlgorithmKind,
+    /// Monitor memory budget in KiB.
+    pub memory_kib: usize,
+    /// Shard count (>1 requires a merge-layer algorithm).
+    pub shards: usize,
+    /// Master hash seed.
+    pub seed: u64,
+    /// Wall-clock epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Sealed epochs retained for the query API (older ones are
+    /// evicted, drop-accounted, and `404`).
+    pub retention: usize,
+    /// HTTP bind address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub http_addr: String,
+    /// UDP ingest bind address; `None` disables the UDP front-end.
+    pub udp_addr: Option<String>,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+    /// Ingest queue capacity in batches.
+    pub ingest_capacity: usize,
+    /// What a full ingest queue does to arriving batches. The default
+    /// is [`BackpressurePolicy::DropNewest`]: a live collector sheds
+    /// load rather than stalling its front-ends (`Block` is for replay
+    /// rigs that prefer lossless ingest over pacing).
+    pub ingest_policy: BackpressurePolicy,
+    /// Query plans (text form) attached at startup.
+    pub queries: Vec<String>,
+    /// Export sinks attached at startup.
+    pub sinks: Vec<Box<dyn RecordSink + Send>>,
+    /// Sink health state-machine thresholds, if overriding the default.
+    pub sink_health: Option<HealthPolicy>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            algorithm: AlgorithmKind::HashFlow,
+            memory_kib: 256,
+            shards: 1,
+            seed: 0xC0FFEE,
+            epoch_ms: 1_000,
+            retention: 64,
+            http_addr: "127.0.0.1:0".to_string(),
+            udp_addr: None,
+            http_workers: 4,
+            ingest_capacity: 64,
+            ingest_policy: BackpressurePolicy::DropNewest,
+            queries: Vec::new(),
+            sinks: Vec::new(),
+            sink_health: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("algorithm", &self.algorithm)
+            .field("memory_kib", &self.memory_kib)
+            .field("shards", &self.shards)
+            .field("epoch_ms", &self.epoch_ms)
+            .field("retention", &self.retention)
+            .field("http_addr", &self.http_addr)
+            .field("udp_addr", &self.udp_addr)
+            .field("queries", &self.queries)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why the daemon failed to start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// A pipeline configuration error (bad algorithm/budget/plan).
+    Config(ConfigError),
+    /// A socket could not be bound or cloned.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "configuration: {e}"),
+            ServerError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// The shared front-door every ingest source pushes through: the
+/// bounded queue plus the offer-side conservation ledger.
+///
+/// [`IngestPort::offer`] applies the configured
+/// [`BackpressurePolicy`] and accounts the outcome immediately — every
+/// record is *offered* exactly once, and every record that the policy
+/// sheds (the arriving batch under `DropNewest`, displaced older
+/// batches under `DropOldest`, anything arriving after close) is
+/// *dropped* exactly once, so at quiescence
+/// `offered == processed + dropped`.
+#[derive(Debug)]
+pub struct IngestPort {
+    queue: Arc<BatchQueue<Packet>>,
+    policy: BackpressurePolicy,
+    drops: DropStats,
+}
+
+impl IngestPort {
+    /// Offers one batch under the port's policy, ledgering any shed.
+    pub fn offer(&self, batch: Vec<Packet>) {
+        self.drops.record_offer(batch.len() as u64);
+        match self.queue.offer(batch, self.policy) {
+            PushOutcome::Enqueued => {}
+            PushOutcome::Displaced(old) => {
+                for b in old {
+                    self.drops.record_drop(b.len() as u64);
+                }
+            }
+            PushOutcome::Rejected(b) => self.drops.record_drop(b.len() as u64),
+        }
+    }
+
+    /// The offer-side conservation ledger (shared handles).
+    pub fn drop_stats(&self) -> &DropStats {
+        &self.drops
+    }
+}
+
+/// Pacing of a [`Server::start_replay`] driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayPace {
+    /// Offer batches as fast as the queue accepts them.
+    LineRate,
+    /// Token-bucket paced to this many packets per second (burst
+    /// capacity ≈ 10 ms of tokens).
+    Pps(u64),
+}
+
+/// What one replay driver accomplished.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Packets offered to the ingest port.
+    pub packets: u64,
+    /// Batches offered.
+    pub batches: u64,
+    /// Wall clock from first to last offer.
+    pub elapsed: Duration,
+}
+
+/// What the ingest thread reports when it exits.
+struct IngestReport {
+    processed: u64,
+    sealed: u64,
+    finish: Result<(), SinkErrors>,
+}
+
+/// End-of-run summary returned by [`Server::shutdown`].
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Packets the collector actually processed.
+    pub packets_processed: u64,
+    /// Epochs sealed over the run (final partial epoch included).
+    pub epochs_sealed: u64,
+    /// Records offered at the ingest port (every front-end).
+    pub offered_records: u64,
+    /// Records shed by the backpressure policy, ledger-accounted.
+    pub dropped_records: u64,
+    /// Per-driver stats of every [`Server::start_replay`] call.
+    pub replays: Vec<ReplayStats>,
+    /// Sink errors collected by the final flush, if any.
+    pub sink_errors: Option<SinkErrors>,
+}
+
+impl ServerReport {
+    /// The pipeline-wide conservation invariant: every offered record
+    /// was either processed or accounted as dropped.
+    pub fn conserved(&self) -> bool {
+        self.offered_records == self.packets_processed + self.dropped_records
+    }
+}
+
+/// Commands the HTTP side sends to the ingest thread (which owns the
+/// collector).
+enum Command {
+    AttachQuery {
+        plan: QueryPlan,
+        text: String,
+        reply: mpsc::Sender<usize>,
+    },
+}
+
+/// A running daemon. Dropping it without [`Server::shutdown`] still
+/// flushes sinks (the collector's own `Drop` does), but detached
+/// threads are abandoned — call `shutdown` for the orderly path.
+pub struct Server {
+    http_addr: SocketAddr,
+    udp_addr: Option<SocketAddr>,
+    shutdown: Arc<ShutdownFlag>,
+    queue: Arc<BatchQueue<Packet>>,
+    port: Arc<IngestPort>,
+    published: Arc<Published>,
+    registry: MetricsRegistry,
+    pool: Option<http::HttpPool>,
+    ingest: Option<JoinHandle<IngestReport>>,
+    udp_thread: Option<JoinHandle<()>>,
+    replays: Vec<JoinHandle<ReplayStats>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("http_addr", &self.http_addr)
+            .field("udp_addr", &self.udp_addr)
+            .field("replays", &self.replays.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Boots the daemon: builds the pipeline, binds the sockets, spawns
+    /// the ingest loop, the UDP listener (if configured) and the HTTP
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] for pipeline misconfiguration (unknown
+    /// algorithm options, unparseable query plans),
+    /// [`ServerError::Io`] when a socket cannot be bound.
+    pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
+        let registry = MetricsRegistry::new();
+        let mut builder = Collector::builder(config.algorithm)
+            .budget(MemoryBudget::from_kib(config.memory_kib)?)
+            .seed(config.seed)
+            .with_metrics(registry.clone())
+            // The published ring is the reader-facing retention; the
+            // collector-side stores are belts kept at the same bound.
+            .retention(config.retention.max(1), BackpressurePolicy::DropOldest)
+            .answer_limit(config.retention.max(1), BackpressurePolicy::DropOldest);
+        if config.shards > 1 {
+            builder = builder.shards(config.shards);
+        }
+        if let Some(policy) = config.sink_health {
+            builder = builder.sink_health_policy(policy);
+        }
+        for sink in config.sinks {
+            builder = builder.sink(sink);
+        }
+        let mut collector = builder.build()?;
+        let mut queries = Vec::with_capacity(config.queries.len());
+        for text in &config.queries {
+            let plan = QueryPlan::from_str(text)?;
+            let id = collector.attach_query(plan.clone());
+            queries.push(QueryInfo {
+                id,
+                plan: plan.to_string(),
+            });
+        }
+
+        let shutdown = Arc::new(ShutdownFlag::new());
+        let published = Arc::new(Published::new());
+        let queue = Arc::new(BatchQueue::new(config.ingest_capacity.max(1)));
+        let ingest_drops = DropStats::new();
+        ingest_drops.register(&registry, "server_ingest");
+        let port = Arc::new(IngestPort {
+            queue: Arc::clone(&queue),
+            policy: config.ingest_policy,
+            drops: ingest_drops,
+        });
+
+        let listener = TcpListener::bind(&config.http_addr)?;
+        let http_addr = listener.local_addr()?;
+        let udp_socket = match &config.udp_addr {
+            Some(addr) => Some(UdpSocket::bind(addr)?),
+            None => None,
+        };
+        let udp_addr = udp_socket.as_ref().map(|s| s.local_addr()).transpose()?;
+
+        let (command_tx, command_rx) = mpsc::channel();
+        let ingest = {
+            let queue = Arc::clone(&queue);
+            let published = Arc::clone(&published);
+            let registry = registry.clone();
+            let epoch_len = Duration::from_millis(config.epoch_ms.max(1));
+            let retention = config.retention.max(1);
+            std::thread::Builder::new()
+                .name("hf-ingest".to_string())
+                .spawn(move || {
+                    run_ingest(
+                        collector, queue, command_rx, published, registry, epoch_len, retention,
+                        queries,
+                    )
+                })
+                .map_err(ServerError::Io)?
+        };
+
+        let udp_thread = match udp_socket {
+            Some(socket) => {
+                let port = Arc::clone(&port);
+                let shutdown = Arc::clone(&shutdown);
+                let wire_errors = registry.counter("hashflow_server_wire_errors_total", &[]);
+                socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+                Some(
+                    std::thread::Builder::new()
+                        .name("hf-udp".to_string())
+                        .spawn(move || run_udp(&socket, &port, &shutdown, &wire_errors))
+                        .map_err(ServerError::Io)?,
+                )
+            }
+            None => None,
+        };
+
+        let router_state = Arc::new(RouterState {
+            published: Arc::clone(&published),
+            registry: registry.clone(),
+            commands: Mutex::new(command_tx),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let router: Arc<http::Router> = {
+            let state = Arc::clone(&router_state);
+            Arc::new(move |req: &Request| route(&state, req))
+        };
+        let pool = http::serve(listener, config.http_workers, Arc::clone(&shutdown), router)?;
+
+        Ok(Server {
+            http_addr,
+            udp_addr,
+            shutdown,
+            queue,
+            port,
+            published,
+            registry,
+            pool: Some(pool),
+            ingest: Some(ingest),
+            udp_thread,
+            replays: Vec::new(),
+        })
+    }
+
+    /// The bound HTTP address (real port for `:0` binds).
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// The bound UDP ingest address, if the front-end is enabled.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
+    }
+
+    /// The current published view (wait-free for the ingest path).
+    pub fn view(&self) -> Arc<SealedView> {
+        self.published.load()
+    }
+
+    /// The swap cell itself. A clone outlives [`Server::shutdown`], so
+    /// harnesses can inspect the *final* published view (the one
+    /// carrying the partial last epoch and `finished = true`).
+    pub fn published(&self) -> Arc<Published> {
+        Arc::clone(&self.published)
+    }
+
+    /// The daemon's metrics registry (shared handles).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The shared ingest port, for embedding custom front-ends.
+    pub fn ingest_port(&self) -> Arc<IngestPort> {
+        Arc::clone(&self.port)
+    }
+
+    /// Requests shutdown without waiting (same flag `POST /shutdown`
+    /// triggers). [`Server::shutdown`] still must run to join threads.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Whether shutdown has been requested (by any trigger).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.is_set()
+    }
+
+    /// Spawns a replay driver feeding `packets` through the ingest port
+    /// in [`REPLAY_BATCH`]-sized batches at the requested pace. Several
+    /// drivers may run concurrently; each stops early if shutdown
+    /// triggers mid-replay.
+    pub fn start_replay(&mut self, packets: Vec<Packet>, pace: ReplayPace) {
+        let port = Arc::clone(&self.port);
+        let shutdown = Arc::clone(&self.shutdown);
+        let handle = std::thread::Builder::new()
+            .name("hf-replay".to_string())
+            .spawn(move || run_replay(&packets, pace, &port, &shutdown))
+            .expect("spawn replay driver");
+        self.replays.push(handle);
+    }
+
+    /// Polls the published view until at least `n` epochs have sealed
+    /// or `timeout` elapses. Returns whether the target was reached.
+    pub fn wait_for_sealed(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.published.load().sealed_total >= n {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful shutdown: stops the front-ends, drains the queue, seals
+    /// the final (partial) epoch, flushes every sink exactly once and
+    /// joins every thread.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.shutdown.trigger();
+        // Front-ends first: once they stop offering, closing the queue
+        // bounds the ingest thread's drain.
+        let replays: Vec<ReplayStats> = self
+            .replays
+            .drain(..)
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        if let Some(udp) = self.udp_thread.take() {
+            let _ = udp.join();
+        }
+        self.queue.close();
+        let ingest = self
+            .ingest
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("ingest thread panicked");
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        let drops = self.port.drop_stats();
+        ServerReport {
+            packets_processed: ingest.processed,
+            epochs_sealed: ingest.sealed,
+            offered_records: drops.offered_records(),
+            dropped_records: drops.dropped_records(),
+            replays,
+            sink_errors: ingest.finish.err(),
+        }
+    }
+}
+
+/// The replay driver loop: token-bucket paced batch offers.
+fn run_replay(
+    packets: &[Packet],
+    pace: ReplayPace,
+    port: &IngestPort,
+    shutdown: &ShutdownFlag,
+) -> ReplayStats {
+    let start = Instant::now();
+    let mut stats = ReplayStats::default();
+    let mut tokens = 0f64;
+    let mut last_refill = Instant::now();
+    'batches: for chunk in packets.chunks(REPLAY_BATCH) {
+        if shutdown.is_set() {
+            break;
+        }
+        if let ReplayPace::Pps(rate) = pace {
+            let rate = rate.max(1) as f64;
+            let need = chunk.len() as f64;
+            // Burst capacity: 10 ms of tokens (at least one batch, so
+            // low rates still make progress).
+            let burst = (rate * 0.01).max(need);
+            loop {
+                let now = Instant::now();
+                tokens = (tokens + now.duration_since(last_refill).as_secs_f64() * rate).min(burst);
+                last_refill = now;
+                if tokens >= need {
+                    tokens -= need;
+                    break;
+                }
+                if shutdown.is_set() {
+                    break 'batches;
+                }
+                let wait = ((need - tokens) / rate).clamp(0.000_2, 0.005);
+                std::thread::sleep(Duration::from_secs_f64(wait));
+            }
+        }
+        port.offer(chunk.to_vec());
+        stats.packets += chunk.len() as u64;
+        stats.batches += 1;
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// The UDP front-end loop: decode datagrams, offer batches, count
+/// malformed frames.
+fn run_udp(
+    socket: &UdpSocket,
+    port: &IngestPort,
+    shutdown: &ShutdownFlag,
+    wire_errors: &hashflow_obs::Counter,
+) {
+    let mut buf = vec![0u8; 64 * 1024];
+    while !shutdown.is_set() {
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => match wire::decode_datagram(&buf[..n]) {
+                Ok(packets) => {
+                    if !packets.is_empty() {
+                        port.offer(packets);
+                    }
+                }
+                Err(_) => wire_errors.inc(),
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// The writer side: owns the collector, services the queue and the
+/// command channel, seals on the wall clock, publishes sealed views.
+#[allow(clippy::too_many_arguments)]
+fn run_ingest(
+    mut collector: Collector,
+    queue: Arc<BatchQueue<Packet>>,
+    commands: mpsc::Receiver<Command>,
+    published: Arc<Published>,
+    registry: MetricsRegistry,
+    epoch_len: Duration,
+    retention: usize,
+    mut queries: Vec<QueryInfo>,
+) -> IngestReport {
+    let epoch_drops = DropStats::new();
+    epoch_drops.register(&registry, "server_epochs");
+    let answer_drops = DropStats::new();
+    answer_drops.register(&registry, "server_answers");
+    let mut epochs: VecDeque<Arc<EpochSnapshot>> = VecDeque::with_capacity(retention);
+    let mut answers: VecDeque<EpochAnswers> = VecDeque::with_capacity(retention);
+    let mut sealed_total = 0u64;
+    let mut processed = 0u64;
+    let mut epoch_packets = 0u64;
+    let mut next_seal = Instant::now() + epoch_len;
+
+    publish(
+        &published,
+        &collector,
+        &epochs,
+        &answers,
+        &queries,
+        sealed_total,
+        false,
+    );
+    loop {
+        while let Ok(cmd) = commands.try_recv() {
+            match cmd {
+                Command::AttachQuery { plan, text, reply } => {
+                    let id = collector.attach_query(plan);
+                    queries.push(QueryInfo { id, plan: text });
+                    let _ = reply.send(id);
+                    publish(
+                        &published,
+                        &collector,
+                        &epochs,
+                        &answers,
+                        &queries,
+                        sealed_total,
+                        false,
+                    );
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= next_seal {
+            if epoch_packets > 0 {
+                seal_epoch(
+                    &mut collector,
+                    false,
+                    retention,
+                    &mut epochs,
+                    &mut answers,
+                    &epoch_drops,
+                    &answer_drops,
+                    &mut sealed_total,
+                );
+                epoch_packets = 0;
+            }
+            // Quiet epochs still refresh the published health view.
+            publish(
+                &published,
+                &collector,
+                &epochs,
+                &answers,
+                &queries,
+                sealed_total,
+                false,
+            );
+            while next_seal <= now {
+                next_seal += epoch_len;
+            }
+            continue;
+        }
+        let wait = (next_seal - now).min(INGEST_POLL);
+        match queue.pop_deadline(wait) {
+            PopOutcome::Batch(batch) => {
+                let n = batch.len() as u64;
+                collector.process_batch(&batch);
+                processed += n;
+                epoch_packets += n;
+            }
+            PopOutcome::TimedOut => {}
+            PopOutcome::Closed => break,
+        }
+    }
+    // Shutdown: the queue is closed and fully drained. Seal whatever
+    // the truncated final epoch holds, marked partial.
+    if epoch_packets > 0 {
+        seal_epoch(
+            &mut collector,
+            true,
+            retention,
+            &mut epochs,
+            &mut answers,
+            &epoch_drops,
+            &answer_drops,
+            &mut sealed_total,
+        );
+    }
+    // Exactly-once flush: `finish` marks the collector finished, so its
+    // own `Drop` (which flushes unfinished pipelines) becomes a no-op.
+    let finish = collector.finish();
+    publish(
+        &published,
+        &collector,
+        &epochs,
+        &answers,
+        &queries,
+        sealed_total,
+        true,
+    );
+    IngestReport {
+        processed,
+        sealed: sealed_total,
+        finish,
+    }
+}
+
+/// Seals the running epoch, banks its answers and rotates the bounded
+/// published rings (evictions drop-accounted).
+#[allow(clippy::too_many_arguments)]
+fn seal_epoch(
+    collector: &mut Collector,
+    partial: bool,
+    retention: usize,
+    epochs: &mut VecDeque<Arc<EpochSnapshot>>,
+    answers: &mut VecDeque<EpochAnswers>,
+    epoch_drops: &DropStats,
+    answer_drops: &DropStats,
+    sealed_total: &mut u64,
+) {
+    let snapshot = collector.seal().with_partial(partial);
+    *sealed_total += 1;
+    // Keep the collector-side stores empty: the published rings are the
+    // single reader-facing retention buffer.
+    let _ = collector.drain_completed();
+    let epoch = snapshot.epoch();
+    for banked in collector.drain_query_answers() {
+        let rows = banked.iter().map(|r| r.rows().len() as u64).sum();
+        answer_drops.record_offer(rows);
+        answers.push_back(EpochAnswers {
+            epoch,
+            answers: banked,
+        });
+        while answers.len() > retention {
+            if let Some(evicted) = answers.pop_front() {
+                let rows = evicted.answers.iter().map(|r| r.rows().len() as u64).sum();
+                answer_drops.record_drop(rows);
+            }
+        }
+    }
+    epoch_drops.record_offer(snapshot.len() as u64);
+    epochs.push_back(Arc::new(snapshot));
+    while epochs.len() > retention {
+        if let Some(evicted) = epochs.pop_front() {
+            epoch_drops.record_drop(evicted.len() as u64);
+        }
+    }
+}
+
+/// Rebuilds and swaps in a fresh [`SealedView`] (O(retention) `Arc`
+/// clones — never proportional to flow counts).
+fn publish(
+    published: &Published,
+    collector: &Collector,
+    epochs: &VecDeque<Arc<EpochSnapshot>>,
+    answers: &VecDeque<EpochAnswers>,
+    queries: &[QueryInfo],
+    sealed_total: u64,
+    finished: bool,
+) {
+    published.store(Arc::new(SealedView {
+        epochs: epochs.iter().cloned().collect(),
+        queries: queries.to_vec(),
+        answers: answers.iter().cloned().collect(),
+        health: HealthView {
+            sinks: collector.sink_health(),
+            faults: collector.faults(),
+            finished,
+        },
+        sealed_total,
+    }));
+}
+
+/// Everything the HTTP routing closure needs.
+struct RouterState {
+    published: Arc<Published>,
+    registry: MetricsRegistry,
+    commands: Mutex<mpsc::Sender<Command>>,
+    shutdown: Arc<ShutdownFlag>,
+}
+
+fn not_found(what: &str) -> Response {
+    Response::json(404, Obj::new().str("error", what).build())
+}
+
+fn method_not_allowed() -> Response {
+    Response::json(405, Obj::new().str("error", "method not allowed").build())
+}
+
+/// Routes one request against the current published view.
+fn route(state: &RouterState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => index(),
+        ("GET", ["epochs"]) => list_epochs(&state.published.load()),
+        ("GET", ["epochs", n]) => one_epoch(&state.published.load(), n),
+        ("GET", ["epochs", n, "top"]) => top_flows(&state.published.load(), n, req),
+        ("GET", ["epochs", n, "flows", rest @ ..]) => {
+            // Flow keys contain `/` (the `/proto` suffix), so the key is
+            // the joined remainder of the path.
+            flow_estimate(&state.published.load(), n, &rest.join("/"))
+        }
+        ("GET", ["queries"]) => list_queries(&state.published.load()),
+        ("POST", ["queries"]) => attach_query(state, req),
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: state.registry.snapshot().to_prometheus().into_bytes(),
+        },
+        ("GET", ["healthz"]) => healthz(&state.published.load()),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.trigger();
+            Response::json(200, Obj::new().bool("shutting_down", true).build())
+        }
+        (_, [] | ["epochs", ..] | ["queries"] | ["metrics"] | ["healthz"] | ["shutdown"]) => {
+            method_not_allowed()
+        }
+        _ => not_found("no such endpoint"),
+    }
+}
+
+fn index() -> Response {
+    let endpoints = [
+        "GET /epochs",
+        "GET /epochs/{n}",
+        "GET /epochs/{n}/top?k=K",
+        "GET /epochs/{n}/flows/{key}",
+        "GET /queries",
+        "POST /queries",
+        "GET /metrics",
+        "GET /healthz",
+        "POST /shutdown",
+    ];
+    Response::json(
+        200,
+        Obj::new()
+            .str("service", "hashflow-server")
+            .raw(
+                "endpoints",
+                json::array(endpoints.iter().map(|e| json::string(e))),
+            )
+            .build(),
+    )
+}
+
+fn epoch_summary(snapshot: &EpochSnapshot) -> String {
+    Obj::new()
+        .u64("epoch", snapshot.epoch())
+        .opt_u64("start_ns", snapshot.start_ns())
+        .opt_u64("end_ns", snapshot.end_ns())
+        .u64("flows", snapshot.len() as u64)
+        .f64("cardinality", snapshot.cardinality())
+        .bool("partial", snapshot.is_partial())
+        .build()
+}
+
+fn list_epochs(view: &SealedView) -> Response {
+    Response::json(
+        200,
+        Obj::new()
+            .u64("sealed_total", view.sealed_total)
+            .u64("retained", view.epochs.len() as u64)
+            .raw(
+                "epochs",
+                json::array(view.epochs.iter().map(|s| epoch_summary(s))),
+            )
+            .build(),
+    )
+}
+
+fn parse_epoch<'v>(view: &'v SealedView, n: &str) -> Result<&'v Arc<EpochSnapshot>, Response> {
+    let n: u64 = n.parse().map_err(|_| {
+        Response::json(
+            400,
+            Obj::new().str("error", "epoch must be a number").build(),
+        )
+    })?;
+    view.epoch(n)
+        .ok_or_else(|| not_found("epoch not sealed or already evicted"))
+}
+
+fn one_epoch(view: &SealedView, n: &str) -> Response {
+    match parse_epoch(view, n) {
+        Ok(snapshot) => Response::json(200, epoch_summary(snapshot)),
+        Err(resp) => resp,
+    }
+}
+
+fn top_flows(view: &SealedView, n: &str, req: &Request) -> Response {
+    let snapshot = match parse_epoch(view, n) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let k = req
+        .query_param("k")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10)
+        .min(10_000);
+    let rows = snapshot.top_k(k);
+    Response::json(
+        200,
+        Obj::new()
+            .u64("epoch", snapshot.epoch())
+            .u64("k", k as u64)
+            .raw(
+                "flows",
+                json::array(rows.iter().map(|r| {
+                    Obj::new()
+                        .str("key", &r.key().to_string())
+                        .u64("count", u64::from(r.count()))
+                        .build()
+                })),
+            )
+            .build(),
+    )
+}
+
+fn flow_estimate(view: &SealedView, n: &str, key: &str) -> Response {
+    let snapshot = match parse_epoch(view, n) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    match FlowKey::from_str(key) {
+        Ok(flow) => Response::json(
+            200,
+            Obj::new()
+                .u64("epoch", snapshot.epoch())
+                .str("key", &flow.to_string())
+                .u64("estimate", u64::from(snapshot.estimate_size(&flow)))
+                .build(),
+        ),
+        Err(e) => Response::json(400, Obj::new().str("error", &e.to_string()).build()),
+    }
+}
+
+fn list_queries(view: &SealedView) -> Response {
+    Response::json(
+        200,
+        Obj::new()
+            .raw(
+                "queries",
+                json::array(view.queries.iter().map(|q| {
+                    Obj::new()
+                        .u64("id", q.id as u64)
+                        .str("plan", &q.plan)
+                        .build()
+                })),
+            )
+            .raw(
+                "answers",
+                json::array(view.answers.iter().map(|a| {
+                    Obj::new()
+                        .u64("epoch", a.epoch)
+                        .raw(
+                            "results",
+                            json::array(a.answers.iter().enumerate().map(|(id, r)| {
+                                Obj::new()
+                                    .u64("query_id", id as u64)
+                                    .str("group", &r.group().to_string())
+                                    .raw(
+                                        "rows",
+                                        json::array(r.rows().iter().map(|row| {
+                                            Obj::new()
+                                                .str("key", &row.key.to_string())
+                                                .u64("value", row.value)
+                                                .build()
+                                        })),
+                                    )
+                                    .build()
+                            })),
+                        )
+                        .build()
+                })),
+            )
+            .build(),
+    )
+}
+
+fn attach_query(state: &RouterState, req: &Request) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t.trim(),
+        Err(_) => {
+            return Response::json(400, Obj::new().str("error", "body must be UTF-8").build())
+        }
+    };
+    let plan = match QueryPlan::from_str(text) {
+        Ok(p) => p,
+        Err(e) => return Response::json(400, Obj::new().str("error", &e.to_string()).build()),
+    };
+    let canonical = plan.to_string();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let sent = state
+        .commands
+        .lock()
+        .expect("command sender poisoned")
+        .send(Command::AttachQuery {
+            plan,
+            text: canonical.clone(),
+            reply: reply_tx,
+        })
+        .is_ok();
+    if !sent {
+        return Response::json(
+            503,
+            Obj::new()
+                .str("error", "collector is shutting down")
+                .build(),
+        );
+    }
+    match reply_rx.recv_timeout(Duration::from_secs(2)) {
+        Ok(id) => Response::json(
+            201,
+            Obj::new()
+                .u64("id", id as u64)
+                .str("plan", &canonical)
+                .build(),
+        ),
+        Err(_) => Response::json(
+            503,
+            Obj::new().str("error", "collector did not confirm").build(),
+        ),
+    }
+}
+
+fn healthz(view: &SealedView) -> Response {
+    let health = &view.health;
+    let status = if health.is_unhealthy() {
+        "unhealthy"
+    } else if health.is_degraded() {
+        "degraded"
+    } else {
+        "healthy"
+    };
+    let body = Obj::new()
+        .str("status", status)
+        .u64("sealed_epochs", view.sealed_total)
+        .bool("finished", health.finished)
+        .raw(
+            "sinks",
+            json::array(health.sinks.iter().map(|s| {
+                Obj::new()
+                    .u64("index", s.index as u64)
+                    .str("health", s.health.label())
+                    .u64("consecutive_failures", u64::from(s.consecutive_failures))
+                    .u64("total_errors", s.total_errors)
+                    .u64("skipped_epochs", s.skipped_epochs)
+                    .u64("skipped_records", s.skipped_records)
+                    .u64("recoveries", s.recoveries)
+                    .raw(
+                        "last_error",
+                        s.last_error
+                            .as_deref()
+                            .map(json::string)
+                            .unwrap_or_else(|| "null".to_string()),
+                    )
+                    .build()
+            })),
+        )
+        .raw(
+            "faults",
+            json::array(health.faults.iter().map(|f| json::string(f))),
+        )
+        .build();
+    let code = if health.is_unhealthy() { 503 } else { 200 };
+    Response::json(code, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            epoch_ms: 40,
+            retention: 4,
+            http_workers: 2,
+            queries: vec!["map dst | reduce count | threshold 1".to_string()],
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn boots_replays_seals_and_shuts_down() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 5).generate(1_000);
+        let total = trace.packets().len() as u64;
+        let mut server = Server::start(small_config()).expect("boot");
+        server.start_replay(trace.packets().to_vec(), ReplayPace::LineRate);
+        assert!(server.wait_for_sealed(1, Duration::from_secs(10)));
+        let report = server.shutdown();
+        assert!(report.conserved(), "ledger must conserve: {report:?}");
+        assert_eq!(report.offered_records, total);
+        assert!(report.epochs_sealed >= 1);
+        assert!(report.sink_errors.is_none());
+    }
+
+    #[test]
+    fn http_api_serves_epochs_queries_and_health() {
+        let trace = TraceGenerator::new(TraceProfile::Campus, 9).generate(800);
+        let mut server = Server::start(small_config()).expect("boot");
+        let addr = server.http_addr();
+        server.start_replay(trace.packets().to_vec(), ReplayPace::LineRate);
+        assert!(server.wait_for_sealed(1, Duration::from_secs(10)));
+
+        let (status, body) = client::get(addr, "/epochs").expect("GET /epochs");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"sealed_total\""));
+
+        let view = server.view();
+        let first = view.epochs.first().expect("one sealed epoch").epoch();
+        let (status, body) =
+            client::get(addr, &format!("/epochs/{first}/top?k=3")).expect("GET top");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"flows\""));
+
+        // A flow key straight out of the sealed snapshot estimates > 0.
+        let key = view.epochs.first().unwrap().as_records()[0].key();
+        let encoded = key.to_string().replace('/', "%2F").replace('>', "%3E");
+        let (status, body) =
+            client::get(addr, &format!("/epochs/{first}/flows/{encoded}")).expect("GET flow");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"estimate\""));
+
+        let (status, body) = client::get(addr, "/healthz").expect("GET healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"healthy\""));
+
+        let (status, body) = client::get(addr, "/metrics").expect("GET metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("hashflow_ingest_packets_total"));
+
+        let (status, body) = client::post(
+            addr,
+            "/queries",
+            "filter proto=6 | map src | reduce count | threshold 1",
+        )
+        .expect("POST query");
+        assert_eq!(status, 201, "{body}");
+        assert!(body.contains("\"id\":1"));
+
+        let (status, body) = client::get(addr, "/queries").expect("GET queries");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"queries\""));
+
+        let (status, _) = client::get(addr, "/nope").expect("GET unknown");
+        assert_eq!(status, 404);
+        let (status, _) = client::get(addr, "/epochs/999999/top").expect("GET evicted");
+        assert_eq!(status, 404);
+
+        let report = server.shutdown();
+        assert!(report.conserved());
+    }
+
+    #[test]
+    fn post_shutdown_triggers_the_flag() {
+        let server = Server::start(small_config()).expect("boot");
+        let addr = server.http_addr();
+        let (status, _) = client::post(addr, "/shutdown", "").expect("POST shutdown");
+        assert_eq!(status, 200);
+        assert!(server.shutdown_requested());
+        let report = server.shutdown();
+        assert!(report.conserved());
+        assert_eq!(report.packets_processed, 0);
+    }
+
+    #[test]
+    fn paced_replay_is_slower_than_line_rate() {
+        let trace = TraceGenerator::new(TraceProfile::Isp1, 3).generate(2_000);
+        let packets: Vec<_> = trace.packets().iter().take(2_000).copied().collect();
+        assert_eq!(packets.len(), 2_000, "profile yields enough packets");
+        let mut server = Server::start(ServerConfig {
+            epoch_ms: 10_000,
+            ..small_config()
+        })
+        .expect("boot");
+        server.start_replay(packets, ReplayPace::Pps(10_000));
+        let report = {
+            // Let the paced driver finish: 2 000 pkt at 10 kpps ≈ 200 ms.
+            std::thread::sleep(Duration::from_millis(400));
+            server.shutdown()
+        };
+        assert!(report.conserved());
+        let replay = &report.replays[0];
+        assert!(
+            replay.elapsed >= Duration::from_millis(120),
+            "token bucket should have paced ~200ms, took {:?}",
+            replay.elapsed
+        );
+    }
+}

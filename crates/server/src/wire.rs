@@ -1,0 +1,201 @@
+//! The UDP packet-record wire format.
+//!
+//! A monitoring tap that exports packet records to the collector sends
+//! UDP datagrams in a fixed little-endian layout — no length-prefixed
+//! strings, no varints, so a datagram decodes with pure slicing:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "HFW1"
+//! 4       2     record count (u16 LE)
+//! 6       23*n  records
+//! ```
+//!
+//! Each record is one [`Packet`]:
+//!
+//! ```text
+//! offset  size  field
+//! 0       13    flow key (FlowKey::to_bytes)
+//! 13      8     timestamp (ns, u64 LE)
+//! 21      2     wire length (u16 LE)
+//! ```
+//!
+//! Datagrams are independent — any one decodes on its own, so loss
+//! costs exactly the records inside the lost datagram and reordering
+//! never corrupts state (the epoch rotation downstream is wall-clock
+//! driven, not timestamp driven). A datagram that fails validation is
+//! dropped whole and counted; a truncated tail record never makes the
+//! preceding records unusable because the count field is checked against
+//! the byte length before any record is decoded.
+
+use hashflow_types::{FlowKey, Packet, FLOW_KEY_BYTES};
+
+/// Magic prefix of every datagram: protocol "HashFlow Wire", version 1.
+pub const MAGIC: [u8; 4] = *b"HFW1";
+
+/// Bytes of the datagram header (magic + record count).
+pub const HEADER_BYTES: usize = MAGIC.len() + 2;
+
+/// Bytes of one encoded packet record.
+pub const RECORD_BYTES: usize = FLOW_KEY_BYTES + 8 + 2;
+
+/// Records per datagram produced by [`encode_datagrams`]: keeps the
+/// datagram under 6 KiB — inside every sane UDP receive buffer and
+/// loopback MTU, while still amortizing the header and the syscall.
+pub const DATAGRAM_RECORDS: usize = 256;
+
+/// Why a datagram failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`] — not our protocol.
+    BadMagic,
+    /// Shorter than the fixed header.
+    ShortHeader {
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The header's record count disagrees with the payload length.
+    LengthMismatch {
+        /// Records promised by the header.
+        declared: usize,
+        /// Payload bytes after the header.
+        payload: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "datagram does not start with HFW1"),
+            WireError::ShortHeader { got } => {
+                write!(f, "datagram too short for header: {got} bytes")
+            }
+            WireError::LengthMismatch { declared, payload } => write!(
+                f,
+                "header declares {declared} records but payload is {payload} bytes \
+                 ({} per record)",
+                RECORD_BYTES
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes up to [`u16::MAX`] packets as one datagram.
+///
+/// # Panics
+///
+/// Panics if `packets.len() > u16::MAX as usize` — use
+/// [`encode_datagrams`] for arbitrary slices.
+pub fn encode_datagram(packets: &[Packet]) -> Vec<u8> {
+    let count = u16::try_from(packets.len()).expect("too many records for one datagram");
+    let mut buf = Vec::with_capacity(HEADER_BYTES + packets.len() * RECORD_BYTES);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&count.to_le_bytes());
+    for p in packets {
+        buf.extend_from_slice(&p.key().to_bytes());
+        buf.extend_from_slice(&p.timestamp_ns().to_le_bytes());
+        buf.extend_from_slice(&p.wire_len().to_le_bytes());
+    }
+    buf
+}
+
+/// Encodes a packet slice as a sequence of independent datagrams of at
+/// most [`DATAGRAM_RECORDS`] records each.
+pub fn encode_datagrams(packets: &[Packet]) -> Vec<Vec<u8>> {
+    packets
+        .chunks(DATAGRAM_RECORDS)
+        .map(encode_datagram)
+        .collect()
+}
+
+/// Decodes one datagram into its packet records.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when the datagram is not a well-formed
+/// `HFW1` frame; the caller drops (and counts) the whole datagram.
+pub fn decode_datagram(buf: &[u8]) -> Result<Vec<Packet>, WireError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(WireError::ShortHeader { got: buf.len() });
+    }
+    if buf[..MAGIC.len()] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let declared = usize::from(u16::from_le_bytes([buf[4], buf[5]]));
+    let payload = &buf[HEADER_BYTES..];
+    if payload.len() != declared * RECORD_BYTES {
+        return Err(WireError::LengthMismatch {
+            declared,
+            payload: payload.len(),
+        });
+    }
+    let mut packets = Vec::with_capacity(declared);
+    for rec in payload.chunks_exact(RECORD_BYTES) {
+        let mut key = [0u8; FLOW_KEY_BYTES];
+        key.copy_from_slice(&rec[..FLOW_KEY_BYTES]);
+        let mut ts = [0u8; 8];
+        ts.copy_from_slice(&rec[FLOW_KEY_BYTES..FLOW_KEY_BYTES + 8]);
+        let wire_len = u16::from_le_bytes([rec[RECORD_BYTES - 2], rec[RECORD_BYTES - 1]]);
+        packets.push(Packet::new(
+            FlowKey::from_bytes(key),
+            u64::from_le_bytes(ts),
+            wire_len,
+        ));
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashflow_trace::{TraceGenerator, TraceProfile};
+
+    #[test]
+    fn round_trips_a_trace() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 7).generate(1_000);
+        let datagrams = encode_datagrams(trace.packets());
+        assert!(datagrams.len() >= trace.packets().len() / DATAGRAM_RECORDS);
+        let mut decoded = Vec::new();
+        for d in &datagrams {
+            assert!(d.len() <= HEADER_BYTES + DATAGRAM_RECORDS * RECORD_BYTES);
+            decoded.extend(decode_datagram(d).unwrap());
+        }
+        assert_eq!(decoded, trace.packets());
+    }
+
+    #[test]
+    fn empty_datagram_round_trips() {
+        let d = encode_datagram(&[]);
+        assert_eq!(d.len(), HEADER_BYTES);
+        assert_eq!(decode_datagram(&d).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            decode_datagram(b"HF"),
+            Err(WireError::ShortHeader { got: 2 })
+        );
+        assert_eq!(decode_datagram(b"NOPE\0\0"), Err(WireError::BadMagic));
+        // Header claims one record, payload holds none.
+        let mut d = encode_datagram(&[]);
+        d[4] = 1;
+        assert_eq!(
+            decode_datagram(&d),
+            Err(WireError::LengthMismatch {
+                declared: 1,
+                payload: 0
+            })
+        );
+        // Trailing junk after the declared records.
+        let trace = TraceGenerator::new(TraceProfile::Campus, 3).generate(4);
+        let mut d = encode_datagram(trace.packets());
+        d.push(0xFF);
+        assert!(matches!(
+            decode_datagram(&d),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+}

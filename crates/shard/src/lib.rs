@@ -65,7 +65,7 @@
 
 mod queue;
 
-pub use queue::{BatchQueue, PushOutcome};
+pub use queue::{BatchQueue, PopOutcome, PushOutcome};
 
 use hashflow_hashing::fast_range;
 use hashflow_monitor::{
@@ -96,7 +96,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// | `hashflow_shard_packets_total{shard=i}` | counter | packets owned by shard `i` |
 /// | `hashflow_shard_queue_depth{shard=i}` | gauge | in-flight batches on shard `i`'s queue |
 /// | `hashflow_shard_dispatch_ns` | histogram | RSS split time per serial batch |
-/// | `hashflow_shard_lane_ns{shard=i}` | histogram | serial lane time per [`ShardedMonitor::lane_timings`] run |
+/// | `hashflow_shard_lane_ns{shard=i}` | histogram | serial lane time per [`ShardedMonitor::record_lane_timings`] run |
 /// | `hashflow_shard_merge_ns` | histogram | per-seal merge of shard reports |
 /// | `hashflow_shard_seal_ns` | histogram | whole [`ShardedMonitor::seal_epoch`] |
 ///
@@ -204,7 +204,7 @@ impl IngestReport {
     }
 }
 
-/// One shard's serial timing from [`ShardedMonitor::lane_timings`].
+/// One shard's serial timing from [`ShardedMonitor::record_lane_timings`].
 #[derive(Debug, Clone, Copy)]
 pub struct LaneTiming {
     /// Packets this shard owned.
@@ -214,7 +214,7 @@ pub struct LaneTiming {
 }
 
 /// Dispatch + per-shard serial timings from
-/// [`ShardedMonitor::lane_timings`].
+/// [`ShardedMonitor::record_lane_timings`].
 #[derive(Debug, Clone)]
 pub struct LaneTimings {
     /// Time spent hashing and partitioning packets (the dispatcher's
@@ -552,16 +552,9 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// When metrics are attached ([`Self::set_metrics`]), the same
     /// timings also stream into the registry — the dispatch time into
     /// `hashflow_shard_dispatch_ns`, each lane's serial time into
-    /// `hashflow_shard_lane_ns{shard=i}` — so this accessor is now a
-    /// measurement shim kept for the modeled-throughput exhibits; new
-    /// consumers should read the registry instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "attach a MetricsRegistry via set_metrics and read the \
-                hashflow_shard_dispatch_ns / hashflow_shard_lane_ns histograms; \
-                this accessor remains for the modeled-throughput exhibits"
-    )]
-    pub fn lane_timings(&mut self, packets: &[Packet]) -> LaneTimings {
+    /// `hashflow_shard_lane_ns{shard=i}` — so callers that only want the
+    /// telemetry can ignore the return value and read the registry.
+    pub fn record_lane_timings(&mut self, packets: &[Packet]) -> LaneTimings {
         self.note_timestamps(packets);
         if self.shards.len() == 1 {
             // No dispatch work for a single shard (mirrors `ingest`).
@@ -574,7 +567,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
                     elapsed_ns: start.elapsed().as_nanos(),
                 }],
             };
-            self.record_lane_timings(&timings);
+            self.stream_lane_timings(&timings);
             return timings;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -599,14 +592,21 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             .collect();
         self.scratch = scratch;
         let timings = LaneTimings { dispatch_ns, lanes };
-        self.record_lane_timings(&timings);
+        self.stream_lane_timings(&timings);
         timings
+    }
+
+    /// Former name of [`Self::record_lane_timings`], kept as a shim so
+    /// downstream measurement scripts keep compiling.
+    #[deprecated(since = "0.1.0", note = "renamed to record_lane_timings")]
+    pub fn lane_timings(&mut self, packets: &[Packet]) -> LaneTimings {
+        self.record_lane_timings(packets)
     }
 
     /// Streams one [`LaneTimings`] measurement into the attached
     /// registry: dispatch and per-lane histograms plus per-shard packet
     /// counters. No-op without metrics.
-    fn record_lane_timings(&self, timings: &LaneTimings) {
+    fn stream_lane_timings(&self, timings: &LaneTimings) {
         let Some(m) = &self.metrics else { return };
         if timings.dispatch_ns > 0 || self.shards.len() > 1 {
             m.dispatch_ns
@@ -1010,6 +1010,16 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
             .fold(CostSnapshot::default(), |acc, s| acc.merged(&s.cost()))
     }
 
+    /// One line per degraded shard (see [`ShardedMonitor::shard_faults`]);
+    /// empty while every lane is live.
+    fn faults(&self) -> Vec<String> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|msg| format!("shard {i}: {msg}")))
+            .collect()
+    }
+
     fn reset(&mut self) {
         for s in &mut self.shards {
             s.reset();
@@ -1381,7 +1391,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn lane_timings_feed_the_registry() {
         use hashflow_obs::MetricsRegistry;
 
@@ -1389,7 +1398,7 @@ mod tests {
         let mut m = sharded_hashflow(4, 128);
         m.set_metrics(&registry);
         let trace = TraceGenerator::new(TraceProfile::Caida, 17).generate(1_000);
-        let timings = m.lane_timings(trace.packets());
+        let timings = m.record_lane_timings(trace.packets());
         let snap = registry.snapshot();
         // The shim reports the same packet split the registry records.
         for (i, lane) in timings.lanes.iter().enumerate() {
@@ -1405,12 +1414,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn lane_timings_match_ingest_state() {
         let trace = TraceGenerator::new(TraceProfile::Caida, 13).generate(1_000);
         let mut timed = sharded_hashflow(4, 128);
         let mut threaded = sharded_hashflow(4, 128);
-        let timings = timed.lane_timings(trace.packets());
+        let timings = timed.record_lane_timings(trace.packets());
         threaded.ingest(trace.packets());
         assert_eq!(timings.lanes.len(), 4);
         assert_eq!(
@@ -1426,7 +1434,7 @@ mod tests {
         assert_eq!(timed.cost(), threaded.cost());
         // Single shard: no dispatch cost by construction.
         let mut one = sharded_hashflow(1, 64);
-        let t = one.lane_timings(trace.packets());
+        let t = one.record_lane_timings(trace.packets());
         assert_eq!(t.dispatch_ns, 0);
         assert_eq!(one.dispatch_hashes(), 0);
     }

@@ -12,6 +12,7 @@
 use hashflow_monitor::BackpressurePolicy;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The outcome of a policy-aware [`BatchQueue::offer`].
 ///
@@ -32,6 +33,19 @@ pub enum PushOutcome<T> {
     /// was full under [`BackpressurePolicy::DropNewest`] (and `Block`
     /// degrades to rejection on a closed queue).
     Rejected(Vec<T>),
+}
+
+/// The outcome of a bounded wait on [`BatchQueue::pop_deadline`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopOutcome<T> {
+    /// A batch was dequeued before the deadline.
+    Batch(Vec<T>),
+    /// The wait elapsed with the queue still open and empty. The consumer
+    /// should run its periodic work (timer checks, command drains) and
+    /// call again.
+    TimedOut,
+    /// The queue is closed *and* drained — no batch will ever arrive.
+    Closed,
 }
 
 /// A bounded blocking queue of `Vec<T>` batches with explicit shutdown.
@@ -139,6 +153,35 @@ impl<T> BatchQueue<T> {
                 return None;
             }
             state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Bounded-wait [`Self::pop`]: dequeues the next batch, waiting at
+    /// most `timeout`. This is the loop primitive for a consumer that
+    /// must interleave queue service with wall-clock work (an epoch
+    /// timer, a command channel): it blocks while idle yet is guaranteed
+    /// to return by the deadline even if no producer ever shows up.
+    pub fn pop_deadline(&self, timeout: Duration) -> PopOutcome<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return PopOutcome::Batch(batch);
+            }
+            if state.closed {
+                return PopOutcome::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopOutcome::TimedOut;
+            }
+            let (next, _timed_out) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("queue mutex poisoned");
+            state = next;
         }
     }
 
@@ -378,6 +421,40 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
             assert_eq!(q.try_pop(), Some(vec![1]));
             assert_eq!(blocked.join().unwrap(), PushOutcome::Enqueued);
+        });
+    }
+
+    #[test]
+    fn pop_deadline_times_out_on_an_idle_queue() {
+        let q: BatchQueue<u8> = BatchQueue::new(1);
+        let started = std::time::Instant::now();
+        assert_eq!(
+            q.pop_deadline(Duration::from_millis(20)),
+            PopOutcome::TimedOut
+        );
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pop_deadline_returns_batches_then_closed() {
+        let q = BatchQueue::new(2);
+        assert!(q.push(vec![1u8]));
+        q.close();
+        assert_eq!(
+            q.pop_deadline(Duration::from_secs(1)),
+            PopOutcome::Batch(vec![1])
+        );
+        assert_eq!(q.pop_deadline(Duration::from_secs(1)), PopOutcome::Closed);
+    }
+
+    #[test]
+    fn pop_deadline_wakes_on_a_concurrent_push() {
+        let q = BatchQueue::new(1);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.pop_deadline(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(q.push(vec![9u8]));
+            assert_eq!(waiter.join().unwrap(), PopOutcome::Batch(vec![9]));
         });
     }
 

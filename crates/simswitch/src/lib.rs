@@ -188,7 +188,8 @@ impl SoftwareSwitch {
     ///
     /// Two kinds of passes over the trace:
     ///
-    /// 1. **serial lane passes** ([`ShardedMonitor::lane_timings`], run
+    /// 1. **serial lane passes** ([`ShardedMonitor::record_lane_timings`],
+    ///    run
     ///    [`LANE_TRIALS`] times, component-wise minimum) time the
     ///    dispatcher and each shard without thread contention — the
     ///    critical path (`dispatch + slowest lane`) is the modeled wall
@@ -205,13 +206,10 @@ impl SoftwareSwitch {
         trace: &Trace,
     ) -> ShardedReplayReport {
         // Serial lane passes: min over trials rejects preemption noise.
-        // (lane_timings is the deprecated measurement shim; the modeled
-        // throughput here is exactly the exhibit it is retained for.)
         let mut timings: Option<hashflow_shard::LaneTimings> = None;
         for _ in 0..LANE_TRIALS {
             monitor.reset();
-            #[allow(deprecated)]
-            let t = monitor.lane_timings(trace.packets());
+            let t = monitor.record_lane_timings(trace.packets());
             timings = Some(match timings {
                 None => t,
                 Some(best) => t.min_with(&best),
