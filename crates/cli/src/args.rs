@@ -66,7 +66,8 @@ commands:
   serve                     run the collector as a long-lived daemon with
                             live UDP ingest and a concurrent HTTP query API
                             (GET /epochs, /epochs/{n}/top, /queries,
-                            /metrics, /healthz; POST /queries, /shutdown)
+                            /metrics, /healthz, /debug/*; POST /queries,
+                            /shutdown)
       --http <addr>         HTTP bind address           [default: 127.0.0.1:8640]
                             use port 0 for an ephemeral port (see --addr-file)
       --udp <addr>          UDP ingest bind address (HFW1 datagrams);
@@ -88,6 +89,13 @@ commands:
       --addr-file <file>    write the bound HTTP address (line 1) and UDP
                             address (line 2, if any) for scripts using
                             ephemeral ports
+      --trace-sample-one-in <N>
+                            flow-path tracing: deterministically trace
+                            1-in-N flows by key hash (0 disables tracing)
+                                                        [default: 1024]
+      --dump-path <file>    append flight-recorder JSONL dumps here on
+                            fault transitions (sink quarantine, shard
+                            panic)
   query <capture.pcap>      run a declarative telemetry query over a capture
       --plan <string>       pipeline of the form        (required)
                             'filter proto=6 | map dst | distinct src |
@@ -305,6 +313,10 @@ pub enum Command {
         seed: u64,
         /// File receiving the bound addresses, for ephemeral ports.
         addr_file: Option<String>,
+        /// Flow-path tracing rate: trace 1-in-N flows (`None` = off).
+        trace_sample_one_in: Option<u64>,
+        /// File receiving flight-recorder dumps on fault transitions.
+        dump_path: Option<String>,
     },
     /// Print utilization-model predictions.
     Model {
@@ -523,6 +535,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 "duration-ms",
                 "seed",
                 "addr-file",
+                "trace-sample-one-in",
+                "dump-path",
             ])?;
             if let Some(extra) = opts.positional.first() {
                 return Err(ArgError::new(format!(
@@ -582,6 +596,12 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 },
                 seed: opts.parse_or("seed", 0xC0FFEE)?,
                 addr_file: opts.get("addr-file").map(String::from),
+                // 0 switches tracing off; anything else is the 1-in-N rate.
+                trace_sample_one_in: match opts.parse_or("trace-sample-one-in", 1024u64)? {
+                    0 => None,
+                    n => Some(n),
+                },
+                dump_path: opts.get("dump-path").map(String::from),
             }
         }
         "model" => {
@@ -937,6 +957,8 @@ mod tests {
                 pps,
                 duration_ms,
                 addr_file,
+                trace_sample_one_in,
+                dump_path,
                 ..
             } => {
                 assert_eq!(algorithm, AlgorithmKind::HashFlow);
@@ -953,6 +975,9 @@ mod tests {
                 assert_eq!(pps, None);
                 assert_eq!(duration_ms, None);
                 assert_eq!(addr_file, None);
+                // Tracing is on by default at the library's 1-in-1024 rate.
+                assert_eq!(trace_sample_one_in, Some(1_024));
+                assert_eq!(dump_path, None);
             }
             other => panic!("{other:?}"),
         }
@@ -972,6 +997,10 @@ mod tests {
             "50000",
             "--duration-ms",
             "250",
+            "--trace-sample-one-in",
+            "64",
+            "--dump-path",
+            "crash.jsonl",
         ]
         .into_iter()
         .map(String::from)
@@ -983,6 +1012,8 @@ mod tests {
                 replay,
                 pps,
                 duration_ms,
+                trace_sample_one_in,
+                dump_path,
                 ..
             } => {
                 assert_eq!(udp.as_deref(), Some("127.0.0.1:0"));
@@ -990,7 +1021,20 @@ mod tests {
                 assert_eq!(replay.as_deref(), Some("t.pcap"));
                 assert_eq!(pps, Some(50_000));
                 assert_eq!(duration_ms, Some(250));
+                assert_eq!(trace_sample_one_in, Some(64));
+                assert_eq!(dump_path.as_deref(), Some("crash.jsonl"));
             }
+            other => panic!("{other:?}"),
+        }
+        // --trace-sample-one-in 0 switches flow tracing off entirely.
+        match parse(&argv("serve --trace-sample-one-in 0"))
+            .unwrap()
+            .command
+        {
+            Command::Serve {
+                trace_sample_one_in,
+                ..
+            } => assert_eq!(trace_sample_one_in, None),
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("serve --epoch-ms 0")).is_err());

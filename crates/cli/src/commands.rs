@@ -159,6 +159,8 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             duration_ms,
             seed,
             addr_file,
+            trace_sample_one_in,
+            dump_path,
         } => serve(&ServeSpec {
             algorithm: *algorithm,
             memory_kib: *memory_kib,
@@ -175,6 +177,8 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             duration_ms: *duration_ms,
             seed: *seed,
             addr_file: addr_file.clone(),
+            trace_sample_one_in: *trace_sample_one_in,
+            dump_path: dump_path.clone(),
         }),
         Command::Model { load, depth, alpha } => {
             let mut out = String::new();
@@ -221,6 +225,8 @@ struct ServeSpec {
     duration_ms: Option<u64>,
     seed: u64,
     addr_file: Option<String>,
+    trace_sample_one_in: Option<u64>,
+    dump_path: Option<String>,
 }
 
 /// Boots the daemon, optionally replays a capture into it, waits for
@@ -239,6 +245,8 @@ fn serve(spec: &ServeSpec) -> Result<String, Box<dyn Error>> {
         http_workers: spec.workers,
         ingest_capacity: spec.queue_batches,
         queries: spec.queries.clone(),
+        trace_sampling: spec.trace_sample_one_in,
+        dump_path: spec.dump_path.clone(),
         ..ServerConfig::default()
     })?;
     // Scripts binding port 0 learn the real addresses from this file.

@@ -4,9 +4,10 @@
 use crate::registry::{AlgorithmKind, MonitorBuilder};
 use hashflow_monitor::{
     BackpressurePolicy, CostSnapshot, DropStats, EpochReport, EpochRotator, EpochSnapshot,
-    FlowMonitor, HealthPolicy, MemoryBudget, PipelineMetrics, RecordSink, SinkErrors, SinkStatus,
+    FlowMonitor, FlowTracer, HealthPolicy, IntrospectMetric, MemoryBudget, PipelineMetrics,
+    RecordSink, SinkErrors, SinkStatus,
 };
-use hashflow_obs::{MetricsRegistry, MetricsSnapshot};
+use hashflow_obs::{FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use hashflow_query::{QueryId, QueryMonitor, QueryPlan, QueryResult};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::io;
@@ -60,6 +61,8 @@ impl Collector {
             answer_limit: None,
             retention: None,
             sink_health: None,
+            recorder: None,
+            tracer: None,
         }
     }
 
@@ -84,7 +87,32 @@ impl Collector {
         self.rotator.inner_mut().set_metrics(registry);
         self.rotator
             .set_metrics(PipelineMetrics::register(registry));
+        // Sealed introspection exports as gauges at every rotation.
+        self.rotator.set_introspection_registry(registry.clone());
         self.metrics = Some(registry.clone());
+    }
+
+    /// Attaches a flight recorder to the rotation and sink layers: epoch
+    /// seals, rotation gaps and sink retry/degrade/quarantine/recover
+    /// transitions record structured events, and quarantine entry dumps
+    /// the recent window (see [`FlightRecorder`]). The monitor layer's
+    /// recorder (shard panics, shed batches) attaches at build time via
+    /// [`CollectorBuilder::with_recorder`].
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.rotator.set_recorder(recorder);
+    }
+
+    /// The flight recorder attached to the rotation layer, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.rotator.recorder()
+    }
+
+    /// Attaches a sampled flow tracer to the rotation layer: sampled
+    /// flows record `epoch_seal` and `export` spans at every rotation.
+    /// Monitor-layer spans (placement stages, dispatch) attach at build
+    /// time via [`CollectorBuilder::with_tracer`].
+    pub fn set_tracer(&mut self, tracer: FlowTracer) {
+        self.rotator.set_tracer(tracer);
     }
 
     /// The attached metrics registry, if any.
@@ -279,6 +307,12 @@ impl FlowMonitor for Collector {
         self.rotator.faults()
     }
 
+    /// Live-state introspection of the wrapped monitor (the sealed
+    /// per-epoch report travels in each [`EpochSnapshot`]).
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        self.rotator.introspection()
+    }
+
     fn reset(&mut self) {
         self.rotator.reset();
     }
@@ -299,6 +333,8 @@ pub struct CollectorBuilder {
     answer_limit: Option<(usize, BackpressurePolicy)>,
     retention: Option<(usize, BackpressurePolicy)>,
     sink_health: Option<HealthPolicy>,
+    recorder: Option<FlightRecorder>,
+    tracer: Option<FlowTracer>,
 }
 
 impl CollectorBuilder {
@@ -396,6 +432,28 @@ impl CollectorBuilder {
         self
     }
 
+    /// Attaches a flight recorder to **every** pipeline layer: the
+    /// monitor layer records shard panics and shed batches (with an
+    /// automatic window dump on panic), the rotation layer records epoch
+    /// seals and rotation gaps, and the sink layer records its
+    /// retry/degrade/quarantine/recover transitions (quarantine entry
+    /// also dumps).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a sampled flow tracer to every pipeline layer: sampled
+    /// flows record placement-stage spans in the monitor (HashFlow),
+    /// `dispatch` spans in the sharded merge layer, and
+    /// `epoch_seal`/`export` spans at rotation.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: FlowTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the pipeline.
     ///
     /// # Errors
@@ -406,9 +464,21 @@ impl CollectorBuilder {
         if let Some(registry) = &self.metrics {
             monitor = monitor.metrics(registry.clone());
         }
+        if let Some(tracer) = &self.tracer {
+            monitor = monitor.tracer(tracer.clone());
+        }
+        if let Some(recorder) = &self.recorder {
+            monitor = monitor.recorder(recorder.clone());
+        }
         let mut collector = Collector::from_monitor(monitor.build()?, self.epoch_len_ns);
         if let Some(registry) = &self.metrics {
             collector.set_metrics(registry);
+        }
+        if let Some(recorder) = self.recorder {
+            collector.set_recorder(recorder);
+        }
+        if let Some(tracer) = self.tracer {
+            collector.set_tracer(tracer);
         }
         if let Some((max_epochs, policy)) = self.answer_limit {
             collector

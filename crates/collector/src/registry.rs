@@ -4,8 +4,8 @@
 use elastic_sketch::ElasticSketch;
 use flowradar::FlowRadar;
 use hashflow_core::{HashFlow, HashFlowConfig};
-use hashflow_monitor::{FlowMonitor, MemoryBudget, MergeableMonitor};
-use hashflow_obs::MetricsRegistry;
+use hashflow_monitor::{FlowMonitor, FlowTracer, MemoryBudget, MergeableMonitor};
+use hashflow_obs::{FlightRecorder, MetricsRegistry};
 use hashflow_shard::ShardedMonitor;
 use hashflow_sketches::{BeauCoupMonitor, CountMinMonitor, ExactBaselineMonitor, FcmMonitor};
 use hashflow_types::ConfigError;
@@ -208,6 +208,8 @@ pub struct MonitorBuilder {
     sampling_n: u32,
     require_records: bool,
     metrics: Option<MetricsRegistry>,
+    tracer: Option<FlowTracer>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl MonitorBuilder {
@@ -221,6 +223,8 @@ impl MonitorBuilder {
             sampling_n: 1,
             require_records: false,
             metrics: None,
+            tracer: None,
+            recorder: None,
         }
     }
 
@@ -294,6 +298,24 @@ impl MonitorBuilder {
         self
     }
 
+    /// Attaches a sampled flow tracer. Monitors that emit per-stage
+    /// spans (HashFlow's placement stages, the sharded dispatcher) pick
+    /// it up at construction; the rest ignore it.
+    #[must_use]
+    pub fn tracer(mut self, tracer: FlowTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a flight recorder. The sharded merge layer records shard
+    /// panics (with an automatic window dump) and shed batches into it;
+    /// bare single-instance monitors are unaffected.
+    #[must_use]
+    pub fn recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     fn require_budget(&self) -> Result<MemoryBudget, ConfigError> {
         self.budget.ok_or_else(|| {
             ConfigError::new(format!(
@@ -312,7 +334,11 @@ impl MonitorBuilder {
     }
 
     fn build_hashflow(&self, budget: MemoryBudget) -> Result<HashFlow, ConfigError> {
-        HashFlow::new(self.hashflow_config(budget)?)
+        let mut monitor = HashFlow::new(self.hashflow_config(budget)?)?;
+        if let Some(tracer) = &self.tracer {
+            monitor.set_tracer(tracer.clone());
+        }
+        Ok(monitor)
     }
 
     fn build_flowradar(&self, budget: MemoryBudget) -> Result<FlowRadar, ConfigError> {
@@ -407,36 +433,30 @@ impl MonitorBuilder {
         budget: MemoryBudget,
     ) -> Result<Box<dyn FlowMonitor + Send>, ConfigError> {
         fn shard<M: MergeableMonitor + Send + 'static>(
-            shards: usize,
+            builder: &MonitorBuilder,
             budget: MemoryBudget,
-            metrics: Option<&MetricsRegistry>,
             build: impl FnMut(usize, MemoryBudget) -> Result<M, ConfigError>,
         ) -> Result<Box<dyn FlowMonitor + Send>, ConfigError> {
-            let mut monitor = ShardedMonitor::with_budget(shards, budget, build)?;
-            if let Some(registry) = metrics {
+            let mut monitor = ShardedMonitor::with_budget(builder.shards, budget, build)?;
+            if let Some(registry) = &builder.metrics {
                 monitor.set_metrics(registry);
+            }
+            if let Some(tracer) = &builder.tracer {
+                monitor.set_tracer(tracer.clone());
+            }
+            if let Some(recorder) = &builder.recorder {
+                monitor.set_recorder(recorder.clone());
             }
             Ok(Box::new(monitor))
         }
-        let metrics = self.metrics.as_ref();
         match self.kind {
-            AlgorithmKind::HashFlow => {
-                shard(self.shards, budget, metrics, |_, b| self.build_hashflow(b))
-            }
-            AlgorithmKind::FlowRadar => {
-                shard(self.shards, budget, metrics, |_, b| self.build_flowradar(b))
-            }
-            AlgorithmKind::NetFlow => {
-                shard(self.shards, budget, metrics, |_, b| self.build_netflow(b))
-            }
-            AlgorithmKind::CountMin => {
-                shard(self.shards, budget, metrics, |_, b| self.build_countmin(b))
-            }
-            AlgorithmKind::Fcm => shard(self.shards, budget, metrics, |_, b| self.build_fcm(b)),
-            AlgorithmKind::BeauCoup => {
-                shard(self.shards, budget, metrics, |_, b| self.build_beaucoup(b))
-            }
-            AlgorithmKind::Exact => shard(self.shards, budget, metrics, |_, b| match self.seed {
+            AlgorithmKind::HashFlow => shard(self, budget, |_, b| self.build_hashflow(b)),
+            AlgorithmKind::FlowRadar => shard(self, budget, |_, b| self.build_flowradar(b)),
+            AlgorithmKind::NetFlow => shard(self, budget, |_, b| self.build_netflow(b)),
+            AlgorithmKind::CountMin => shard(self, budget, |_, b| self.build_countmin(b)),
+            AlgorithmKind::Fcm => shard(self, budget, |_, b| self.build_fcm(b)),
+            AlgorithmKind::BeauCoup => shard(self, budget, |_, b| self.build_beaucoup(b)),
+            AlgorithmKind::Exact => shard(self, budget, |_, b| match self.seed {
                 Some(seed) => ExactBaselineMonitor::with_memory_seeded(b, seed),
                 None => ExactBaselineMonitor::with_memory(b),
             }),

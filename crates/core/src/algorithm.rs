@@ -2,7 +2,10 @@ use crate::ancillary::AncillaryTable;
 use crate::config::HashFlowConfig;
 use crate::scheme::{MainTable, OpCount, ProbeOutcome};
 use hashflow_hashing::{compute_lanes, HashLanes};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, FlowTracer, IntrospectMetric, MemoryBudget,
+    MergeableMonitor, MonitorIntrospect,
+};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 
 /// How many packets ahead of the update cursor the batched path issues
@@ -55,6 +58,11 @@ pub struct HashFlow {
     // Reusable hash-lane scratch for `process_batch`; carries no
     // observable state (cleared and refilled per batch).
     lanes: HashLanes,
+    /// Optional sampled flow-path tracer: packets of sampled flows emit a
+    /// span naming the Algorithm 1 stage they landed in (`main_insert`,
+    /// `main_hit`, `ancillary`, `promotion`). Measurement state is
+    /// unaffected; the scalar and batched paths emit identical spans.
+    tracer: Option<FlowTracer>,
 }
 
 impl HashFlow {
@@ -78,6 +86,7 @@ impl HashFlow {
             promotions: 0,
             ancillary_replacements: 0,
             lanes: HashLanes::default(),
+            tracer: None,
         })
     }
 
@@ -109,6 +118,25 @@ impl HashFlow {
     /// Number of ancillary-table replacements (evicted summaries) so far.
     pub const fn ancillary_replacements(&self) -> u64 {
         self.ancillary_replacements
+    }
+
+    /// Attaches a sampled flow-path tracer: from here on every packet of
+    /// a sampled flow records which Algorithm 1 stage it landed in.
+    pub fn set_tracer(&mut self, tracer: FlowTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Whether `key` is in the attached tracer's sampled set (false with
+    /// no tracer).
+    fn is_traced(&self, key: &FlowKey) -> bool {
+        self.tracer.as_ref().is_some_and(|t| t.is_sampled(key))
+    }
+
+    /// Records one stage span for an already-sampled flow.
+    fn trace_stage(&self, key: &FlowKey, stage: &'static str, count: u32) {
+        if let Some(t) = &self.tracer {
+            t.span(key, stage, format!("count {count}"));
+        }
     }
 
     /// Read-only view of the main table.
@@ -145,6 +173,7 @@ impl HashFlow {
         digest: u32,
         sentinel: usize,
         min_count: u32,
+        traced: bool,
     ) {
         match self.ancillary.count_if_match(slot, digest) {
             None => {
@@ -152,11 +181,17 @@ impl HashFlow {
                     self.ancillary_replacements += 1;
                 }
                 self.ancillary.store(slot, digest);
+                if traced {
+                    self.trace_stage(&key, "ancillary", 1);
+                }
             }
             Some(count)
                 if u64::from(count) < u64::from(min_count).min(self.ancillary.max_count()) =>
             {
-                self.ancillary.increment(slot);
+                let new = self.ancillary.increment(slot);
+                if traced {
+                    self.trace_stage(&key, "ancillary", new);
+                }
             }
             Some(count) => {
                 if self.config.promotion_enabled() {
@@ -166,9 +201,15 @@ impl HashFlow {
                     // evicting the sentinel record.
                     self.main.replace(sentinel, key, count.saturating_add(1));
                     self.promotions += 1;
+                    if traced {
+                        self.trace_stage(&key, "promotion", count.saturating_add(1));
+                    }
                 } else {
                     // Ablation: keep counting in place, saturating.
-                    self.ancillary.increment(slot);
+                    let new = self.ancillary.increment(slot);
+                    if traced {
+                        self.trace_stage(&key, "ancillary", new);
+                    }
                 }
             }
         }
@@ -185,8 +226,20 @@ impl FlowMonitor for HashFlow {
         self.cost.record_hashes(ops.hashes);
         self.cost.record_reads(ops.reads);
         self.cost.record_writes(ops.writes);
+        let traced = self.is_traced(&key);
         let (sentinel, min_count) = match outcome {
-            ProbeOutcome::Inserted | ProbeOutcome::Incremented(_) => return,
+            ProbeOutcome::Inserted => {
+                if traced {
+                    self.trace_stage(&key, "main_insert", 1);
+                }
+                return;
+            }
+            ProbeOutcome::Incremented(count) => {
+                if traced {
+                    self.trace_stage(&key, "main_hit", count);
+                }
+                return;
+            }
             ProbeOutcome::Collision {
                 sentinel,
                 min_count,
@@ -199,7 +252,7 @@ impl FlowMonitor for HashFlow {
         let (slot, digest) = self.ancillary_coords(&key);
         self.cost.record_hashes(1);
         self.cost.record_reads(1);
-        self.ancillary_update(key, slot, digest, sentinel, min_count);
+        self.ancillary_update(key, slot, digest, sentinel, min_count, traced);
         self.cost.record_writes(1);
     }
 
@@ -241,19 +294,31 @@ impl FlowMonitor for HashFlow {
             let row = lanes.row(i);
             let (outcome, probe_ops) = self.main.probe_prehashed(&key, &row[..depth]);
             ops += probe_ops;
-            if let ProbeOutcome::Collision {
-                sentinel,
-                min_count,
-            } = outcome
-            {
-                let slot = self.ancillary.slot_from_hash(row[depth]);
-                let digest = self.ancillary.digest_of(row[0]);
-                self.ancillary_update(key, slot, digest, sentinel, min_count);
-                ops += OpCount {
-                    hashes: 1,
-                    reads: 1,
-                    writes: 1,
-                };
+            let traced = self.is_traced(&key);
+            match outcome {
+                ProbeOutcome::Inserted => {
+                    if traced {
+                        self.trace_stage(&key, "main_insert", 1);
+                    }
+                }
+                ProbeOutcome::Incremented(count) => {
+                    if traced {
+                        self.trace_stage(&key, "main_hit", count);
+                    }
+                }
+                ProbeOutcome::Collision {
+                    sentinel,
+                    min_count,
+                } => {
+                    let slot = self.ancillary.slot_from_hash(row[depth]);
+                    let digest = self.ancillary.digest_of(row[0]);
+                    self.ancillary_update(key, slot, digest, sentinel, min_count, traced);
+                    ops += OpCount {
+                        hashes: 1,
+                        reads: 1,
+                        writes: 1,
+                    };
+                }
             }
         }
         self.cost.absorb(&CostSnapshot {
@@ -308,6 +373,27 @@ impl FlowMonitor for HashFlow {
         self.cost.reset();
         self.promotions = 0;
         self.ancillary_replacements = 0;
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for HashFlow {
+    /// Saturation of Algorithm 1's two tables plus its inter-stage
+    /// traffic: the main-table load factor the §III-B model predicts, the
+    /// ancillary load factor, promotions (phase 3 firing) and
+    /// digest-collision evictions (ancillary summaries overwritten by a
+    /// different digest).
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let ancillary_load = self.ancillary.occupied() as f64 / self.ancillary.len().max(1) as f64;
+        vec![
+            IntrospectMetric::ratio("main_table_load", self.main_table_utilization()),
+            IntrospectMetric::ratio("ancillary_load", ancillary_load),
+            IntrospectMetric::count("promotions", self.promotions),
+            IntrospectMetric::count("digest_collisions", self.ancillary_replacements),
+        ]
     }
 }
 

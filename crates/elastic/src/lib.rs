@@ -38,7 +38,9 @@ mod basic;
 pub use basic::BasicElasticSketch;
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MonitorIntrospect,
+};
 use hashflow_primitives::{linear_counting_estimate, CountMinSketch};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, FLOW_KEY_BITS};
 
@@ -321,6 +323,41 @@ impl FlowMonitor for ElasticSketch {
         }
         self.light.reset();
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for ElasticSketch {
+    /// Per-sub-table heavy occupancy, the fraction of heavy buckets whose
+    /// flag marks light-part spillover (the §II record-splitting signal),
+    /// and the light part's counter occupancy.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let mut metrics = Vec::with_capacity(self.heavy.len() + 2);
+        let mut flagged = 0usize;
+        for (i, table) in self.heavy.iter().enumerate() {
+            let filled = table.iter().filter(|b| !b.is_empty()).count();
+            flagged += table.iter().filter(|b| !b.is_empty() && b.flag).count();
+            metrics.push(IntrospectMetric::ratio(
+                format!("es_heavy{i}_load"),
+                filled as f64 / self.heavy_cells_per_table as f64,
+            ));
+        }
+        let occupied = self.heavy_occupied();
+        let flagged_ratio = if occupied == 0 {
+            0.0
+        } else {
+            flagged as f64 / occupied as f64
+        };
+        metrics.push(IntrospectMetric::ratio("es_flagged_buckets", flagged_ratio));
+        let light_cols = self.light.cols();
+        metrics.push(IntrospectMetric::ratio(
+            "es_light_occupancy",
+            (light_cols - self.light.first_row_zeros()) as f64 / light_cols.max(1) as f64,
+        ));
+        metrics
     }
 }
 

@@ -29,6 +29,7 @@ fn main() {
         ("scaling_shards", figs::scaling_shards::run),
         ("hotpath", figs::hotpath::run),
         ("obs_overhead", figs::obs_overhead::run),
+        ("trace_overhead", figs::trace_overhead::run),
         ("query", figs::query::run),
         ("queryapps", figs::queryapps::run),
         ("equal_memory", figs::equal_memory::run),

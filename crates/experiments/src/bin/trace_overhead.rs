@@ -1,0 +1,45 @@
+//! Regenerates the `trace_overhead` exhibit (beyond the paper: what the
+//! flight recorder plus 1-in-1024 flow tracing cost on the hot path) and
+//! fails the process when any path drops below the smoke floor — the CI
+//! regression gate. See `experiments::figs::trace_overhead`.
+use experiments::output::Cell;
+use experiments::{figs, output, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!(
+        "running trace_overhead (scale {}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
+    let tables = figs::trace_overhead::run(&cfg);
+    output::emit(&tables, &cfg.out_dir);
+    // Extend the repository-level perf trajectory next to the sources.
+    let emitted = cfg.out_dir.join("BENCH_trace.json");
+    match std::fs::copy(&emitted, "BENCH_trace.json") {
+        Ok(_) => println!("   -> BENCH_trace.json"),
+        Err(e) => eprintln!("   !! failed to copy {}: {e}", emitted.display()),
+    }
+
+    // Regression gate: every path must keep at least SMOKE_FLOOR of its
+    // bare throughput with the recorder and tracer attached.
+    let mut worst = f64::INFINITY;
+    for row in tables[0].rows() {
+        if let Cell::Float(ratio) = &row[7] {
+            worst = worst.min(*ratio);
+        }
+    }
+    if worst < figs::trace_overhead::SMOKE_FLOOR {
+        eprintln!(
+            "trace overhead regression: worst traced/bare ratio {:.3} \
+             below floor {:.2}",
+            worst,
+            figs::trace_overhead::SMOKE_FLOOR
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "worst traced/bare ratio {:.3} (floor {:.2})",
+        worst,
+        figs::trace_overhead::SMOKE_FLOOR
+    );
+}

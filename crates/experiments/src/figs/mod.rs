@@ -25,3 +25,4 @@ pub mod queryapps;
 pub mod scaling_shards;
 pub mod server_load;
 pub mod table01_traces;
+pub mod trace_overhead;

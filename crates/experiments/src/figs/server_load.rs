@@ -27,6 +27,7 @@
 
 use crate::output::{Cell, Table};
 use crate::RunConfig;
+use hashflow_obs::Histogram;
 use hashflow_server::{client, ReplayPace, Server, ServerConfig};
 use hashflow_trace::{TraceGenerator, TraceProfile};
 use std::fmt::Write as _;
@@ -97,10 +98,13 @@ pub struct ServerLoadRow {
 pub const READER_THINK: Duration = Duration::from_millis(1);
 
 /// One reader thread's share of the query load: rotate the read-side
-/// endpoints until told to stop, timing every request.
-fn run_reader(addr: SocketAddr, stop: Arc<AtomicBool>) -> Vec<f64> {
+/// endpoints until told to stop, recording every request's latency (µs)
+/// into the shared log2 [`Histogram`] — the same structure the daemon
+/// itself uses for its per-route latency metrics, so the exhibit's
+/// percentiles come from [`Histogram::value_at_quantile`] instead of a
+/// private sort-and-index implementation.
+fn run_reader(addr: SocketAddr, stop: Arc<AtomicBool>, latency: Histogram) {
     let paths = ["/epochs", "/healthz", "/queries"];
-    let mut samples = Vec::new();
     let mut i = 0usize;
     while !stop.load(Ordering::Relaxed) {
         // Interleave a top-k against whatever epoch is currently the
@@ -122,12 +126,11 @@ fn run_reader(addr: SocketAddr, stop: Arc<AtomicBool>) -> Vec<f64> {
         };
         let start = Instant::now();
         if client::get(addr, path).is_ok() {
-            samples.push(start.elapsed().as_secs_f64() * 1e6);
+            latency.observe(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         }
         i += 1;
         std::thread::sleep(READER_THINK);
     }
-    samples
 }
 
 /// Pulls the first `"epoch":N` out of an `/epochs` response without a
@@ -139,14 +142,6 @@ fn extract_first_epoch(body: &str) -> Option<u64> {
         .take_while(char::is_ascii_digit)
         .collect();
     digits.parse().ok()
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Boots a daemon, replays `packets` paced at [`PACE_PPS`] under
@@ -163,10 +158,12 @@ fn measure(readers: usize, flows: usize, packets: &[hashflow_types::Packet]) -> 
     .expect("server boots on ephemeral loopback port");
     let addr = server.http_addr();
     let stop = Arc::new(AtomicBool::new(false));
+    let latency = Histogram::new();
     let reader_handles: Vec<_> = (0..readers)
         .map(|_| {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || run_reader(addr, stop))
+            let latency = latency.clone();
+            std::thread::spawn(move || run_reader(addr, stop, latency))
         })
         .collect();
 
@@ -183,11 +180,10 @@ fn measure(readers: usize, flows: usize, packets: &[hashflow_types::Packet]) -> 
 
     let healthz_ok = matches!(client::get(addr, "/healthz"), Ok((200, _)));
     stop.store(true, Ordering::Relaxed);
-    let mut samples: Vec<f64> = reader_handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("reader thread panicked"))
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    for h in reader_handles {
+        h.join().expect("reader thread panicked");
+    }
+    let quantile_us = |q: f64| latency.value_at_quantile(q).unwrap_or(0) as f64;
 
     let report = server.shutdown();
     let elapsed = report
@@ -208,10 +204,10 @@ fn measure(readers: usize, flows: usize, packets: &[hashflow_types::Packet]) -> 
         } else {
             0.0
         },
-        requests: samples.len() as u64,
-        p50_us: percentile(&samples, 0.50),
-        p99_us: percentile(&samples, 0.99),
-        max_us: percentile(&samples, 1.0),
+        requests: latency.count(),
+        p50_us: quantile_us(0.50),
+        p99_us: quantile_us(0.99),
+        max_us: quantile_us(1.0),
         healthz_ok,
         conserved: report.conserved(),
     }
@@ -352,15 +348,6 @@ mod tests {
         assert!(json.contains("\"exhibit\": \"server_load\""));
         assert!(!json.contains("\"conserved\": false"));
         assert!(!json.contains("\"healthz_ok\": false"));
-    }
-
-    #[test]
-    fn percentile_handles_edges() {
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[3.0], 0.99), 3.0);
-        let sorted = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&sorted, 0.0), 1.0);
-        assert_eq!(percentile(&sorted, 1.0), 4.0);
     }
 
     #[test]

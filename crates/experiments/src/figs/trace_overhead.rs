@@ -1,0 +1,318 @@
+//! Beyond the paper: what the flight recorder and sampled flow-path
+//! tracing cost on the hot path.
+//!
+//! The observability PR threads a [`FlightRecorder`] (bounded structured
+//! event ring) and a [`FlowTracer`] (deterministic 1-in-N flow sampling
+//! recording placement/dispatch/seal spans) through every pipeline
+//! stage. The design claim is that diagnostics a collector can leave on
+//! in production must be nearly free at the default sampling rate: the
+//! unsampled-packet cost is one key hash and a branch, and the sampled
+//! 1-in-[`SAMPLING`] minority pays a ring append. This exhibit measures
+//! that claim directly: the same monitor, the same CAIDA trace, the same
+//! production-tier budget, replayed bare and then with a recorder plus
+//! tracer attached.
+//!
+//! Three ingest paths, mirroring the `obs_overhead` exhibit (the two
+//! overhead gates compose — a deployment runs both layers):
+//!
+//! * `scalar` — one packet at a time through the full collector
+//!   pipeline; spans come from the HashFlow placement stages.
+//! * `batched` — the batched hot path.
+//! * `sharded4` — a 4-shard [`ShardedMonitor`] on the threaded ingest
+//!   path, where the dispatcher adds a per-packet sampling check and
+//!   shed/panic events ride the recorder.
+//!
+//! Every instrumented run also proves the tracer was actually live: the
+//! recorder must hold events when the replay ends (a "free" tracer that
+//! recorded nothing would be measuring a no-op).
+//!
+//! The run writes `BENCH_trace.json` (the `trace_overhead` binary copies
+//! it to the working directory and fails below [`SMOKE_FLOOR`]); the
+//! committed copy carries the release-mode claim that every path keeps
+//! at least 95% of its bare throughput at the production tier with
+//! 1-in-1024 sampling.
+
+use crate::output::{Cell, Table};
+use crate::{setup, RunConfig};
+use hashflow_collector::{AlgorithmKind, Collector};
+use hashflow_core::HashFlow;
+use hashflow_monitor::{FlowMonitor, FlowTracer, MemoryBudget, DEFAULT_TRACE_SAMPLING};
+use hashflow_obs::FlightRecorder;
+use hashflow_shard::ShardedMonitor;
+use hashflow_trace::{Trace, TraceProfile};
+use simswitch::SoftwareSwitch;
+use std::fmt::Write as _;
+
+/// Wall-clock repetitions per path; the fastest is kept. Bare and traced
+/// replays interleave within one trial loop so transient machine noise
+/// lands on both sides of the ratio instead of biasing whichever side
+/// ran later.
+pub const TRIALS: usize = 7;
+
+/// Shard count on the threaded path.
+pub const SHARDS: usize = 4;
+
+/// Flow-sampling rate under test: the production default (1-in-1024).
+pub const SAMPLING: u64 = DEFAULT_TRACE_SAMPLING;
+
+/// Floor on `traced / bare` enforced by the `trace_overhead` binary (and
+/// the CI smoke run): above 10% overhead the process exits non-zero.
+/// Deliberately looser than the <= 5% claim because scaled-down smoke
+/// traces finish in microseconds, where timer noise dwarfs the real
+/// cost; the claim itself is carried by the committed full-scale
+/// `BENCH_trace.json`.
+pub const SMOKE_FLOOR: f64 = 0.90;
+
+/// One bare-vs-traced measurement on a single ingest path.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Ingest path (`scalar`, `batched`, or `sharded4`).
+    pub path: &'static str,
+    /// Memory budget in bytes.
+    pub budget_bytes: usize,
+    /// Distinct flows in the trace.
+    pub flows: usize,
+    /// Packets replayed per trial.
+    pub packets: u64,
+    /// Throughput with no recorder/tracer (Kpps, best of [`TRIALS`]).
+    pub bare_kpps: f64,
+    /// Throughput with recorder + 1-in-[`SAMPLING`] tracer attached
+    /// (Kpps, best of [`TRIALS`]).
+    pub traced_kpps: f64,
+    /// Events the recorder held when the traced replays finished
+    /// (proves the instrumentation was live).
+    pub events: u64,
+}
+
+impl TraceRow {
+    /// Traced over bare throughput; 1.0 = free, 0.95 = 5% tax.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.traced_kpps / self.bare_kpps
+    }
+}
+
+fn collector(budget: MemoryBudget, recorder: Option<&FlightRecorder>) -> Collector {
+    let mut builder = Collector::builder(AlgorithmKind::HashFlow).budget(budget);
+    if let Some(recorder) = recorder {
+        builder = builder
+            .with_recorder(recorder.clone())
+            .with_tracer(FlowTracer::new(recorder.clone(), SAMPLING));
+    }
+    builder.build().expect("exhibit budget fits HashFlow")
+}
+
+fn measure_pipeline(
+    path: &'static str,
+    batched: bool,
+    budget: MemoryBudget,
+    flows: usize,
+    trace: &Trace,
+) -> TraceRow {
+    let switch = SoftwareSwitch::default();
+    let mut bare = collector(budget, None);
+    let recorder = FlightRecorder::new();
+    let mut traced = collector(budget, Some(&recorder));
+
+    let mut bare_kpps = 0.0f64;
+    let mut traced_kpps = 0.0f64;
+    let mut packets = 0u64;
+    for _ in 0..TRIALS {
+        let (b, t) = if batched {
+            (
+                switch.replay(&mut bare, trace),
+                switch.replay(&mut traced, trace),
+            )
+        } else {
+            (
+                switch.replay_scalar(&mut bare, trace),
+                switch.replay_scalar(&mut traced, trace),
+            )
+        };
+        bare_kpps = bare_kpps.max(b.native_pps / 1e3);
+        traced_kpps = traced_kpps.max(t.native_pps / 1e3);
+        packets = b.packets;
+    }
+
+    // The instrumentation must have been live: sampled flows leave spans
+    // (and every seal leaves an epoch_sealed event) in the ring.
+    let events = recorder.last_seq();
+    assert!(events > 0, "{path}: traced run recorded no events");
+
+    TraceRow {
+        path,
+        budget_bytes: budget.bytes(),
+        flows,
+        packets,
+        bare_kpps,
+        traced_kpps,
+        events,
+    }
+}
+
+fn sharded(budget: MemoryBudget) -> ShardedMonitor<HashFlow> {
+    ShardedMonitor::with_budget(SHARDS, budget, |_, b| HashFlow::with_memory(b))
+        .expect("exhibit budget splits across shards")
+}
+
+/// One threaded-ingest pass; Kpps from the report's own wall clock.
+fn ingest_kpps(monitor: &mut ShardedMonitor<HashFlow>, trace: &Trace) -> f64 {
+    monitor.reset();
+    let report = monitor.ingest(trace.packets());
+    if report.elapsed_ns == 0 {
+        f64::INFINITY
+    } else {
+        trace.packets().len() as f64 * 1e6 / report.elapsed_ns as f64
+    }
+}
+
+fn measure_sharded(budget: MemoryBudget, flows: usize, trace: &Trace) -> TraceRow {
+    let mut bare = sharded(budget);
+    let recorder = FlightRecorder::new();
+    let mut traced = sharded(budget);
+    traced.set_recorder(recorder.clone());
+    traced.set_tracer(FlowTracer::new(recorder.clone(), SAMPLING));
+
+    let mut bare_kpps = 0.0f64;
+    let mut traced_kpps = 0.0f64;
+    for _ in 0..TRIALS {
+        bare_kpps = bare_kpps.max(ingest_kpps(&mut bare, trace));
+        traced_kpps = traced_kpps.max(ingest_kpps(&mut traced, trace));
+    }
+
+    // The dispatcher spans sampled flows; a trace with >= SAMPLING flows
+    // statistically always trips at least one (the CAIDA profile at any
+    // exhibit scale samples hundreds). Tolerate zero only when the trace
+    // is too small to expect a hit.
+    let events = recorder.last_seq();
+    assert!(
+        events > 0 || (flows as u64) < SAMPLING,
+        "sharded4: traced run recorded no events over {flows} flows"
+    );
+
+    TraceRow {
+        path: "sharded4",
+        budget_bytes: budget.bytes(),
+        flows,
+        packets: trace.packets().len() as u64,
+        bare_kpps,
+        traced_kpps,
+        events,
+    }
+}
+
+/// Runs the bare-vs-traced sweep on the CAIDA production tier.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let paper_budget = setup::standard_budget(cfg);
+    let budget =
+        MemoryBudget::from_bytes(paper_budget.bytes() * 8).expect("8x standard budget is positive");
+    let flows = cfg.scaled(800_000, 4_000);
+    let trace = setup::trace_for(cfg, TraceProfile::Caida, flows);
+
+    let rows = vec![
+        measure_pipeline("scalar", false, budget, flows, &trace),
+        measure_pipeline("batched", true, budget, flows, &trace),
+        measure_sharded(budget, flows, &trace),
+    ];
+
+    let mut table = Table::new(
+        "trace_overhead",
+        &[
+            "trace",
+            "path",
+            "budget_bytes",
+            "flows",
+            "packets",
+            "bare_kpps",
+            "traced_kpps",
+            "overhead_ratio",
+            "events",
+        ],
+    );
+    for row in &rows {
+        table.push_row(vec![
+            Cell::from("CAIDA"),
+            Cell::from(row.path),
+            Cell::Int(row.budget_bytes as i64),
+            Cell::Int(row.flows as i64),
+            Cell::Int(row.packets as i64),
+            Cell::Float(row.bare_kpps),
+            Cell::Float(row.traced_kpps),
+            Cell::Float(row.overhead_ratio()),
+            Cell::Int(row.events as i64),
+        ]);
+    }
+
+    let json = bench_json(&rows);
+    let path = cfg.out_dir.join("BENCH_trace.json");
+    if std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|()| std::fs::write(&path, &json))
+        .is_err()
+    {
+        eprintln!("   !! failed to write {}", path.display());
+    }
+
+    vec![table]
+}
+
+/// Renders the machine-readable summary (hand-rolled flat JSON, like the
+/// other `BENCH_*.json` emitters).
+fn bench_json(rows: &[TraceRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"exhibit\": \"trace_overhead\",");
+    let _ = writeln!(out, "  \"profile\": \"CAIDA\",");
+    let _ = writeln!(out, "  \"workload\": \"production\",");
+    let _ = writeln!(out, "  \"sampling_one_in\": {SAMPLING},");
+    let _ = writeln!(out, "  \"trials\": {TRIALS},");
+    let _ = writeln!(out, "  \"smoke_floor\": {SMOKE_FLOOR},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"path\": \"{}\", \"budget_bytes\": {}, \"flows\": {}, \"packets\": {}, \
+             \"bare_kpps\": {:.3}, \"traced_kpps\": {:.3}, \"overhead_ratio\": {:.4}, \
+             \"events\": {}}}{comma}",
+            r.path,
+            r.budget_bytes,
+            r.flows,
+            r.packets,
+            r.bare_kpps,
+            r.traced_kpps,
+            r.overhead_ratio(),
+            r.events,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_three_paths_and_emits_json() {
+        let cfg = RunConfig::for_tests(0.02);
+        let tables = run(&cfg);
+        assert_eq!(tables[0].len(), 3);
+        for row in tables[0].rows() {
+            if let Cell::Float(ratio) = &row[7] {
+                // The measurement (and its live-instrumentation asserts)
+                // must hold at any scale; the throughput claim itself
+                // belongs to the committed release-mode BENCH_trace.json.
+                assert!(*ratio > 0.0, "overhead ratio must be positive");
+            } else {
+                panic!("overhead_ratio column must be a float");
+            }
+        }
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_trace.json")).unwrap();
+        assert!(json.contains("\"exhibit\": \"trace_overhead\""));
+        assert!(json.contains("\"sampling_one_in\": 1024"));
+        assert!(json.contains("\"path\": \"scalar\""));
+        assert!(json.contains("\"path\": \"batched\""));
+        assert!(json.contains("\"path\": \"sharded4\""));
+        assert!(json.contains("overhead_ratio"));
+    }
+}

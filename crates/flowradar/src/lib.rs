@@ -34,7 +34,10 @@
 #![warn(missing_docs)]
 
 use hashflow_hashing::{fast_range, prefetch_read, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_primitives::BloomFilter;
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, FLOW_KEY_BITS};
 use std::cell::RefCell;
@@ -342,6 +345,33 @@ impl FlowMonitor for FlowRadar {
         self.cells.fill(CountingCell::default());
         self.cost.reset();
         self.decoded.borrow_mut().take();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for FlowRadar {
+    /// The peeling decode starts from pure cells (`FlowCount == 1`), so
+    /// the pure-cell ratio is the leading indicator of the decode cliff:
+    /// when it hits zero under load, no flow can be recovered.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let occupied = self.cells.iter().filter(|c| c.flow_count > 0).count();
+        let pure = self.cells.iter().filter(|c| c.flow_count == 1).count();
+        let pure_ratio = if occupied == 0 {
+            0.0
+        } else {
+            pure as f64 / occupied as f64
+        };
+        vec![
+            IntrospectMetric::ratio("fr_pure_cells", pure_ratio),
+            IntrospectMetric::ratio(
+                "fr_cell_occupancy",
+                occupied as f64 / self.cells.len() as f64,
+            ),
+            IntrospectMetric::ratio("fr_bloom_fill", self.bloom.fill_ratio()),
+        ]
     }
 }
 

@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MonitorIntrospect,
+};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 use std::collections::HashMap;
 
@@ -234,6 +236,42 @@ impl FlowMonitor for HashPipe {
             }
         }
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for HashPipe {
+    /// Per-stage occupancy (fragments, not distinct flows) plus the
+    /// fragmentation ratio — occupied cells per distinct flow, the §II
+    /// record-splitting pathology made directly observable.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let mut metrics = Vec::with_capacity(self.stages.len() + 2);
+        for (i, table) in self.stages.iter().enumerate() {
+            let filled = table.iter().filter(|r| r.count() > 0).count();
+            metrics.push(IntrospectMetric::ratio(
+                format!("hp_stage{i}_load"),
+                filled as f64 / self.cells_per_stage as f64,
+            ));
+        }
+        let occupied = self.occupied();
+        let flows = self.aggregate().len();
+        let fragmentation = if flows == 0 {
+            1.0
+        } else {
+            occupied as f64 / flows as f64
+        };
+        metrics.push(IntrospectMetric::count(
+            "hp_fragments_per_flow_ppm",
+            (fragmentation * 1e6).round() as u64,
+        ));
+        metrics.push(IntrospectMetric::count(
+            "hp_occupied_cells",
+            occupied as u64,
+        ));
+        metrics
     }
 }
 

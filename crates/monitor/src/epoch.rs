@@ -32,9 +32,11 @@
 //!    timestamps, which may extend before `base`.
 
 use crate::{
-    BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor, HealthPolicy,
-    PipelineMetrics, RecordSink, SinkErrors, SinkSet, SinkStatus, SCALAR_FLUSH_PACKETS,
+    merge_introspection, BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor,
+    FlowTracer, HealthPolicy, IntrospectMetric, PipelineMetrics, RecordSink, SinkErrors, SinkSet,
+    SinkStatus, SCALAR_FLUSH_PACKETS,
 };
+use hashflow_obs::{FlightRecorder, MetricsRegistry, Severity};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
 /// A completed measurement epoch: its records and bookkeeping.
@@ -56,6 +58,11 @@ pub struct EpochReport {
     /// (e.g. a shard worker panicked mid-epoch). Merges propagate the
     /// flag: a merged report is partial if any contributing shard was.
     pub partial: bool,
+    /// Structure-internal saturation report captured when the epoch was
+    /// sealed ([`crate::FlowMonitor::introspection`]); empty for monitors
+    /// without introspection. Merges fold per-shard reports
+    /// ([`merge_introspection`]).
+    pub introspection: Vec<IntrospectMetric>,
 }
 
 impl EpochReport {
@@ -73,7 +80,13 @@ impl EpochReport {
         let end_ns = reports.iter().filter_map(|r| r.end_ns).max();
         let cost = CostSnapshot::sum(reports.iter().map(|r| &r.cost));
         let partial = reports.iter().any(|r| r.partial);
-        let records = reports.into_iter().flat_map(|r| r.records).collect();
+        let mut shard_introspection = Vec::with_capacity(reports.len());
+        let mut records = Vec::new();
+        for r in reports {
+            shard_introspection.push(r.introspection);
+            records.extend(r.records);
+        }
+        let introspection = merge_introspection(&shard_introspection);
         EpochReport {
             epoch,
             start_ns,
@@ -82,6 +95,7 @@ impl EpochReport {
             cardinality,
             cost,
             partial,
+            introspection,
         }
     }
 
@@ -99,6 +113,7 @@ impl EpochReport {
             self.cost,
         )
         .with_partial(self.partial)
+        .with_introspection(self.introspection)
     }
 }
 
@@ -142,6 +157,11 @@ pub struct EpochRotator<M> {
     retention_drops: DropStats,
     sinks: SinkSet,
     metrics: Option<PipelineMetrics>,
+    recorder: Option<FlightRecorder>,
+    tracer: Option<FlowTracer>,
+    /// Registry the sealed introspection report is exported into as
+    /// gauges at each rotation (one gauge per metric name).
+    introspect_registry: Option<MetricsRegistry>,
     // Packet/byte counts accumulated locally and flushed to the shared
     // atomic counters per batch (or per SCALAR_FLUSH_PACKETS packets on
     // the scalar path), keeping instrumentation off the per-packet path.
@@ -182,9 +202,69 @@ impl<M: FlowMonitor> EpochRotator<M> {
             retention_drops: DropStats::new(),
             sinks: SinkSet::new(),
             metrics: None,
+            recorder: None,
+            tracer: None,
+            introspect_registry: None,
             pending_packets: 0,
             pending_bytes: 0,
         }
+    }
+
+    /// Attaches a flight recorder: epoch seals, rotation gaps and sink
+    /// health transitions (error / degrade / quarantine / recover) are
+    /// recorded as structured events from here on, and entering
+    /// quarantine auto-dumps the recent window to the recorder's dump
+    /// writer.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.sinks.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
+    }
+
+    /// Builder-style [`Self::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Attaches a flow tracer: sealed records of sampled flows emit
+    /// `flow_span` events (stage `epoch_seal`, and `export` when the
+    /// epoch streamed to sinks), completing the per-flow journey the
+    /// ingest stages started.
+    pub fn set_tracer(&mut self, tracer: FlowTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Builder-style [`Self::set_tracer`].
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: FlowTracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// The attached flow tracer, if any.
+    pub fn tracer(&self) -> Option<&FlowTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Attaches a registry that receives the sealed introspection report
+    /// as gauges at every rotation (`hashflow_introspect_*`, ratios in
+    /// parts-per-million) — the live-dashboard view of
+    /// [`EpochReport::introspection`].
+    pub fn set_introspection_registry(&mut self, registry: MetricsRegistry) {
+        self.introspect_registry = Some(registry);
+    }
+
+    /// Builder-style [`Self::set_introspection_registry`].
+    #[must_use]
+    pub fn with_introspection_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.set_introspection_registry(registry);
+        self
     }
 
     /// Attaches pipeline metrics: ingest counters and histograms, seal
@@ -386,6 +466,51 @@ impl<M: FlowMonitor> EpochRotator<M> {
         if let Some(m) = &self.metrics {
             m.epochs_sealed.inc();
         }
+        if let Some(recorder) = &self.recorder {
+            let severity = if report.partial {
+                Severity::Warn
+            } else {
+                Severity::Info
+            };
+            recorder.record_with(
+                severity,
+                "epoch_sealed",
+                format!(
+                    "epoch {} sealed: {} records{}",
+                    report.epoch,
+                    report.records.len(),
+                    if report.partial { " (partial)" } else { "" }
+                ),
+                vec![
+                    ("epoch".to_string(), report.epoch.to_string()),
+                    ("records".to_string(), report.records.len().to_string()),
+                    ("partial".to_string(), report.partial.to_string()),
+                ],
+            );
+        }
+        if let Some(registry) = &self.introspect_registry {
+            for metric in &report.introspection {
+                registry
+                    .gauge(&metric.gauge_name(), &[])
+                    .set(metric.gauge_value());
+            }
+        }
+        if let Some(tracer) = &self.tracer {
+            let exported = !self.sinks.is_empty();
+            for rec in &report.records {
+                let key = rec.key();
+                if tracer.is_sampled(&key) {
+                    tracer.span(
+                        &key,
+                        "epoch_seal",
+                        format!("epoch {} count {}", report.epoch, rec.count()),
+                    );
+                    if exported {
+                        tracer.span(&key, "export", format!("epoch {}", report.epoch));
+                    }
+                }
+            }
+        }
         self.retain_completed(report.clone());
         self.current_epoch += 1;
         self.epoch_base_ns = None;
@@ -397,6 +522,23 @@ impl<M: FlowMonitor> EpochRotator<M> {
     /// Drains completed epoch reports, leaving the current epoch running.
     pub fn drain_completed(&mut self) -> Vec<EpochReport> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Records a rotation-gap event: the boundary packet skipped at
+    /// least one whole quiet window beyond the epoch it sealed.
+    fn note_rotation_gap(&self, base: u64, ts: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_with(
+                Severity::Warn,
+                "rotation_gap",
+                format!(
+                    "quiet gap of {} ns before epoch {} sealed",
+                    ts.saturating_sub(base),
+                    self.current_epoch
+                ),
+                vec![("epoch".to_string(), self.current_epoch.to_string())],
+            );
+        }
     }
 
     /// Feeds one rotation-free run of packets to the inner monitor's
@@ -430,12 +572,13 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
                 // rotates. Timestamps before `base` (out-of-order
                 // arrivals) never rotate — time only moves forward.
                 if ts >= base.saturating_add(self.epoch_len_ns) {
-                    if let Some(m) = &self.metrics {
-                        // A quiet gap: the packet skipped at least one
-                        // whole window beyond the epoch it sealed.
-                        if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                    // A quiet gap: the packet skipped at least one whole
+                    // window beyond the epoch it sealed.
+                    if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                        if let Some(m) = &self.metrics {
                             m.rotation_gaps.inc();
                         }
+                        self.note_rotation_gap(base, ts);
                     }
                     self.rotate_now();
                     self.epoch_base_ns = Some(ts);
@@ -479,10 +622,11 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
                 None => self.epoch_base_ns = Some(ts),
                 Some(base) => {
                     if ts >= base.saturating_add(self.epoch_len_ns) {
-                        if let Some(m) = &self.metrics {
-                            if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                        if ts >= base.saturating_add(self.epoch_len_ns.saturating_mul(2)) {
+                            if let Some(m) = &self.metrics {
                                 m.rotation_gaps.inc();
                             }
+                            self.note_rotation_gap(base, ts);
                         }
                         // Seal everything before the boundary packet,
                         // then re-anchor the new epoch at it.
@@ -533,6 +677,10 @@ impl<M: FlowMonitor> FlowMonitor for EpochRotator<M> {
 
     fn faults(&self) -> Vec<String> {
         self.inner.faults()
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        self.inner.introspection()
     }
 
     fn reset(&mut self) {

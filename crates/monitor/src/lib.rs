@@ -35,24 +35,28 @@ mod cost;
 mod epoch;
 mod fault;
 mod health;
+mod introspect;
 mod merge;
 mod policy;
 mod retry;
 mod sink;
 mod snapshot;
 mod stats;
+mod trace;
 
 pub use budget::MemoryBudget;
 pub use cost::{CostRecorder, CostSnapshot};
 pub use epoch::{EpochReport, EpochRotator};
 pub use fault::{FaultInjectingSink, FaultPlan, PanicInjector};
 pub use health::{classify_io_error, ErrorClass, HealthPolicy, SinkErrors, SinkHealth, SinkStatus};
+pub use introspect::{merge_introspection, IntrospectMetric, IntrospectValue, MonitorIntrospect};
 pub use merge::MergeableMonitor;
 pub use policy::BackpressurePolicy;
 pub use retry::{RetryPolicy, RetrySink};
 pub use sink::{JsonLinesSink, MemorySink, RecordSink, SinkSet};
 pub use snapshot::EpochSnapshot;
 pub use stats::{DropStats, PipelineMetrics, SCALAR_FLUSH_PACKETS};
+pub use trace::{FlowTracer, DEFAULT_TRACE_SAMPLING, FLOW_SPAN_KIND};
 
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
@@ -205,6 +209,17 @@ pub trait FlowMonitor {
     fn faults(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// The monitor's structure-internal saturation report
+    /// ([`IntrospectMetric`]s), sealed into every [`EpochSnapshot`] and
+    /// exported as gauges at rotation. Monitors implementing
+    /// [`MonitorIntrospect`] forward this to
+    /// [`MonitorIntrospect::introspect`]; the default reports nothing
+    /// (introspection is a capability, like mergeability, not an
+    /// obligation).
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        Vec::new()
+    }
 }
 
 /// Boxed monitors are monitors: the registry
@@ -252,6 +267,9 @@ impl<M: FlowMonitor + ?Sized> FlowMonitor for Box<M> {
     }
     fn faults(&self) -> Vec<String> {
         (**self).faults()
+    }
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        (**self).introspection()
     }
 }
 

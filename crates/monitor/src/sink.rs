@@ -17,7 +17,7 @@ use crate::{
     classify_io_error, BackpressurePolicy, DropStats, EpochSnapshot, ErrorClass, HealthPolicy,
     SinkErrors, SinkHealth, SinkStatus,
 };
-use hashflow_obs::{Counter, Gauge};
+use hashflow_obs::{Counter, FlightRecorder, Gauge, Severity};
 use std::io::{self, Write};
 
 /// A destination for sealed measurement epochs.
@@ -108,6 +108,7 @@ pub struct SinkSet {
     error_counter: Option<Counter>,
     skipped_counter: Option<Counter>,
     quarantined_gauge: Option<Gauge>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for SinkSet {
@@ -177,6 +178,15 @@ impl SinkSet {
         self.quarantined_gauge = Some(quarantined);
     }
 
+    /// Attaches a flight recorder: every export failure and every health
+    /// transition (degrade, quarantine, recover) is recorded as a
+    /// structured event, and a sink *entering* quarantine auto-dumps the
+    /// recorder's recent window — the flight-recorder contract of
+    /// capturing the lead-up the moment a fault latches.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = Some(recorder);
+    }
+
     /// Point-in-time health of every attached sink, in attach order.
     pub fn health(&self) -> Vec<SinkStatus> {
         self.entries
@@ -217,6 +227,7 @@ impl SinkSet {
         let policy = self.policy;
         let error_counter = self.error_counter.clone();
         let skipped_counter = self.skipped_counter.clone();
+        let recorder = self.recorder.clone();
         let mut fresh_errors: Vec<(usize, io::Error)> = Vec::new();
         for (index, entry) in self.entries.iter_mut().enumerate() {
             // A quarantined sink skips-and-counts until its probe
@@ -235,6 +246,14 @@ impl SinkSet {
                 Ok(()) => {
                     if entry.health == SinkHealth::Quarantined {
                         entry.recoveries += 1;
+                        if let Some(r) = &recorder {
+                            r.record_with(
+                                Severity::Info,
+                                "sink_recovered",
+                                format!("sink {index} recovered on probe"),
+                                vec![("sink".to_string(), index.to_string())],
+                            );
+                        }
                     }
                     entry.health = SinkHealth::Healthy;
                     entry.consecutive_failures = 0;
@@ -244,11 +263,53 @@ impl SinkSet {
                     entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
                     entry.last_error = Some(error.to_string());
                     let fatal = classify_io_error(&error) == ErrorClass::Fatal;
+                    if let Some(r) = &recorder {
+                        r.record_with(
+                            Severity::Warn,
+                            "sink_error",
+                            format!("sink {index} export failed: {error}"),
+                            vec![
+                                ("sink".to_string(), index.to_string()),
+                                (
+                                    "consecutive".to_string(),
+                                    entry.consecutive_failures.to_string(),
+                                ),
+                            ],
+                        );
+                    }
+                    let was = entry.health;
                     if fatal || entry.consecutive_failures >= policy.quarantine_after {
                         entry.health = SinkHealth::Quarantined;
                         entry.epochs_until_probe = policy.probe_interval;
+                        if was != SinkHealth::Quarantined {
+                            if let Some(r) = &recorder {
+                                r.record_with(
+                                    Severity::Error,
+                                    "sink_quarantined",
+                                    format!(
+                                        "sink {index} quarantined after {} failure(s): {error}",
+                                        entry.consecutive_failures
+                                    ),
+                                    vec![("sink".to_string(), index.to_string())],
+                                );
+                                // The fault just latched: dump the window
+                                // that led up to it while it is still in
+                                // the ring.
+                                r.dump("sink_quarantined");
+                            }
+                        }
                     } else {
                         entry.health = SinkHealth::Degraded;
+                        if was == SinkHealth::Healthy {
+                            if let Some(r) = &recorder {
+                                r.record_with(
+                                    Severity::Warn,
+                                    "sink_degraded",
+                                    format!("sink {index} degraded: {error}"),
+                                    vec![("sink".to_string(), index.to_string())],
+                                );
+                            }
+                        }
                     }
                     if let Some(c) = &error_counter {
                         c.inc();

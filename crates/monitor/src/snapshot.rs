@@ -36,7 +36,7 @@
 //! report cannot, by design — those tables hold digests or shared
 //! counters, not flow IDs, so their state cannot outlive the epoch.
 
-use crate::{CostSnapshot, FlowMonitor};
+use crate::{CostSnapshot, FlowMonitor, IntrospectMetric};
 use hashflow_types::{FlowKey, FlowRecord};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
@@ -79,6 +79,9 @@ pub struct EpochSnapshot {
     /// Whether any contributing shard lost data (e.g. a worker panic)
     /// before this epoch was sealed.
     partial: bool,
+    /// Structure-internal saturation report captured at seal time
+    /// (empty for monitors that don't opt into introspection).
+    introspection: Vec<IntrospectMetric>,
 }
 
 impl EpochSnapshot {
@@ -109,6 +112,7 @@ impl EpochSnapshot {
             cardinality,
             cost,
             partial: false,
+            introspection: Vec::new(),
         }
     }
 
@@ -126,6 +130,19 @@ impl EpochSnapshot {
         self.partial
     }
 
+    /// Attaches the monitor's structure-internal saturation report
+    /// ([`FlowMonitor::introspection`]) captured when the epoch sealed.
+    pub fn with_introspection(mut self, introspection: Vec<IntrospectMetric>) -> Self {
+        self.introspection = introspection;
+        self
+    }
+
+    /// The structure-internal saturation report sealed with this epoch
+    /// (empty for monitors without introspection).
+    pub fn introspection(&self) -> &[IntrospectMetric] {
+        &self.introspection
+    }
+
     /// Captures the monitor's current answers **without draining it** —
     /// the read-only counterpart of [`FlowMonitor::seal`].
     pub fn capture<M: FlowMonitor + ?Sized>(monitor: &M) -> Self {
@@ -137,6 +154,7 @@ impl EpochSnapshot {
             monitor.estimate_cardinality(),
             monitor.cost(),
         )
+        .with_introspection(monitor.introspection())
     }
 
     /// Converts the snapshot back into a plain [`crate::EpochReport`]
@@ -153,6 +171,7 @@ impl EpochSnapshot {
             cardinality: self.cardinality,
             cost: self.cost,
             partial: self.partial,
+            introspection: self.introspection,
         }
     }
 

@@ -56,7 +56,7 @@ fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
     }
 }
 
-fn json_escape(value: &str) -> String {
+pub(crate) fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {

@@ -16,7 +16,10 @@
 //! * [`MetricsSnapshot`] — a point-in-time capture rendered as
 //!   Prometheus text ([`MetricsSnapshot::to_prometheus`]) or JSONL
 //!   ([`MetricsSnapshot::to_jsonl`]); both formats read the same
-//!   snapshot, so they can never disagree.
+//!   snapshot, so they can never disagree;
+//! * [`FlightRecorder`] — a bounded overwrite-oldest ring of structured
+//!   [`Event`]s (the *what happened, in what order* counterpart of the
+//!   metrics above), with automatic JSONL dumps on fault transitions.
 //!
 //! The crate is dependency-free (std only) and sits below every pipeline
 //! crate, so any stage — monitor, shard, rotator, sink, query, CLI — can
@@ -45,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 mod expose;
 mod metric;
 mod registry;
 
+pub use event::{Event, FlightRecorder, Severity, DEFAULT_RECORDER_CAPACITY};
 pub use metric::{Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS};
 pub use registry::{
     HistogramSnapshot, LabelSet, MetricSample, MetricsRegistry, MetricsSnapshot, SampleValue,

@@ -236,6 +236,52 @@ impl Histogram {
     pub fn same_as(&self, other: &Histogram) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// The value at quantile `q` in `[0, 1]`, as the inclusive upper
+    /// bound of the log2 bucket holding the `ceil(q·count)`-th smallest
+    /// observation — an upper estimate with at most one-bucket (2×)
+    /// resolution, like any fixed-bucket quantile. `q <= 0` answers from
+    /// the first non-empty bucket, `q >= 1` from the last. Returns `None`
+    /// when the histogram is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hashflow_obs::Histogram;
+    ///
+    /// let h = Histogram::new();
+    /// for v in [1u64, 2, 3, 1000] {
+    ///     h.observe(v);
+    /// }
+    /// assert_eq!(h.value_at_quantile(0.5), Some(3)); // bucket [2, 4)
+    /// assert_eq!(h.value_at_quantile(0.99), Some(1023)); // bucket [512, 1024)
+    /// ```
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// Shared quantile walk over per-bucket (non-cumulative) log2 counts —
+/// the single implementation behind [`Histogram::value_at_quantile`] and
+/// [`crate::HistogramSnapshot::value_at_quantile`], so live handles and
+/// snapshots can never disagree.
+pub(crate) fn quantile_from_buckets(buckets: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based: ceil(q * total), clamped
+    // so q = 0 still lands on the first observation.
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= target {
+            return Some(Histogram::bucket_upper_bound(i.min(HISTOGRAM_BUCKETS - 1)));
+        }
+    }
+    Some(u64::MAX)
 }
 
 /// A drop guard that measures a scope's wall-clock duration and records
@@ -345,6 +391,39 @@ mod tests {
         assert_eq!(buckets[3], 1); // 4
         assert_eq!(buckets[10], 1); // 1000 in [512, 1024)
         assert_eq!(buckets.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn quantiles_at_bucket_edges() {
+        let h = Histogram::new();
+        assert_eq!(h.value_at_quantile(0.5), None, "empty histogram");
+        // 4 observations: 0 (bucket 0), 1 (bucket 1), 8 (bucket 4,
+        // upper bound 15), 1u64<<63 (last bucket, unbounded).
+        for v in [0u64, 1, 8, 1u64 << 63] {
+            h.observe(v);
+        }
+        // Rank math: ceil(q*4) picks observation #1..#4.
+        assert_eq!(h.value_at_quantile(0.0), Some(0), "q=0 is the minimum");
+        assert_eq!(h.value_at_quantile(0.25), Some(0), "rank 1");
+        assert_eq!(h.value_at_quantile(0.26), Some(1), "rank 2");
+        assert_eq!(h.value_at_quantile(0.5), Some(1), "rank 2 exactly");
+        assert_eq!(h.value_at_quantile(0.75), Some(15), "rank 3: [8,16)");
+        assert_eq!(h.value_at_quantile(0.76), Some(u64::MAX), "last bucket");
+        assert_eq!(h.value_at_quantile(1.0), Some(u64::MAX));
+        assert_eq!(h.value_at_quantile(2.0), Some(u64::MAX), "clamped above");
+        assert_eq!(h.value_at_quantile(-1.0), Some(0), "clamped below");
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // p50 exact = 500, bucket [256, 512) upper bound 511.
+        assert_eq!(h.value_at_quantile(0.5), Some(511));
+        // p99 exact = 990, bucket [512, 1024) upper bound 1023.
+        assert_eq!(h.value_at_quantile(0.99), Some(1023));
     }
 
     #[test]

@@ -283,6 +283,15 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// The value at quantile `q`, computed from the captured buckets the
+    /// same way [`Histogram::value_at_quantile`] computes it from the
+    /// live ones. `None` when the snapshot holds no observations.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        crate::metric::quantile_from_buckets(&self.buckets, q)
+    }
+}
+
 /// An immutable point-in-time capture of a registry.
 ///
 /// Produced by [`MetricsRegistry::snapshot`]; rendered by

@@ -17,7 +17,9 @@
 
 use crate::exec::{QueryResult, StreamingQuery};
 use crate::plan::QueryPlan;
-use hashflow_monitor::{BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor};
+use hashflow_monitor::{
+    BackpressurePolicy, CostSnapshot, DropStats, EpochSnapshot, FlowMonitor, IntrospectMetric,
+};
 use hashflow_obs::{Counter, MetricsRegistry};
 use hashflow_types::{FlowKey, FlowRecord, Packet};
 
@@ -289,6 +291,10 @@ impl<M: FlowMonitor> FlowMonitor for QueryMonitor<M> {
 
     fn faults(&self) -> Vec<String> {
         self.inner.faults()
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        self.inner.introspection()
     }
 
     /// Resets the inner monitor, every plan's running state, **and** the

@@ -28,7 +28,10 @@
 #![warn(missing_docs)]
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 use std::collections::HashMap;
 
@@ -239,6 +242,26 @@ impl FlowMonitor for SampledNetFlow {
         self.sampled_packets = 0;
         self.evictions = 0;
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for SampledNetFlow {
+    /// Cache fill, sampler throughput, and eviction churn — rising
+    /// evictions mean the cache is thrashing and the scale-back-by-N
+    /// inversion is losing flows, not just precision.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        vec![
+            IntrospectMetric::ratio(
+                "nf_cache_fill",
+                self.slots.len() as f64 / self.capacity.max(1) as f64,
+            ),
+            IntrospectMetric::count("nf_sampled_packets", self.sampled_packets),
+            IntrospectMetric::count("nf_evictions", self.evictions),
+        ]
     }
 }
 

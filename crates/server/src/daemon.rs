@@ -32,7 +32,14 @@
 //! | `POST /queries` | attach a plan (body = plan text) at runtime |
 //! | `GET /metrics` | Prometheus exposition of the runtime registry |
 //! | `GET /healthz` | sink + shard health (`503` when unhealthy) |
+//! | `GET /debug/events?since=N` | flight-recorder events after seq `N` |
+//! | `GET /debug/flows/{key}` | sampling verdict + recorded spans of one flow |
+//! | `GET /debug/introspect` | sketch-internal gauges of the latest epoch |
 //! | `POST /shutdown` | trigger graceful shutdown |
+//!
+//! Every request is self-instrumented: the daemon counts
+//! `hashflow_server_http_requests_total{route,status}` and feeds a
+//! per-route latency histogram, both visible on its own `/metrics`.
 //!
 //! # Epochs
 //!
@@ -51,10 +58,10 @@ use crate::state::{EpochAnswers, HealthView, Published, QueryInfo, SealedView};
 use crate::{wire, ShutdownFlag};
 use hashflow_collector::{AlgorithmKind, Collector};
 use hashflow_monitor::{
-    BackpressurePolicy, DropStats, EpochSnapshot, FlowMonitor, HealthPolicy, MemoryBudget,
-    RecordSink, SinkErrors,
+    BackpressurePolicy, DropStats, EpochSnapshot, FlowMonitor, FlowTracer, HealthPolicy,
+    IntrospectValue, MemoryBudget, RecordSink, SinkErrors, DEFAULT_TRACE_SAMPLING, FLOW_SPAN_KIND,
 };
-use hashflow_obs::MetricsRegistry;
+use hashflow_obs::{FlightRecorder, MetricsRegistry, Severity, DEFAULT_RECORDER_CAPACITY};
 use hashflow_query::QueryPlan;
 use hashflow_shard::{BatchQueue, PopOutcome, PushOutcome};
 use hashflow_types::{ConfigError, FlowKey, Packet};
@@ -108,6 +115,17 @@ pub struct ServerConfig {
     pub sinks: Vec<Box<dyn RecordSink + Send>>,
     /// Sink health state-machine thresholds, if overriding the default.
     pub sink_health: Option<HealthPolicy>,
+    /// Flow-path tracing: `Some(n)` samples 1-in-`n` flows (by key hash,
+    /// so the same flows are sampled on every path) and records their
+    /// placement/dispatch/export spans in the flight recorder. `None`
+    /// disables tracing entirely (zero per-packet cost beyond a branch).
+    pub trace_sampling: Option<u64>,
+    /// Flight-recorder ring capacity in events.
+    pub recorder_capacity: usize,
+    /// File that automatic fault dumps (sink quarantine, shard panic)
+    /// append to as JSONL; `None` keeps dumps in-memory only (the ring
+    /// is still served by `/debug/events`).
+    pub dump_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +145,9 @@ impl Default for ServerConfig {
             queries: Vec::new(),
             sinks: Vec::new(),
             sink_health: None,
+            trace_sampling: Some(DEFAULT_TRACE_SAMPLING),
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            dump_path: None,
         }
     }
 }
@@ -143,6 +164,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("udp_addr", &self.udp_addr)
             .field("queries", &self.queries)
             .field("sinks", &self.sinks.len())
+            .field("trace_sampling", &self.trace_sampling)
+            .field("dump_path", &self.dump_path)
             .finish_non_exhaustive()
     }
 }
@@ -194,21 +217,35 @@ pub struct IngestPort {
     queue: Arc<BatchQueue<Packet>>,
     policy: BackpressurePolicy,
     drops: DropStats,
+    recorder: FlightRecorder,
 }
 
 impl IngestPort {
     /// Offers one batch under the port's policy, ledgering any shed.
+    /// Shed batches also land in the flight recorder (one event per
+    /// shed batch, never per packet, so a sustained overload cannot
+    /// flood the ring faster than the queue turns over).
     pub fn offer(&self, batch: Vec<Packet>) {
         self.drops.record_offer(batch.len() as u64);
         match self.queue.offer(batch, self.policy) {
             PushOutcome::Enqueued => {}
             PushOutcome::Displaced(old) => {
                 for b in old {
-                    self.drops.record_drop(b.len() as u64);
+                    self.shed(b.len() as u64, "displaced");
                 }
             }
-            PushOutcome::Rejected(b) => self.drops.record_drop(b.len() as u64),
+            PushOutcome::Rejected(b) => self.shed(b.len() as u64, "rejected"),
         }
+    }
+
+    fn shed(&self, packets: u64, why: &str) {
+        self.drops.record_drop(packets);
+        self.recorder.record_with(
+            Severity::Warn,
+            "batch_shed",
+            format!("ingest queue {why} a batch of {packets} packets"),
+            vec![("packets".to_string(), packets.to_string())],
+        );
     }
 
     /// The offer-side conservation ledger (shared handles).
@@ -291,6 +328,8 @@ pub struct Server {
     port: Arc<IngestPort>,
     published: Arc<Published>,
     registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    tracer: Option<FlowTracer>,
     pool: Option<http::HttpPool>,
     ingest: Option<JoinHandle<IngestReport>>,
     udp_thread: Option<JoinHandle<()>>,
@@ -319,10 +358,29 @@ impl Server {
     /// [`ServerError::Io`] when a socket cannot be bound.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
         let registry = MetricsRegistry::new();
+        let boot = Instant::now();
+        registry
+            .gauge(
+                "hashflow_build_info",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
+        let recorder = FlightRecorder::with_capacity(config.recorder_capacity.max(1));
+        if let Some(path) = &config.dump_path {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            recorder.set_dump_writer(Box::new(file));
+        }
+        let tracer = config
+            .trace_sampling
+            .map(|n| FlowTracer::new(recorder.clone(), n));
         let mut builder = Collector::builder(config.algorithm)
             .budget(MemoryBudget::from_kib(config.memory_kib)?)
             .seed(config.seed)
             .with_metrics(registry.clone())
+            .with_recorder(recorder.clone())
             // The published ring is the reader-facing retention; the
             // collector-side stores are belts kept at the same bound.
             .retention(config.retention.max(1), BackpressurePolicy::DropOldest)
@@ -332,6 +390,9 @@ impl Server {
         }
         if let Some(policy) = config.sink_health {
             builder = builder.sink_health_policy(policy);
+        }
+        if let Some(t) = &tracer {
+            builder = builder.with_tracer(t.clone());
         }
         for sink in config.sinks {
             builder = builder.sink(sink);
@@ -356,6 +417,7 @@ impl Server {
             queue: Arc::clone(&queue),
             policy: config.ingest_policy,
             drops: ingest_drops,
+            recorder: recorder.clone(),
         });
 
         let listener = TcpListener::bind(&config.http_addr)?;
@@ -389,11 +451,12 @@ impl Server {
                 let port = Arc::clone(&port);
                 let shutdown = Arc::clone(&shutdown);
                 let wire_errors = registry.counter("hashflow_server_wire_errors_total", &[]);
+                let recorder = recorder.clone();
                 socket.set_read_timeout(Some(Duration::from_millis(100)))?;
                 Some(
                     std::thread::Builder::new()
                         .name("hf-udp".to_string())
-                        .spawn(move || run_udp(&socket, &port, &shutdown, &wire_errors))
+                        .spawn(move || run_udp(&socket, &port, &shutdown, &wire_errors, &recorder))
                         .map_err(ServerError::Io)?,
                 )
             }
@@ -405,10 +468,18 @@ impl Server {
             registry: registry.clone(),
             commands: Mutex::new(command_tx),
             shutdown: Arc::clone(&shutdown),
+            recorder: recorder.clone(),
+            tracer: tracer.clone(),
+            boot,
         });
         let router: Arc<http::Router> = {
             let state = Arc::clone(&router_state);
-            Arc::new(move |req: &Request| route(&state, req))
+            Arc::new(move |req: &Request| {
+                let started = Instant::now();
+                let response = route(&state, req);
+                state.observe_http(req, &response, started.elapsed());
+                response
+            })
         };
         let pool = http::serve(listener, config.http_workers, Arc::clone(&shutdown), router)?;
 
@@ -420,6 +491,8 @@ impl Server {
             port,
             published,
             registry,
+            recorder,
+            tracer,
             pool: Some(pool),
             ingest: Some(ingest),
             udp_thread,
@@ -452,6 +525,17 @@ impl Server {
     /// The daemon's metrics registry (shared handles).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The daemon's flight recorder (shared ring; every pipeline layer
+    /// and the `/debug/events` endpoint read and write the same one).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The flow tracer, if [`ServerConfig::trace_sampling`] enabled one.
+    pub fn tracer(&self) -> Option<&FlowTracer> {
+        self.tracer.as_ref()
     }
 
     /// The shared ingest port, for embedding custom front-ends.
@@ -587,6 +671,7 @@ fn run_udp(
     port: &IngestPort,
     shutdown: &ShutdownFlag,
     wire_errors: &hashflow_obs::Counter,
+    recorder: &FlightRecorder,
 ) {
     let mut buf = vec![0u8; 64 * 1024];
     while !shutdown.is_set() {
@@ -597,7 +682,15 @@ fn run_udp(
                         port.offer(packets);
                     }
                 }
-                Err(_) => wire_errors.inc(),
+                Err(e) => {
+                    wire_errors.inc();
+                    recorder.record_with(
+                        Severity::Warn,
+                        "wire_junk",
+                        format!("undecodable datagram ({n} bytes): {e}"),
+                        vec![("bytes".to_string(), n.to_string())],
+                    );
+                }
             },
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -809,6 +902,54 @@ struct RouterState {
     registry: MetricsRegistry,
     commands: Mutex<mpsc::Sender<Command>>,
     shutdown: Arc<ShutdownFlag>,
+    recorder: FlightRecorder,
+    tracer: Option<FlowTracer>,
+    boot: Instant,
+}
+
+impl RouterState {
+    /// Seconds since the daemon booted.
+    fn uptime_s(&self) -> u64 {
+        self.boot.elapsed().as_secs()
+    }
+
+    /// Counts the request and feeds the per-route latency histogram.
+    /// Routes are recorded as their *pattern* (`/epochs/{n}/top`), never
+    /// the raw path, so label cardinality stays bounded whatever clients
+    /// request.
+    fn observe_http(&self, req: &Request, response: &Response, elapsed: Duration) {
+        let route = route_pattern(&req.path);
+        let status = response.status.to_string();
+        self.registry
+            .counter(
+                "hashflow_server_http_requests_total",
+                &[("route", route), ("status", &status)],
+            )
+            .inc();
+        self.registry
+            .histogram("hashflow_server_http_latency_us", &[("route", route)])
+            .observe(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+/// Collapses a request path onto its route pattern (bounded label set).
+fn route_pattern(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        [] => "/",
+        ["epochs"] => "/epochs",
+        ["epochs", _] => "/epochs/{n}",
+        ["epochs", _, "top"] => "/epochs/{n}/top",
+        ["epochs", _, "flows", ..] => "/epochs/{n}/flows/{key}",
+        ["queries"] => "/queries",
+        ["metrics"] => "/metrics",
+        ["healthz"] => "/healthz",
+        ["shutdown"] => "/shutdown",
+        ["debug", "events"] => "/debug/events",
+        ["debug", "flows", ..] => "/debug/flows/{key}",
+        ["debug", "introspect"] => "/debug/introspect",
+        _ => "other",
+    }
 }
 
 fn not_found(what: &str) -> Response {
@@ -834,19 +975,37 @@ fn route(state: &RouterState, req: &Request) -> Response {
         }
         ("GET", ["queries"]) => list_queries(&state.published.load()),
         ("POST", ["queries"]) => attach_query(state, req),
-        ("GET", ["metrics"]) => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: state.registry.snapshot().to_prometheus().into_bytes(),
-        },
-        ("GET", ["healthz"]) => healthz(&state.published.load()),
+        ("GET", ["metrics"]) => {
+            // Refresh the uptime gauge at scrape time so it is always
+            // current without a background ticker.
+            state
+                .registry
+                .gauge("hashflow_server_uptime_seconds", &[])
+                .set(state.uptime_s().min(i64::MAX as u64) as i64);
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: state.registry.snapshot().to_prometheus().into_bytes(),
+            }
+        }
+        ("GET", ["healthz"]) => healthz(&state.published.load(), state.uptime_s()),
+        ("GET", ["debug", "events"]) => debug_events(state, req),
+        ("GET", ["debug", "flows", rest @ ..]) => debug_flow(state, &rest.join("/")),
+        ("GET", ["debug", "introspect"]) => debug_introspect(&state.published.load()),
         ("POST", ["shutdown"]) => {
             state.shutdown.trigger();
             Response::json(200, Obj::new().bool("shutting_down", true).build())
         }
-        (_, [] | ["epochs", ..] | ["queries"] | ["metrics"] | ["healthz"] | ["shutdown"]) => {
-            method_not_allowed()
-        }
+        (
+            _,
+            []
+            | ["epochs", ..]
+            | ["queries"]
+            | ["metrics"]
+            | ["healthz"]
+            | ["shutdown"]
+            | ["debug", ..],
+        ) => method_not_allowed(),
         _ => not_found("no such endpoint"),
     }
 }
@@ -861,6 +1020,9 @@ fn index() -> Response {
         "POST /queries",
         "GET /metrics",
         "GET /healthz",
+        "GET /debug/events?since=N",
+        "GET /debug/flows/{key}",
+        "GET /debug/introspect",
         "POST /shutdown",
     ];
     Response::json(
@@ -1054,7 +1216,7 @@ fn attach_query(state: &RouterState, req: &Request) -> Response {
     }
 }
 
-fn healthz(view: &SealedView) -> Response {
+fn healthz(view: &SealedView, uptime_s: u64) -> Response {
     let health = &view.health;
     let status = if health.is_unhealthy() {
         "unhealthy"
@@ -1065,6 +1227,7 @@ fn healthz(view: &SealedView) -> Response {
     };
     let body = Obj::new()
         .str("status", status)
+        .u64("uptime_s", uptime_s)
         .u64("sealed_epochs", view.sealed_total)
         .bool("finished", health.finished)
         .raw(
@@ -1095,6 +1258,92 @@ fn healthz(view: &SealedView) -> Response {
         .build();
     let code = if health.is_unhealthy() { 503 } else { 200 };
     Response::json(code, body)
+}
+
+/// `GET /debug/events?since=N`: pages the flight-recorder ring by
+/// sequence number. `since=0` (the default) returns the whole retained
+/// window; clients resume from the `last_seq` they saw.
+fn debug_events(state: &RouterState, req: &Request) -> Response {
+    let since = match req.query_param("since") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Response::json(
+                    400,
+                    Obj::new().str("error", "since must be a number").build(),
+                )
+            }
+        },
+    };
+    let events = state.recorder.events_since(since);
+    Response::json(
+        200,
+        Obj::new()
+            .u64("last_seq", state.recorder.last_seq())
+            .u64("overwritten", state.recorder.overwritten())
+            .u64("dumps", state.recorder.dumps())
+            .u64("returned", events.len() as u64)
+            .raw("events", json::array(events.iter().map(|e| e.to_json())))
+            .build(),
+    )
+}
+
+/// `GET /debug/flows/{key}`: whether the tracer samples this flow, plus
+/// every span the ring still holds for it.
+fn debug_flow(state: &RouterState, key: &str) -> Response {
+    let flow = match FlowKey::from_str(key) {
+        Ok(f) => f,
+        Err(e) => return Response::json(400, Obj::new().str("error", &e.to_string()).build()),
+    };
+    let mut obj = Obj::new().str("key", &flow.to_string());
+    obj = match &state.tracer {
+        Some(t) => obj
+            .bool("sampled", t.is_sampled(&flow))
+            .u64("sample_one_in", t.sample_one_in()),
+        None => obj.raw("sampled", "null"),
+    };
+    let wanted = flow.to_string();
+    let spans: Vec<String> = state
+        .recorder
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.kind == FLOW_SPAN_KIND && e.field("flow") == Some(wanted.as_str()))
+        .map(|e| e.to_json())
+        .collect();
+    Response::json(
+        200,
+        obj.u64("spans_retained", spans.len() as u64)
+            .raw("spans", json::array(spans))
+            .build(),
+    )
+}
+
+/// `GET /debug/introspect`: the sketch-internal metrics the monitor
+/// sealed into the newest retained epoch (load factors, collision
+/// counters, escalations — see `MonitorIntrospect`).
+fn debug_introspect(view: &SealedView) -> Response {
+    let Some(snapshot) = view.epochs.last() else {
+        return not_found("no epoch sealed yet");
+    };
+    Response::json(
+        200,
+        Obj::new()
+            .u64("epoch", snapshot.epoch())
+            .raw(
+                "metrics",
+                json::array(snapshot.introspection().iter().map(|m| {
+                    let obj = Obj::new().str("name", &m.name);
+                    let obj = match m.value {
+                        IntrospectValue::Ratio(r) => obj.str("type", "ratio").f64("value", r),
+                        IntrospectValue::Count(c) => obj.str("type", "count").u64("value", c),
+                        IntrospectValue::Flag(f) => obj.str("type", "flag").bool("value", f),
+                    };
+                    obj.str("gauge", &m.gauge_name()).build()
+                })),
+            )
+            .build(),
+    )
 }
 
 #[cfg(test)]
@@ -1179,6 +1428,71 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = client::get(addr, "/epochs/999999/top").expect("GET evicted");
         assert_eq!(status, 404);
+
+        let report = server.shutdown();
+        assert!(report.conserved());
+    }
+
+    #[test]
+    fn debug_endpoints_serve_events_flows_and_introspection() {
+        let trace = TraceGenerator::new(TraceProfile::Caida, 11).generate(1_200);
+        let mut server = Server::start(ServerConfig {
+            trace_sampling: Some(1), // sample every flow
+            // 1-in-1 sampling emits thousands of spans; keep the whole
+            // run in the ring so lifecycle events survive for asserts.
+            recorder_capacity: 16 * 1024,
+            ..small_config()
+        })
+        .expect("boot");
+        let addr = server.http_addr();
+        server.start_replay(trace.packets().to_vec(), ReplayPace::LineRate);
+        assert!(server.wait_for_sealed(1, Duration::from_secs(10)));
+
+        let (status, body) = client::get(addr, "/debug/events").expect("GET events");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch_sealed\""), "{body}");
+        assert!(body.contains("\"flow_span\""), "{body}");
+
+        // Paging: nothing new after the cursor the recorder reports.
+        let last = server.recorder().last_seq();
+        let (status, body) =
+            client::get(addr, &format!("/debug/events?since={last}")).expect("GET paged");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"returned\":0"), "{body}");
+        let (status, _) = client::get(addr, "/debug/events?since=bogus").expect("GET bad cursor");
+        assert_eq!(status, 400);
+
+        // Flow debug: with 1-in-1 sampling every key reports sampled.
+        let view = server.view();
+        let key = view.epochs.first().unwrap().as_records()[0].key();
+        let encoded = key.to_string().replace('/', "%2F").replace('>', "%3E");
+        let (status, body) =
+            client::get(addr, &format!("/debug/flows/{encoded}")).expect("GET flow");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"sampled\":true"), "{body}");
+        assert!(body.contains("\"sample_one_in\":1"));
+        let (status, _) = client::get(addr, "/debug/flows/garbage").expect("GET bad flow");
+        assert_eq!(status, 400);
+
+        // Introspection of the newest sealed epoch (HashFlow gauges).
+        let (status, body) = client::get(addr, "/debug/introspect").expect("GET introspect");
+        assert_eq!(status, 200);
+        assert!(body.contains("main_table_load"), "{body}");
+        assert!(body.contains("ancillary_load"), "{body}");
+
+        // Self-instrumentation + build info + uptime on /metrics.
+        let (status, body) = client::get(addr, "/metrics").expect("GET metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("hashflow_build_info"), "{body}");
+        assert!(body.contains("hashflow_server_uptime_seconds"));
+        assert!(body.contains("hashflow_server_http_requests_total"));
+        assert!(body.contains("route=\"/debug/events\""), "{body}");
+        assert!(body.contains("hashflow_server_http_latency_us"));
+        assert!(body.contains("hashflow_introspect_main_table_load_ppm"));
+
+        let (status, body) = client::get(addr, "/healthz").expect("GET healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"uptime_s\""), "{body}");
 
         let report = server.shutdown();
         assert!(report.conserved());

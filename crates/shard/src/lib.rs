@@ -69,10 +69,11 @@ pub use queue::{BatchQueue, PopOutcome, PushOutcome};
 
 use hashflow_hashing::fast_range;
 use hashflow_monitor::{
-    BackpressurePolicy, CostSnapshot, DropStats, EpochReport, FlowMonitor, HealthPolicy,
-    MemoryBudget, MergeableMonitor, RecordSink, SinkErrors, SinkSet, SinkStatus,
+    merge_introspection, BackpressurePolicy, CostSnapshot, DropStats, EpochReport, FlowMonitor,
+    FlowTracer, HealthPolicy, IntrospectMetric, MemoryBudget, MergeableMonitor, RecordSink,
+    SinkErrors, SinkSet, SinkStatus,
 };
-use hashflow_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use hashflow_obs::{Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, Severity};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 use std::time::Instant;
 
@@ -85,6 +86,40 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Records a shard-panic transition in the flight recorder and dumps the
+/// recent window — a shard dropping out is exactly the moment the events
+/// leading up to it matter. Free function (not a method) so worker-lane
+/// closures holding `&mut` shard borrows can call it.
+fn record_shard_panic(recorder: Option<&FlightRecorder>, shard: usize, message: &str) {
+    if let Some(r) = recorder {
+        r.record_with(
+            Severity::Error,
+            "shard_panic",
+            format!("shard {shard} worker panicked: {message}"),
+            vec![("shard".to_string(), shard.to_string())],
+        );
+        r.dump("shard_panic");
+    }
+}
+
+/// Records one shed batch (queue policy or degraded shard) in the flight
+/// recorder. Batch granularity only — per-packet sheds on the scalar path
+/// stay in the [`DropStats`] ledger so a degraded shard cannot flood the
+/// ring.
+fn record_batch_shed(recorder: Option<&FlightRecorder>, shard: usize, packets: u64, why: &str) {
+    if let Some(r) = recorder {
+        r.record_with(
+            Severity::Warn,
+            "batch_shed",
+            format!("shard {shard} shed {packets} packets ({why})"),
+            vec![
+                ("shard".to_string(), shard.to_string()),
+                ("packets".to_string(), packets.to_string()),
+            ],
+        );
     }
 }
 
@@ -311,6 +346,8 @@ pub struct ShardedMonitor<M> {
     scratch: DispatchScratch,
     sinks: SinkSet,
     metrics: Option<ShardMetrics>,
+    recorder: Option<FlightRecorder>,
+    tracer: Option<FlowTracer>,
     queue_policy: BackpressurePolicy,
     queue_drops: DropStats,
 }
@@ -354,6 +391,8 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             scratch: DispatchScratch::default(),
             sinks: SinkSet::new(),
             metrics: None,
+            recorder: None,
+            tracer: None,
             queue_policy: BackpressurePolicy::default(),
             queue_drops: DropStats::new(),
         })
@@ -379,6 +418,32 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
     /// The attached metric handles, if [`Self::set_metrics`] was called.
     pub fn metrics(&self) -> Option<&ShardMetrics> {
         self.metrics.as_ref()
+    }
+
+    /// Attaches a flight recorder: shard panics record an error event and
+    /// dump the recent window, shed batches record warnings, and the sink
+    /// layer reports its retry/degrade/quarantine transitions (quarantine
+    /// entry also dumps; see [`SinkSet::set_recorder`]).
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.sinks.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Attaches a flow tracer: every dispatch of a sampled flow records a
+    /// `dispatch` span naming the owning shard, on all three ingestion
+    /// paths (scalar, serial batched, threaded).
+    pub fn set_tracer(&mut self, tracer: FlowTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached flow tracer, if any.
+    pub fn tracer(&self) -> Option<&FlowTracer> {
+        self.tracer.as_ref()
     }
 
     /// Attaches a sink; every epoch sealed by [`Self::seal_epoch`] from
@@ -641,12 +706,14 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
             .collect();
         let healthy: Vec<f64> = estimates.iter().flatten().copied().collect();
         let cardinality = M::combine_cardinality(&healthy);
+        let recorder = self.recorder.clone();
         let reports = self
             .shards
             .iter_mut()
             .zip(self.faults.iter_mut())
             .zip(&estimates)
-            .map(|((shard, fault), &estimate)| {
+            .enumerate()
+            .map(|(i, ((shard, fault), &estimate))| {
                 let report = match estimate {
                     Some(estimate) => EpochReport {
                         epoch: self.epoch,
@@ -656,6 +723,7 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
                         cardinality: estimate,
                         cost: shard.cost(),
                         partial: false,
+                        introspection: shard.introspection(),
                     },
                     // Degraded: nothing from this shard is trusted, so
                     // the epoch ships without its partition and says so.
@@ -667,13 +735,18 @@ impl<M: MergeableMonitor> ShardedMonitor<M> {
                         cardinality: 0.0,
                         cost: CostSnapshot::default(),
                         partial: true,
+                        introspection: Vec::new(),
                     },
                 };
                 // Epoch-boundary recovery: a clean reset returns the
                 // shard to service; a reset that panics keeps it parked.
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shard.reset())) {
                     Ok(()) => *fault = None,
-                    Err(payload) => *fault = Some(panic_message(payload)),
+                    Err(payload) => {
+                        let message = panic_message(payload);
+                        record_shard_panic(recorder.as_ref(), i, &message);
+                        *fault = Some(message);
+                    }
                 }
                 report
             })
@@ -747,6 +820,12 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 // counted as one offered-and-dropped unit.
                 self.queue_drops.record_offer(packets.len() as u64);
                 self.queue_drops.record_drop(packets.len() as u64);
+                record_batch_shed(
+                    self.recorder.as_ref(),
+                    0,
+                    packets.len() as u64,
+                    "shard degraded",
+                );
             } else {
                 let shard = &mut self.shards[0];
                 let worked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -759,7 +838,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                         }
                     }
                     Err(payload) => {
-                        self.faults[0] = Some(panic_message(payload));
+                        let message = panic_message(payload);
+                        record_shard_panic(self.recorder.as_ref(), 0, &message);
+                        self.faults[0] = Some(message);
                         self.queue_drops.record_offer(packets.len() as u64);
                         self.queue_drops.record_drop(packets.len() as u64);
                     }
@@ -794,6 +875,8 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
         let free: BatchQueue<Packet> = BatchQueue::new(shard_count * QUEUE_DEPTH);
         let policy = self.queue_policy;
         let drops = &self.queue_drops;
+        let recorder = self.recorder.clone();
+        let tracer = self.tracer.clone();
         std::thread::scope(|scope| {
             for (i, ((shard, queue), fault)) in self
                 .shards
@@ -807,6 +890,7 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 }
                 let free = &free;
                 let depth = depth_gauges.as_ref().map(|g| g[i].clone());
+                let rec = recorder.clone();
                 scope.spawn(move || {
                     while let Some(mut batch) = queue.pop() {
                         if let Some(d) = &depth {
@@ -832,7 +916,9 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                                 while let Some(stranded) = queue.try_pop() {
                                     drops.record_drop(stranded.len() as u64);
                                 }
-                                *fault = Some(panic_message(payload));
+                                let message = panic_message(payload);
+                                record_shard_panic(rec.as_ref(), i, &message);
+                                *fault = Some(message);
                                 break;
                             }
                         }
@@ -852,11 +938,21 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
                 match queues[s].offer(batch, policy) {
                     PushOutcome::Enqueued => {}
                     PushOutcome::Displaced(old) => {
-                        for shed in old {
-                            drops.record_drop(shed.len() as u64);
+                        let shed: u64 = old.iter().map(|b| b.len() as u64).sum();
+                        for batch in old {
+                            drops.record_drop(batch.len() as u64);
                         }
+                        record_batch_shed(recorder.as_ref(), s, shed, "displaced by queue policy");
                     }
-                    PushOutcome::Rejected(shed) => drops.record_drop(shed.len() as u64),
+                    PushOutcome::Rejected(shed) => {
+                        drops.record_drop(shed.len() as u64);
+                        record_batch_shed(
+                            recorder.as_ref(),
+                            s,
+                            shed.len() as u64,
+                            "rejected by queue policy",
+                        );
+                    }
                 }
                 if let Some(g) = &depth_gauges {
                     g[s].set(queues[s].len() as i64);
@@ -866,6 +962,11 @@ impl<M: MergeableMonitor + Send> ShardedMonitor<M> {
             for p in packets {
                 let s = fast_range(dispatch_hash(&p.key()), shard_count);
                 per_shard[s] += 1;
+                if let Some(t) = &tracer {
+                    if t.is_sampled(&p.key()) {
+                        t.span(&p.key(), "dispatch", format!("shard {s}"));
+                    }
+                }
                 pending[s].push(*p);
                 if pending[s].len() >= BATCH_PACKETS {
                     let full = std::mem::replace(&mut pending[s], fresh_batch());
@@ -920,6 +1021,11 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         if let Some(m) = &self.metrics {
             m.lane_packets[s].inc();
         }
+        if let Some(t) = &self.tracer {
+            if t.is_sampled(&packet.key()) {
+                t.span(&packet.key(), "dispatch", format!("shard {s}"));
+            }
+        }
         if self.faults[s].is_some() {
             self.queue_drops.record_offer(1);
             self.queue_drops.record_drop(1);
@@ -958,12 +1064,33 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
             }
         }
         self.dispatch_hashes += packets.len() as u64;
-        for ((shard, part), fault) in self.shards.iter_mut().zip(&scratch.parts).zip(&self.faults) {
+        if let Some(t) = &self.tracer {
+            for (s, part) in scratch.parts.iter().enumerate() {
+                for p in part {
+                    if t.is_sampled(&p.key()) {
+                        t.span(&p.key(), "dispatch", format!("shard {s}"));
+                    }
+                }
+            }
+        }
+        for (s, ((shard, part), fault)) in self
+            .shards
+            .iter_mut()
+            .zip(&scratch.parts)
+            .zip(&self.faults)
+            .enumerate()
+        {
             if fault.is_some() {
                 // Degraded shard: its partition sheds, fully accounted.
                 if !part.is_empty() {
                     self.queue_drops.record_offer(part.len() as u64);
                     self.queue_drops.record_drop(part.len() as u64);
+                    record_batch_shed(
+                        self.recorder.as_ref(),
+                        s,
+                        part.len() as u64,
+                        "shard degraded",
+                    );
                 }
                 continue;
             }
@@ -1008,6 +1135,15 @@ impl<M: MergeableMonitor + Send> FlowMonitor for ShardedMonitor<M> {
         self.shards
             .iter()
             .fold(CostSnapshot::default(), |acc, s| acc.merged(&s.cost()))
+    }
+
+    /// Live-state introspection, folded across the shards exactly as a
+    /// sealed epoch folds its per-shard reports (ratios average, counts
+    /// sum, flags OR). Degraded shards still report — their tables exist
+    /// even when their worker died.
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        let per_shard: Vec<_> = self.shards.iter().map(|s| s.introspection()).collect();
+        merge_introspection(&per_shard)
     }
 
     /// One line per degraded shard (see [`ShardedMonitor::shard_faults`]);

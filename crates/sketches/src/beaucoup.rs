@@ -2,7 +2,10 @@
 //! packet (SIGCOMM'20), specialized to per-flow packet counting.
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_primitives::LinearCounter;
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, FLOW_KEY_BITS};
 use std::collections::HashMap;
@@ -232,6 +235,38 @@ impl FlowMonitor for BeauCoupMonitor {
         self.cardinality.reset();
         self.dropped_keys = 0;
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for BeauCoupMonitor {
+    /// Table pressure (tracked keys against capacity, keys dropped at the
+    /// full table) and how far the average tracked key's coupon bitmap
+    /// has filled toward the 32-coupon ceiling.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let tracked = self.coupons.len();
+        let mean_fill = if tracked == 0 {
+            0.0
+        } else {
+            let collected: u64 = self
+                .coupons
+                .values()
+                .map(|bitmap| u64::from(bitmap.count_ones()))
+                .sum();
+            collected as f64 / (tracked as u64 * COUPONS as u64) as f64
+        };
+        vec![
+            IntrospectMetric::ratio(
+                "bc_table_fill",
+                tracked as f64 / self.capacity.max(1) as f64,
+            ),
+            IntrospectMetric::ratio("bc_coupon_fill", mean_fill),
+            IntrospectMetric::count("bc_tracked_keys", tracked as u64),
+            IntrospectMetric::count("bc_dropped_keys", self.dropped_keys),
+        ]
     }
 }
 

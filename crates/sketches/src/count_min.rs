@@ -1,6 +1,9 @@
 //! Count-Min as a registry monitor: the estimate-only end of the zoo.
 
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_primitives::{linear_counting_estimate, CountMinSketch};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 
@@ -147,6 +150,24 @@ impl FlowMonitor for CountMinMonitor {
     fn reset(&mut self) {
         self.sketch.reset();
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for CountMinMonitor {
+    /// Row occupancy is the fraction of first-row counters touched at
+    /// least once — the statistic the linear-counting cardinality
+    /// estimator diverges on as it approaches 1.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let cols = self.sketch.cols();
+        let occupied = cols - self.sketch.first_row_zeros();
+        vec![
+            IntrospectMetric::ratio("cm_row_occupancy", occupied as f64 / cols.max(1) as f64),
+            IntrospectMetric::count("cm_cols", cols as u64),
+        ]
     }
 }
 

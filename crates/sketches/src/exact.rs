@@ -1,7 +1,10 @@
 //! The exact baseline: a plain hash map under the shared memory
 //! accounting — the ground-truth row of every accuracy table.
 
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet, RECORD_BITS};
 use std::collections::HashMap;
 
@@ -142,6 +145,25 @@ impl FlowMonitor for ExactBaselineMonitor {
     fn reset(&mut self) {
         self.flows.clear();
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for ExactBaselineMonitor {
+    /// Fill against nominal capacity, plus the overflow flag — the exact
+    /// baseline keeps every flow, so `overflowed` marks the point where
+    /// its memory claim stopped being honest.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let tracked = self.flows.len();
+        let fill = tracked as f64 / self.capacity.max(1) as f64;
+        vec![
+            IntrospectMetric::ratio("exact_fill", fill.min(1.0)),
+            IntrospectMetric::count("exact_tracked_keys", tracked as u64),
+            IntrospectMetric::flag("exact_overflowed", self.overflowed()),
+        ]
     }
 }
 

@@ -1,7 +1,10 @@
 //! FCM: the two-layer escalating-counter sketch (SIGCOMM'21).
 
 use hashflow_hashing::{fast_range, HashFamily, XxHash64};
-use hashflow_monitor::{CostRecorder, CostSnapshot, FlowMonitor, MemoryBudget, MergeableMonitor};
+use hashflow_monitor::{
+    CostRecorder, CostSnapshot, FlowMonitor, IntrospectMetric, MemoryBudget, MergeableMonitor,
+    MonitorIntrospect,
+};
 use hashflow_primitives::{linear_counting_estimate, CounterArray};
 use hashflow_types::{ConfigError, FlowKey, FlowRecord, Packet};
 
@@ -121,6 +124,9 @@ pub struct FcmMonitor {
     l1_cells: usize,
     seed: u64,
     hashes: HashFamily<XxHash64>,
+    // Increments that escalated into a second layer (all trees), exposed
+    // through introspection as a saturation-pressure signal.
+    escalations: u64,
     cost: CostRecorder,
 }
 
@@ -147,6 +153,7 @@ impl FcmMonitor {
             l1_cells,
             seed,
             hashes: HashFamily::new(FCM_TREES, seed ^ 0x00fc_a7e5),
+            escalations: 0,
             cost: CostRecorder::new(),
         })
     }
@@ -200,6 +207,7 @@ impl FlowMonitor for FcmMonitor {
             self.cost.record_reads(1);
             self.cost.record_writes(1);
             if tree.increment(idx) {
+                self.escalations += 1;
                 self.cost.record_reads(1);
                 self.cost.record_writes(1);
             }
@@ -248,7 +256,31 @@ impl FlowMonitor for FcmMonitor {
         for tree in &mut self.trees {
             tree.reset();
         }
+        self.escalations = 0;
         self.cost.reset();
+    }
+
+    fn introspection(&self) -> Vec<IntrospectMetric> {
+        MonitorIntrospect::introspect(self)
+    }
+}
+
+impl MonitorIntrospect for FcmMonitor {
+    /// First-layer pressure on tree 0 (occupancy and saturation) plus the
+    /// total escalations absorbed by the wide second layers — the signals
+    /// that predict when the cheap 8-bit layer stops doing the work.
+    fn introspect(&self) -> Vec<IntrospectMetric> {
+        let l1 = &self.trees[0].l1;
+        let cells = self.l1_cells.max(1);
+        let occupied = self.l1_cells - l1.count_zeros();
+        let saturated = (0..self.l1_cells)
+            .filter(|&idx| l1.get(idx) >= L1_MAX)
+            .count();
+        vec![
+            IntrospectMetric::ratio("fcm_l1_occupancy", occupied as f64 / cells as f64),
+            IntrospectMetric::ratio("fcm_l1_saturation", saturated as f64 / cells as f64),
+            IntrospectMetric::count("fcm_escalations", self.escalations),
+        ]
     }
 }
 
@@ -265,6 +297,7 @@ impl MergeableMonitor for FcmMonitor {
         for (tree, other_tree) in self.trees.iter_mut().zip(&other.trees) {
             tree.merge_from(other_tree);
         }
+        self.escalations += other.escalations;
         self.cost.absorb(&other.cost.snapshot());
     }
 }

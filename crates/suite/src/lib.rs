@@ -27,6 +27,7 @@ pub use hashflow_core as core;
 pub use hashflow_hashing as hashing;
 pub use hashflow_metrics as metrics;
 pub use hashflow_monitor as monitor;
+pub use hashflow_obs as obs;
 pub use hashflow_primitives as primitives;
 pub use hashflow_query as query;
 pub use hashflow_shard as shard;
